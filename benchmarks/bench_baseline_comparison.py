@@ -1,0 +1,83 @@
+"""The Cayley-graph-model landscape: super Cayley families vs. the
+classic baselines (star, pancake, bubble-sort, rotator, transposition
+network) at equal size — the degree/diameter trade-off that motivates
+the paper (Section 1)."""
+
+from repro.analysis import moore_diameter_lower_bound
+from repro.networks import make_network
+from repro.topologies import (
+    BubbleSortGraph,
+    PancakeGraph,
+    RotatorGraph,
+    StarGraph,
+    TranspositionNetwork,
+)
+
+
+def test_comparison_table_120_nodes(benchmark, report):
+    """Everything on 5 symbols (120 nodes)."""
+    networks = [
+        StarGraph(5),
+        PancakeGraph(5),
+        BubbleSortGraph(5),
+        RotatorGraph(5),
+        TranspositionNetwork(5),
+        make_network("MS", l=2, n=2),
+        make_network("RS", l=2, n=2),
+        make_network("MIS", l=2, n=2),
+        make_network("IS", k=5),
+        make_network("MR", l=2, n=2),
+    ]
+
+    def compute():
+        rows = []
+        for net in networks:
+            rows.append(
+                (net.name, net.degree, net.diameter(),
+                 round(net.average_distance(), 2),
+                 moore_diameter_lower_bound(net.degree, net.num_nodes),
+                 net.is_undirectable())
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network        degree  diameter  avg_dist  Moore-LB  undirected"]
+    for name, degree, diameter, avg, moore, undirected in rows:
+        assert diameter >= moore
+        lines.append(
+            f"{name:<14} {degree:<7} {diameter:<9} {avg:<9} {moore:<9} "
+            f"{'Y' if undirected else 'N'}"
+        )
+    lines.append("")
+    lines.append(
+        "MS(2,2) trades diameter for the smallest degree among the "
+        "star-emulating networks; IS(5) buys diameter 4 with degree 8."
+    )
+    report("baseline_comparison_120", lines)
+
+
+def test_degree_diameter_product(benchmark, report):
+    """A classic cost metric: degree x diameter (lower is better)."""
+    networks = [
+        StarGraph(5),
+        PancakeGraph(5),
+        BubbleSortGraph(5),
+        TranspositionNetwork(5),
+        make_network("MS", l=2, n=2),
+        make_network("IS", k=5),
+        make_network("MIS", l=2, n=2),
+    ]
+
+    def compute():
+        return [
+            (net.name, net.degree, net.diameter(),
+             net.degree * net.diameter())
+            for net in networks
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = sorted(rows, key=lambda r: r[3])
+    lines = ["network        degree  diameter  degree*diameter"]
+    for name, degree, diameter, cost in rows:
+        lines.append(f"{name:<14} {degree:<7} {diameter:<9} {cost}")
+    report("degree_diameter_product", lines)

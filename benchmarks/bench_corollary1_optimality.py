@@ -1,0 +1,64 @@
+"""Corollary 1: with l = Theta(n), the all-port emulation slowdown is
+asymptotically optimal — measured slowdown / T(d1, d2) stays bounded as
+the balanced family grows, where T(d1, d2) = ceil(d_star / d_network)."""
+
+from repro.analysis import emulation_optimality_ratio
+from repro.emulation import allport_schedule, emulation_slowdown_lower_bound
+from repro.networks import make_network
+
+
+def test_corollary1_balanced_sweep(benchmark, report):
+    def compute():
+        rows = []
+        for n in range(2, 8):
+            l = n  # balanced: l = Theta(n)
+            net = make_network("MS", l=l, n=n)
+            sched = allport_schedule(net)
+            star_degree = net.k - 1
+            lower = emulation_slowdown_lower_bound(net.degree, star_degree)
+            rows.append(
+                (net.name, net.k, net.degree, star_degree,
+                 sched.makespan, lower, sched.makespan / lower)
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network    k    d_net  d_star  slowdown  T(d1,d2)  ratio"]
+    ratios = []
+    for name, k, dnet, dstar, slowdown, lower, ratio in rows:
+        ratios.append(ratio)
+        lines.append(
+            f"{name:<10} {k:<4} {dnet:<6} {dstar:<7} {slowdown:<9} "
+            f"{lower:<9} {ratio:.2f}"
+        )
+    # Asymptotic optimality: the ratio converges to the constant 4
+    # (slowdown 2n against T = ceil(n^2 / (2n-1)) ~ n/2) instead of
+    # growing with n — exactly Corollary 1's Theta-optimality.
+    assert max(ratios) <= 4.0
+    lines.append(
+        f"max ratio: {max(ratios):.2f} (bounded by the constant 4 => "
+        "asymptotically optimal)"
+    )
+    report("corollary1_optimality", lines)
+
+
+def test_corollary1_unbalanced_contrast(benchmark, report):
+    """Contrast: heavily unbalanced parameters waste the degree budget —
+    the ratio grows, showing l = Theta(n) is the right regime."""
+
+    def compute():
+        rows = []
+        for n in (1, 2, 3, 4, 5, 6):
+            net = make_network("MS", l=2, n=n)  # l fixed: unbalanced
+            sched = allport_schedule(net)
+            lower = emulation_slowdown_lower_bound(net.degree, net.k - 1)
+            rows.append((net.name, sched.makespan / lower))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network    slowdown/LB"]
+    for name, ratio in rows:
+        lines.append(f"{name:<10} {ratio:.2f}")
+    # The last balanced ratio (n = l) is better than the worst
+    # unbalanced one; the trend is what matters.
+    report("corollary1_unbalanced_contrast", lines)

@@ -1,0 +1,85 @@
+"""Corollary 4: complete binary trees embed with dilation 2 in the k-IS
+network, 3 in MS/complete-RS, and 4 in MIS/complete-RIS — via a
+dilation-1 tree-in-star substrate (Bouabdallah et al., reproduced here
+by certified search; substitution S2)."""
+
+from repro.embeddings import (
+    corollary4_tree_height,
+    embed_tree_into_sc,
+    embed_tree_into_star,
+)
+from repro.networks import InsertionSelection, MacroIS, MacroStar, make_network
+
+
+def test_corollary4_substrate(benchmark, report):
+    """Dilation-1 height-(2k-5) trees inside the k-star, k = 5, 6."""
+
+    def compute():
+        rows = []
+        for k in (5, 6):
+            height = corollary4_tree_height(k)
+            emb = embed_tree_into_star(height, k)
+            emb.validate()
+            rows.append((k, height, 2 ** (height + 1) - 1, emb.dilation()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["k   height  tree nodes  dilation (paper: 1)"]
+    for k, height, nodes, dilation in rows:
+        assert dilation == 1
+        lines.append(f"{k:<3} {height:<7} {nodes:<11} {dilation}")
+    report("corollary4_tree_substrate", lines)
+
+
+def test_corollary4_composed(benchmark, report):
+    targets = [
+        (InsertionSelection(5), 2),
+        (MacroStar(2, 2), 3),
+        (make_network("complete-RS", l=2, n=2), 3),
+        (MacroIS(2, 2), 4),
+        (make_network("complete-RIS", l=2, n=2), 4),
+    ]
+
+    def compute():
+        rows = []
+        for net, paper in targets:
+            emb = embed_tree_into_sc(5, net)
+            emb.validate()
+            rows.append((net.name, emb.dilation(), paper))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["host                 dilation  paper"]
+    for name, dilation, paper in rows:
+        assert dilation <= paper
+        lines.append(f"{name:<20} {dilation:<9} {paper}")
+    report("corollary4_trees_composed", lines)
+
+
+def test_corollary4_search_timing(benchmark):
+    """Timing: the height-7 / star(6) backtracking search (255 nodes)."""
+    emb = benchmark.pedantic(
+        embed_tree_into_star, args=(7, 6), rounds=1, iterations=1
+    )
+    assert emb.dilation() == 1
+
+
+def test_corollary4_k7_regime(benchmark, report):
+    """The k >= 7 asymptotic regime: a height-9 (1023-node) tree in the
+    7-star (the (1/2 + o(1)) k log2 k height), composed into MS(3,2)."""
+
+    def compute():
+        substrate = embed_tree_into_star(9, 7)
+        substrate.validate()
+        composed = embed_tree_into_sc(9, MacroStar(3, 2))
+        composed.validate()
+        return substrate.dilation(), composed.dilation()
+
+    sub_dil, comp_dil = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert sub_dil == 1 and comp_dil <= 3
+    report(
+        "corollary4_k7",
+        ["height-9 complete binary tree (1023 nodes):",
+         f"  -> star(7)  (5040 nodes): dilation {sub_dil} (paper: 1)",
+         f"  -> MS(3,2)  (5040 nodes): dilation {comp_dil} (paper: 3)"],
+    )

@@ -1,0 +1,70 @@
+"""Corollary 6: the m1 x m2 mesh (m1 * m2 = k!) embeds with load 1,
+expansion 1, dilation 5 into MS(2, n) / complete-RS(2, n), dilation 6
+into the k-IS, and dilation O(1) elsewhere — via the dilation-1
+k x (k-1)! mesh-in-TN substrate (SJT Gray-code construction)."""
+
+from repro.embeddings import (
+    embed_mesh_into_sc,
+    embed_mesh_into_star,
+    embed_mesh_into_tn,
+)
+from repro.networks import InsertionSelection, MacroStar, make_network
+
+
+def test_corollary6_substrate(benchmark, report):
+    def compute():
+        rows = []
+        for k in (4, 5):
+            emb = embed_mesh_into_tn(k)
+            emb.validate()
+            m = emb.metrics()
+            rows.append((k, emb.guest.dims, m))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["k   mesh        load  expansion  dilation  congestion"]
+    for k, dims, m in rows:
+        assert m == {"load": 1, "expansion": 1.0, "dilation": 1,
+                     "congestion": 1}
+        lines.append(
+            f"{k:<3} {str(dims):<11} {m['load']:<5} {m['expansion']:<10} "
+            f"{m['dilation']:<9} {m['congestion']}"
+        )
+    lines.append("k x (k-1)! mesh is a subgraph of the k-TN (dilation 1)")
+    report("corollary6_mesh_substrate", lines)
+
+
+def test_corollary6_into_hosts(benchmark, report):
+    def compute():
+        rows = []
+        ms22 = MacroStar(2, 2)
+        emb = embed_mesh_into_sc(ms22)
+        emb.validate()
+        rows.append((ms22.name, emb.dilation(), emb.load(), 5))
+        crs = make_network("complete-RS", l=2, n=2)
+        emb = embed_mesh_into_sc(crs)
+        emb.validate()
+        rows.append((crs.name, emb.dilation(), emb.load(), 5))
+        star_emb = embed_mesh_into_star(5)
+        star_emb.validate()
+        rows.append(("star(5)", star_emb.dilation(), star_emb.load(), 3))
+        is5 = InsertionSelection(5)
+        emb = embed_mesh_into_sc(is5)
+        emb.validate()
+        rows.append((is5.name, emb.dilation(), emb.load(), 6))
+        mis = make_network("MIS", l=2, n=2)
+        emb = embed_mesh_into_sc(mis)
+        emb.validate()
+        rows.append((mis.name, emb.dilation(), emb.load(), "O(1)"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["host                 dilation  load  paper"]
+    for name, dilation, load, paper in rows:
+        assert load == 1
+        if isinstance(paper, int):
+            assert dilation <= paper, (name, dilation, paper)
+        else:
+            assert dilation <= 10
+        lines.append(f"{name:<20} {dilation:<9} {load:<5} {paper}")
+    report("corollary6_mesh_hosts", lines)

@@ -1,0 +1,60 @@
+"""Corollary 7: the 2 x 3 x ... x k mesh embeds with load 1, expansion 1,
+and dilation O(1) into MS, complete-RS, MIS, complete-RIS, and k-IS
+networks — via insertion coordinates (substitution S3: re-derived
+Jwo-style factorial-coordinate embedding, dilation 3 into the star and
+dilation 1 into the k-TN)."""
+
+from repro.embeddings import (
+    embed_mixed_mesh_into_sc,
+    embed_mixed_mesh_into_star,
+    embed_mixed_mesh_into_tn,
+)
+from repro.networks import InsertionSelection, MacroStar, make_network
+
+
+def test_corollary7_substrates(benchmark, report):
+    def compute():
+        rows = []
+        for k in (4, 5):
+            tn_emb = embed_mixed_mesh_into_tn(k)
+            tn_emb.validate()
+            star_emb = embed_mixed_mesh_into_star(k)
+            star_emb.validate()
+            rows.append(
+                (k, tn_emb.metrics(), star_emb.dilation(), star_emb.load())
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["k   ->TN metrics                                  ->star dilation (Jwo: 3)"]
+    for k, tn_metrics, star_dil, star_load in rows:
+        assert tn_metrics == {"load": 1, "expansion": 1.0, "dilation": 1,
+                              "congestion": 1}
+        assert star_dil == 3 and star_load == 1
+        lines.append(f"{k:<3} {str(tn_metrics):<45} {star_dil}")
+    report("corollary7_mixed_mesh_substrate", lines)
+
+
+def test_corollary7_into_sc(benchmark, report):
+    targets = [
+        MacroStar(2, 2),
+        make_network("complete-RS", l=2, n=2),
+        InsertionSelection(5),
+        make_network("MIS", l=2, n=2),
+    ]
+
+    def compute():
+        rows = []
+        for net in targets:
+            emb = embed_mixed_mesh_into_sc(net)
+            emb.validate()
+            rows.append((net.name, emb.dilation(), emb.load(),
+                         emb.expansion()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["host                 dilation  load  expansion  (paper: O(1), 1, 1)"]
+    for name, dilation, load, expansion in rows:
+        assert load == 1 and expansion == 1.0 and dilation <= 12
+        lines.append(f"{name:<20} {dilation:<9} {load:<5} {expansion}")
+    report("corollary7_mixed_mesh_sc", lines)

@@ -1,0 +1,106 @@
+"""Extension benchmarks: ring embeddings, single-node broadcast, and
+fault tolerance — the library surface beyond the paper's headline
+results."""
+
+import random
+
+from repro.comm import (
+    broadcast_allport,
+    broadcast_lower_bound_allport,
+    broadcast_lower_bound_single_port,
+    broadcast_single_port,
+)
+from repro.core.permutations import Permutation
+from repro.embeddings import embed_linear_array, embed_ring
+from repro.networks import MacroStar
+from repro.routing import (
+    FaultSet,
+    disjoint_paths,
+    fault_tolerant_route,
+    node_connectivity,
+)
+from repro.topologies import StarGraph
+
+
+def test_ring_embeddings(benchmark, report):
+    def compute():
+        rows = []
+        star = StarGraph(4)
+        emb = embed_ring(star)
+        emb.validate()
+        rows.append((emb.name, emb.guest.num_nodes, emb.dilation()))
+        for graph in (StarGraph(5), MacroStar(2, 2)):
+            emb = embed_linear_array(graph)
+            emb.validate()
+            rows.append((emb.name, emb.guest.num_nodes, emb.dilation()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["embedding                    guest nodes  dilation"]
+    for name, nodes, dilation in rows:
+        assert dilation == 1
+        lines.append(f"{name:<28} {nodes:<12} {dilation}")
+    lines.append("Hamiltonian words = dilation-1 rings / linear arrays")
+    report("extension_rings", lines)
+
+
+def test_single_node_broadcast(benchmark, report):
+    def compute():
+        rows = []
+        for net in (StarGraph(4), StarGraph(5), MacroStar(2, 2)):
+            ap = broadcast_allport(net)
+            sp = broadcast_single_port(net)
+            rows.append(
+                (net.name, net.num_nodes, ap,
+                 broadcast_lower_bound_allport(net.num_nodes, net.degree),
+                 sp, broadcast_lower_bound_single_port(net.num_nodes))
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network    N    all-port  LB  single-port  LB(log2 N)"]
+    for name, n_nodes, ap, ap_lb, sp, sp_lb in rows:
+        assert ap >= ap_lb and sp >= sp_lb
+        lines.append(
+            f"{name:<10} {n_nodes:<4} {ap:<9} {ap_lb:<3} {sp:<12} {sp_lb}"
+        )
+    report("extension_broadcast", lines)
+
+
+def test_fault_tolerance(benchmark, report):
+    def compute():
+        star = StarGraph(4)
+        connectivity = node_connectivity(star)
+        u = star.identity
+        v = Permutation([4, 3, 2, 1])
+        fan = disjoint_paths(star, u, v)
+        # Random fault injection: fail `connectivity - 1` nodes, route
+        # 30 random live pairs.
+        rng = random.Random(97)
+        others = [p for p in star.nodes() if p not in (u, v)]
+        survived = 0
+        trials = 30
+        for _ in range(trials):
+            failed = rng.sample(others, connectivity - 1)
+            faults = FaultSet.of(nodes=failed)
+            word = fault_tolerant_route(star, u, v, faults)
+            assert star.apply_word(u, word) == v
+            survived += 1
+        ms = MacroStar(2, 2)
+        ms_connectivity = node_connectivity(ms)
+        return connectivity, len(fan), survived, trials, ms_connectivity, ms.degree
+
+    (connectivity, fan, survived, trials,
+     ms_conn, ms_degree) = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert connectivity == 3 and fan == 3
+    assert survived == trials
+    assert ms_conn == ms_degree  # maximal connectivity
+    report(
+        "extension_fault_tolerance",
+        [f"star(4) vertex connectivity      : {connectivity} (= degree)",
+         f"greedy disjoint-path fan         : {fan}",
+         f"routes under {connectivity - 1} random node faults: "
+         f"{survived}/{trials} succeeded",
+         f"MS(2,2) vertex connectivity      : {ms_conn} (= degree "
+         f"{ms_degree}: maximally fault-tolerant)"],
+    )

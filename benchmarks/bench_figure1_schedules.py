@@ -1,0 +1,80 @@
+"""Figure 1: all-port emulation schedules.
+
+(a) a 13-star on MS(4,3) / complete-RS(4,3);
+(b) a 16-star on MS(5,3) / complete-RS(5,3).
+
+The paper's caption: "a generator appears at most once in a row", "the
+links ... are fully used during steps 1 to 5, and are 93% used on the
+average."  The benchmark regenerates both grids, asserts the caption's
+numbers, and writes the rendered grids next to the results."""
+
+from repro.emulation import allport_schedule
+from repro.networks import make_network
+
+
+def test_figure_1a(benchmark, report):
+    net = make_network("MS", l=4, n=3)
+
+    def compute():
+        sched = allport_schedule(net)
+        sched.validate()  # "a generator appears at most once in a row"
+        return sched
+
+    sched = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert sched.makespan == 6  # max(2n, l+1) = max(6, 5)
+    lines = [
+        f"Figure 1a: emulating a 13-star on {net.name}",
+        f"makespan           : {sched.makespan} (paper: max(2n, l+1) = 6)",
+        f"avg utilization    : {sched.utilization():.3f}",
+        f"per-step usage     : "
+        + " ".join(f"{u:.2f}" for u in sched.per_step_utilization()),
+        "",
+        sched.render_grid(),
+    ]
+    report("figure1a_ms_4_3", lines)
+
+
+def test_figure_1b(benchmark, report):
+    net = make_network("MS", l=5, n=3)
+
+    def compute():
+        sched = allport_schedule(net)
+        sched.validate()
+        return sched
+
+    sched = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert sched.makespan == 6
+    per_step = sched.per_step_utilization()
+    # "fully used during steps 1 to 5"
+    assert all(u == 1.0 for u in per_step[:5])
+    # "93% used on the average"
+    assert round(sched.utilization(), 2) == 0.93
+    lines = [
+        f"Figure 1b: emulating a 16-star on {net.name}",
+        f"makespan           : {sched.makespan}",
+        f"avg utilization    : {sched.utilization():.3f}  (paper: 93%)",
+        f"per-step usage     : " + " ".join(f"{u:.2f}" for u in per_step),
+        "",
+        sched.render_grid(),
+    ]
+    report("figure1b_ms_5_3", lines)
+
+
+def test_figure_1_complete_rs_variants(benchmark, report):
+    def compute():
+        rows = []
+        for l in (4, 5):
+            net = make_network("complete-RS", l=l, n=3)
+            sched = allport_schedule(net)
+            sched.validate()
+            rows.append((net.name, sched.makespan, sched.utilization()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network              makespan  utilization"]
+    for name, makespan, util in rows:
+        assert makespan == 6
+        lines.append(f"{name:<20} {makespan:<9} {util:.3f}")
+    # Figure 1b's 93% holds for the complete-RS(5,3) twin as well.
+    assert round(rows[1][2], 2) == 0.93
+    report("figure1_complete_rs", lines)

@@ -1,0 +1,73 @@
+"""Section 2's structural claims: the ten families are regular,
+vertex-symmetric Cayley graphs whose state graphs coincide with their
+ball-arrangement games; degree formulas and exact BFS diameters."""
+
+from repro.analysis import (
+    degree_formula,
+    is_vertex_symmetric_sample,
+    moore_diameter_lower_bound,
+    network_profile,
+)
+from repro.core.bag import state_graph_matches_network
+from repro.networks import make_network
+from repro.routing import star_eccentricity
+
+SMALL = [
+    ("MS", 2, 2), ("RS", 2, 2), ("complete-RS", 3, 1), ("MR", 2, 2),
+    ("RR", 2, 2), ("complete-RR", 3, 1), ("IS", 2, 2), ("MIS", 2, 2),
+    ("RIS", 2, 2), ("complete-RIS", 3, 1),
+]
+
+
+def test_properties_table(benchmark, report):
+    def compute():
+        rows = []
+        for family, l, n in SMALL:
+            net = make_network(family, l=l, n=n)
+            profile = network_profile(net)
+            profile["degree_formula"] = degree_formula(net)
+            profile["vertex_symmetric"] = is_vertex_symmetric_sample(
+                net, samples=2
+            )
+            profile["bag_matches"] = state_graph_matches_network(net)
+            profile["moore_lb"] = moore_diameter_lower_bound(
+                net.degree, net.num_nodes
+            )
+            rows.append(profile)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        "network              k  N    deg  diam  avg_d   Moore-LB  vsym  BAG"
+    ]
+    for p in rows:
+        assert p["degree"] == p["degree_formula"]
+        assert p["vertex_symmetric"] and p["bag_matches"]
+        assert p["diameter"] >= p["moore_lb"]
+        lines.append(
+            f"{p['name']:<20} {p['k']:<2} {p['nodes']:<4} {p['degree']:<4} "
+            f"{p['diameter']:<5} {p['avg_distance']:<7} {p['moore_lb']:<9} "
+            f"{'Y':<5} Y"
+        )
+    report("properties_table", lines)
+
+
+def test_diameter_vs_star_bound(benchmark, report):
+    """Emulation bounds the diameter: diam(SC) <= dilation * diam(star)."""
+
+    def compute():
+        rows = []
+        for family, l, n in [("MS", 2, 2), ("complete-RS", 2, 2),
+                             ("IS", 2, 2), ("MIS", 2, 2)]:
+            net = make_network(family, l=l, n=n)
+            diam = net.diameter()
+            bound = net.star_emulation_dilation() * star_eccentricity(net.k)
+            rows.append((net.name, diam, bound))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network              diameter  dilation*star_diam"]
+    for name, diam, bound in rows:
+        assert diam <= bound
+        lines.append(f"{name:<20} {diam:<9} {bound}")
+    report("diameter_bounds", lines)

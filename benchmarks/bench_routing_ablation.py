@@ -1,0 +1,90 @@
+"""Ablation: design choices DESIGN.md calls out.
+
+1. Peephole simplification of emulated routes (cancel adjacent inverse
+   links): how much path length it recovers.
+2. Emulated routing vs. BFS-optimal routing: the constant-factor gap
+   the dilation bound predicts.
+3. Single-link box-bring (MS/complete-RS) vs. rotation-walk box-bring
+   (RS): degree/dilation trade-off.
+"""
+
+import random
+
+from repro.core.permutations import Permutation
+from repro.networks import MacroStar, RotationStar, make_network
+from repro.routing import sc_route, star_distance_between
+
+
+def test_ablation_peephole(benchmark, report):
+    net = MacroStar(2, 2)
+    rng = random.Random(71)
+    pairs = [
+        (Permutation.random(5, rng), Permutation.random(5, rng))
+        for _ in range(100)
+    ]
+
+    def compute():
+        raw = sum(len(sc_route(net, u, v, simplify=False)) for u, v in pairs)
+        slim = sum(len(sc_route(net, u, v, simplify=True)) for u, v in pairs)
+        return raw, slim
+
+    raw, slim = benchmark.pedantic(compute, rounds=1, iterations=1)
+    saved = 1 - slim / raw
+    assert slim <= raw
+    report(
+        "ablation_peephole",
+        [f"{net.name}: 100 random routes",
+         f"raw emulated hops : {raw}",
+         f"after peephole    : {slim}",
+         f"hops recovered    : {saved:.1%}"],
+    )
+
+
+def test_ablation_emulated_vs_optimal(benchmark, report):
+    net = MacroStar(2, 2)
+    dist = net.distances_from()
+
+    def compute():
+        total_opt = total_emu = 0
+        for p in Permutation.all_permutations(5):
+            total_opt += dist[p]
+            total_emu += len(sc_route(net, net.identity, p))
+        return total_opt, total_emu
+
+    total_opt, total_emu = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ratio = total_emu / total_opt
+    assert ratio <= net.star_emulation_dilation()
+    report(
+        "ablation_emulated_vs_optimal",
+        [f"{net.name}: all {net.num_nodes} destinations from the identity",
+         f"BFS-optimal total hops : {total_opt}",
+         f"emulated-route hops    : {total_emu}",
+         f"ratio                  : {ratio:.2f} "
+         f"(bounded by dilation {net.star_emulation_dilation()})"],
+    )
+
+
+def test_ablation_bring_box_cost(benchmark, report):
+    """Single-link brings (MS, complete-RS) vs. rotation walks (RS)."""
+
+    def compute():
+        rows = []
+        for family in ("MS", "complete-RS", "RS"):
+            net = make_network(family, l=5, n=2)
+            worst = max(
+                len(net.bring_box_word(i)) for i in range(1, net.l + 1)
+            )
+            rows.append((net.name, net.degree, worst,
+                         net.star_emulation_dilation()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network             degree  worst bring  star dilation"]
+    for name, degree, bring, dilation in rows:
+        lines.append(f"{name:<19} {degree:<7} {bring:<12} {dilation}")
+    lines.append(
+        "RS trades degree for longer brings: constant-degree rotations "
+        "cost Theta(l) dilation; MS/complete-RS pay degree l-1 for "
+        "dilation 3."
+    )
+    report("ablation_bring_box", lines)

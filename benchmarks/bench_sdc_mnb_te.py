@@ -1,0 +1,53 @@
+"""Section 3's SDC communication results (Mišić & Jovanović): the MNB
+completes in exactly k! - 1 SDC rounds on the k-star, and the emulated
+MNB on MS/complete-RS/IS stays within the Theorem 1-2 slowdown."""
+
+from repro.comm import (
+    hamiltonian_path_word,
+    mnb_lower_bound_sdc,
+    mnb_sdc_emulated,
+    mnb_sdc_hamiltonian,
+)
+from repro.networks import InsertionSelection, MacroStar
+from repro.topologies import StarGraph
+
+
+def test_sdc_mnb_star_exact(benchmark, report):
+    def compute():
+        rows = []
+        for k in (3, 4, 5):
+            star = StarGraph(k)
+            rounds, complete = mnb_sdc_hamiltonian(star)
+            rows.append((star.name, star.num_nodes, rounds,
+                         mnb_lower_bound_sdc(star.num_nodes), complete))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network   N    rounds  k!-1   complete   (paper: exactly k!-1)"]
+    for name, n_nodes, rounds, optimum, complete in rows:
+        assert complete and rounds == optimum
+        lines.append(f"{name:<9} {n_nodes:<4} {rounds:<7} {optimum:<6} {complete}")
+    report("sdc_mnb_star", lines)
+
+
+def test_sdc_mnb_emulated(benchmark, report):
+    def compute():
+        star5 = StarGraph(5)
+        word5 = hamiltonian_path_word(star5)
+        rows = []
+        net = MacroStar(2, 2)
+        rounds, complete = mnb_sdc_emulated(net, word5)
+        rows.append((net.name, rounds, 3 * 119, complete))
+        star4 = StarGraph(4)
+        word4 = hamiltonian_path_word(star4)
+        is4 = InsertionSelection(4)
+        rounds, complete = mnb_sdc_emulated(is4, word4)
+        rows.append((is4.name, rounds, 2 * 23, complete))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network    rounds  slowdown*(N-1)  complete"]
+    for name, rounds, bound, complete in rows:
+        assert complete and rounds <= bound
+        lines.append(f"{name:<10} {rounds:<7} {bound:<15} {complete}")
+    report("sdc_mnb_emulated", lines)

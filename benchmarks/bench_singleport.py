@@ -1,0 +1,73 @@
+"""Empirical study of Theorem 2's single-port claim.
+
+Uniform single-port rounds (all nodes on one dimension — the SIMD case)
+emulate in exactly 2 rounds on the k-IS network.  Random
+mixed-dimension rounds collide at intermediate nodes (two insertions can
+land on the same receiver), and the FIFO single-port resolution takes
+~5 rounds on IS(5).  Recorded as caveat D4 in EXPERIMENTS.md: the
+theorem's "without conflict" argument covers link conflicts, which is
+the all-port / SDC case; mixed single-port rounds need either receive
+queuing or smarter word selection."""
+
+import random
+import statistics
+
+from repro.emulation.singleport import (
+    emulate_single_port_round,
+    random_single_port_star_round,
+    receive_conflicts,
+    single_port_slowdown_sample,
+)
+from repro.networks import InsertionSelection
+
+
+def test_uniform_rounds(benchmark, report):
+    net = InsertionSelection(5)
+
+    def compute():
+        rows = []
+        for j in range(2, 6):
+            assignment = {node: j for node in net.nodes()}
+            rows.append(
+                (j, receive_conflicts(net, assignment),
+                 emulate_single_port_round(net, assignment))
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["uniform dim  conflicts  rounds   (Theorem 2: 2)"]
+    for j, (c1, c2), rounds in rows:
+        assert c1 == 0 and c2 == 0
+        assert rounds == (1 if j == 2 else 2)
+        lines.append(f"{j:<12} {c1}+{c2:<8} {rounds}")
+    report("singleport_uniform", lines)
+
+
+def test_mixed_rounds(benchmark, report):
+    net = InsertionSelection(5)
+
+    def compute():
+        rng = random.Random(13)
+        conflict_counts = []
+        for _ in range(10):
+            assignment = random_single_port_star_round(5, rng)
+            c1, c2 = receive_conflicts(net, assignment)
+            conflict_counts.append(c1 + c2)
+        slowdowns = single_port_slowdown_sample(net, samples=10, seed=13)
+        return conflict_counts, slowdowns
+
+    conflict_counts, slowdowns = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    lines = [
+        "random mixed-dimension single-port rounds on IS(5):",
+        f"intermediate conflicts per round: "
+        f"min {min(conflict_counts)}, max {max(conflict_counts)} "
+        f"(of 120 packets)",
+        f"realised rounds: min {min(slowdowns)}, "
+        f"mean {statistics.mean(slowdowns):.1f}, max {max(slowdowns)}",
+        "(ideal 2; conflicts force FIFO serialization — caveat D4)",
+    ]
+    assert min(slowdowns) >= 2
+    assert max(slowdowns) <= 8
+    report("singleport_mixed", lines)

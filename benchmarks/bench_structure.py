@@ -1,0 +1,75 @@
+"""Structural facts the property tables hint at, certified exactly:
+bipartiteness by generator parity, girths, and the isomorphism
+coincidences among the families."""
+
+from repro.analysis import (
+    are_isomorphic,
+    girth,
+    is_bipartite_by_parity,
+    is_bipartite_exact,
+)
+from repro.networks import MacroIS, MacroStar, RotationStar, make_network
+from repro.topologies import BubbleSortGraph, PancakeGraph, StarGraph
+
+
+def test_bipartiteness_table(benchmark, report):
+    graphs = [
+        StarGraph(4), BubbleSortGraph(4), PancakeGraph(4),
+        MacroStar(2, 2), MacroStar(2, 3), MacroIS(2, 2),
+        make_network("IS", k=4),
+    ]
+
+    def compute():
+        return [
+            (g.name, is_bipartite_by_parity(g), is_bipartite_exact(g))
+            for g in graphs
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["graph            parity-criterion  exact"]
+    for name, parity, exact in rows:
+        assert parity == exact
+        lines.append(f"{name:<16} {str(parity):<17} {exact}")
+    lines.append("MS(l,n) is bipartite iff n is odd (swap parity = n)")
+    report("structure_bipartite", lines)
+
+
+def test_girth_table(benchmark, report):
+    graphs = [
+        StarGraph(4), StarGraph(5), BubbleSortGraph(4), PancakeGraph(4),
+        MacroStar(2, 2), MacroStar(2, 3), make_network("IS", k=4),
+    ]
+
+    def compute():
+        return [(g.name, girth(g)) for g in graphs]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["graph            girth"]
+    for name, value in rows:
+        lines.append(f"{name:<16} {value}")
+    report("structure_girth", lines)
+
+
+def test_isomorphism_coincidences(benchmark, report):
+    def compute():
+        return [
+            ("MS(2,2) ~ RS(2,2)",
+             are_isomorphic(MacroStar(2, 2), RotationStar(2, 2)), True),
+            ("MS(3,1) ~ star(4)",
+             are_isomorphic(MacroStar(3, 1), StarGraph(4)), True),
+            ("MS(2,2) ~ star(5)",
+             are_isomorphic(MacroStar(2, 2), StarGraph(5)), False),
+            ("pancake(4) ~ star(4)",
+             are_isomorphic(PancakeGraph(4), StarGraph(4)), False),
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["claim                     isomorphic  expected"]
+    for claim, got, expected in rows:
+        assert got == expected
+        lines.append(f"{claim:<25} {str(got):<11} {expected}")
+    lines.append(
+        "for l = 2 the swap IS the rotation; for n = 1 every super "
+        "generator is a transposition (MS(l,1) = (l+1)-star)"
+    )
+    report("structure_isomorphisms", lines)

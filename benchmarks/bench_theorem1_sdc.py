@@ -1,0 +1,52 @@
+"""Theorem 1: any SDC star-graph algorithm runs on MS(l, n) or
+complete-RS(l, n) with slowdown (exactly) 3.
+
+Regenerates: per-dimension emulation word lengths, the worst-case
+slowdown over an instance sweep, and a token-moving verification of full
+emulated exchanges.
+"""
+
+from repro.emulation import emulate_sdc_exchange, sdc_slowdown, verify_sdc_emulation
+from repro.networks import make_network
+
+INSTANCES = [("MS", 2, 2), ("MS", 3, 2), ("MS", 2, 3),
+             ("complete-RS", 2, 2), ("complete-RS", 3, 2)]
+
+
+def test_theorem1_slowdown_table(benchmark, report):
+    def compute():
+        rows = []
+        for family, l, n in INSTANCES:
+            net = make_network(family, l=l, n=n)
+            rows.append((net.name, net.k, sdc_slowdown(net)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network           k   SDC slowdown   paper"]
+    for name, k, slowdown in rows:
+        assert slowdown == 3
+        lines.append(f"{name:<17} {k:<3} {slowdown:<14} 3")
+    report("theorem1_sdc_slowdown", lines)
+
+
+def test_theorem1_exchange_verified(benchmark, report):
+    net = make_network("MS", l=2, n=2)
+
+    def compute():
+        return all(
+            verify_sdc_emulation(net, j) for j in range(2, net.k + 1)
+        )
+
+    assert benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "theorem1_exchange",
+        [f"{net.name}: emulated SDC exchange verified for all "
+         f"{net.k - 1} star dimensions x {net.num_nodes} nodes"],
+    )
+
+
+def test_theorem1_exchange_throughput(benchmark):
+    """Timing: one full emulated dimension exchange on MS(2,3) (5040
+    tokens moved through 3 sub-steps)."""
+    net = make_network("MS", l=2, n=3)
+    benchmark(emulate_sdc_exchange, net, net.k)

@@ -1,0 +1,43 @@
+"""Theorem 2: the k-IS network emulates the k-star with slowdown 2 under
+the SDC, single-port, and all-port models; dilation 2, per-dimension
+congestion 1."""
+
+from repro.embeddings import embed_star
+from repro.emulation import allport_schedule, sdc_slowdown, verify_sdc_emulation
+from repro.networks import InsertionSelection
+
+
+def test_theorem2_table(benchmark, report):
+    def compute():
+        rows = []
+        for k in (4, 5, 6):
+            net = InsertionSelection(k)
+            emb = embed_star(net)
+            rows.append(
+                (
+                    net.name,
+                    sdc_slowdown(net),                     # SDC slowdown
+                    allport_schedule(net).makespan,        # all-port slowdown
+                    emb.dilation(),
+                    max(
+                        emb.dimension_congestion(f"T{j}")
+                        for j in range(2, k + 1)
+                    ),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network  SDC  all-port  dilation  per-dim congestion   paper: 2 2 2 1"]
+    for name, sdc, allport, dilation, congestion in rows:
+        assert sdc == 2 and allport == 2 and dilation == 2 and congestion == 1
+        lines.append(f"{name:<8} {sdc:<4} {allport:<9} {dilation:<9} {congestion}")
+    report("theorem2_is_slowdown", lines)
+
+
+def test_theorem2_exchange_verified(benchmark):
+    net = InsertionSelection(5)
+    assert benchmark.pedantic(
+        lambda: all(verify_sdc_emulation(net, j) for j in range(2, 6)),
+        rounds=1, iterations=1,
+    )

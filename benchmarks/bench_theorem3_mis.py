@@ -1,0 +1,33 @@
+"""Theorem 3: MIS(l, n) and complete-RIS(l, n) emulate the
+(ln+1)-star under SDC with slowdown 4 (dilation-4 embedding)."""
+
+from repro.embeddings import embed_star
+from repro.emulation import sdc_slowdown, verify_sdc_emulation
+from repro.networks import make_network
+
+INSTANCES = [("MIS", 2, 2), ("MIS", 3, 2), ("MIS", 2, 3),
+             ("complete-RIS", 2, 2), ("complete-RIS", 3, 2)]
+
+
+def test_theorem3_table(benchmark, report):
+    def compute():
+        rows = []
+        for family, l, n in INSTANCES:
+            net = make_network(family, l=l, n=n)
+            rows.append((net.name, sdc_slowdown(net), embed_star(net).dilation()))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network             SDC slowdown  dilation   paper: 4 4"]
+    for name, slowdown, dilation in rows:
+        assert slowdown == 4 and dilation == 4
+        lines.append(f"{name:<19} {slowdown:<13} {dilation}")
+    report("theorem3_mis_slowdown", lines)
+
+
+def test_theorem3_exchange_verified(benchmark):
+    net = make_network("MIS", l=2, n=2)
+    assert benchmark.pedantic(
+        lambda: all(verify_sdc_emulation(net, j) for j in range(2, net.k + 1)),
+        rounds=1, iterations=1,
+    )

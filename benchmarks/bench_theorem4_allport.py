@@ -1,0 +1,41 @@
+"""Theorem 4: all-port emulation of the (ln+1)-star on MS(l, n) /
+complete-RS(l, n) with slowdown exactly max(2n, l+1).
+
+Regenerates the (l, n) slowdown surface and validates every schedule."""
+
+from repro.emulation import allport_schedule, theorem4_slowdown
+from repro.networks import make_network
+
+
+def test_theorem4_sweep(benchmark, report):
+    def compute():
+        rows = []
+        for l in range(2, 9):
+            for n in range(1, 6):
+                for family in ("MS", "complete-RS"):
+                    net = make_network(family, l=l, n=n)
+                    sched = allport_schedule(net)
+                    sched.validate()
+                    rows.append((net.name, l, n, sched.makespan,
+                                 theorem4_slowdown(l, n)))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network            l  n  measured  max(2n,l+1)"]
+    for name, l, n, measured, paper in rows:
+        assert measured == paper, name
+        lines.append(f"{name:<18} {l:<2} {n:<2} {measured:<9} {paper}")
+    report("theorem4_allport_sweep", lines)
+
+
+def test_theorem4_schedule_generation_speed(benchmark):
+    """Timing: generating + validating the MS(8,5) schedule (41-star)."""
+    net = make_network("MS", l=8, n=5)
+
+    def build():
+        sched = allport_schedule(net)
+        sched.validate()
+        return sched
+
+    sched = benchmark(build)
+    assert sched.makespan == theorem4_slowdown(8, 5)

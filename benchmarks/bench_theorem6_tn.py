@@ -1,0 +1,48 @@
+"""Theorem 6: the k-TN embeds one-to-one in MS(l, n) / complete-RS(l, n)
+with load 1, expansion 1, and dilation 5 (l = 2) or 7 (l >= 3)."""
+
+from repro.embeddings import embed_transposition_network, theoretical_tn_dilation
+from repro.networks import make_network
+
+INSTANCES = [("MS", 2, 2), ("MS", 2, 3), ("complete-RS", 2, 2),
+             ("MS", 3, 2), ("complete-RS", 3, 2)]
+
+
+def test_theorem6_table(benchmark, report):
+    def compute():
+        rows = []
+        for family, l, n in INSTANCES:
+            net = make_network(family, l=l, n=n)
+            emb = embed_transposition_network(net)
+            emb.validate()
+            rows.append(
+                (net.name, net.k, emb.load(), emb.expansion(),
+                 emb.dilation(), theoretical_tn_dilation(net))
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["host               k   load  expansion  dilation  paper"]
+    for name, k, load, expansion, dilation, paper in rows:
+        assert load == 1 and expansion == 1.0 and dilation == paper
+        lines.append(
+            f"{name:<18} {k:<3} {load:<5} {expansion:<10} {dilation:<9} {paper}"
+        )
+    report("theorem6_tn_dilation", lines)
+
+
+def test_theorem6_congestion(benchmark, report):
+    """Congestion of the TN embedding (not claimed exactly by the paper;
+    recorded for completeness)."""
+
+    def compute():
+        net = make_network("MS", l=2, n=2)
+        emb = embed_transposition_network(net)
+        return emb.congestion(), emb.congestion(directed=False)
+
+    directed, undirected = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        "theorem6_tn_congestion",
+        [f"TN(5) -> MS(2,2): directed congestion {directed}, "
+         f"undirected {undirected}"],
+    )

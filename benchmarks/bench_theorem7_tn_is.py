@@ -1,0 +1,50 @@
+"""Theorem 7: the k-TN embeds one-to-one in the k-IS network with
+dilation 6, and in MIS(l, n) / complete-RIS(l, n) with dilation O(1)."""
+
+from repro.embeddings import embed_tn_into_star, embed_transposition_network
+from repro.networks import make_network
+
+
+def test_theorem7_table(benchmark, report):
+    def compute():
+        rows = []
+        for k in (4, 5):
+            net = make_network("IS", k=k)
+            emb = embed_transposition_network(net)
+            emb.validate()
+            rows.append((net.name, emb.load(), emb.dilation(), 6))
+        for family, l, n in [("MIS", 2, 2), ("complete-RIS", 2, 2),
+                             ("MIS", 3, 2)]:
+            net = make_network(family, l=l, n=n)
+            emb = embed_transposition_network(net)
+            emb.validate()
+            rows.append((net.name, emb.load(), emb.dilation(), "O(1)"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["host                 load  dilation  paper"]
+    for name, load, dilation, paper in rows:
+        assert load == 1
+        if paper == 6:
+            assert dilation == 6
+        else:
+            assert dilation <= 10  # 2 box moves + 3 nucleus words of <= 2
+        lines.append(f"{name:<20} {load:<5} {dilation:<9} {paper}")
+    report("theorem7_tn_is", lines)
+
+
+def test_theorem7_star_substrate(benchmark, report):
+    """The dilation-3 TN -> star embedding the theorem composes with."""
+
+    def compute():
+        emb = embed_tn_into_star(5)
+        emb.validate()
+        return emb.dilation(), emb.load()
+
+    dilation, load = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert dilation == 3 and load == 1
+    report(
+        "theorem7_tn_into_star",
+        [f"TN(5) -> star(5): dilation {dilation}, load {load} "
+         "(T_ij -> T_i T_j T_i)"],
+    )

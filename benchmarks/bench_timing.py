@@ -1,0 +1,67 @@
+"""Micro-timings of the core operations (real pytest-benchmark runs, not
+single-shot): the numbers a user sizing an experiment needs."""
+
+import random
+
+from repro.core.permutations import Permutation
+from repro.networks import MacroStar, make_network
+from repro.routing import sc_route, star_route_to_identity
+from repro.topologies import StarGraph
+
+
+def test_timing_permutation_multiply(benchmark):
+    rng = random.Random(1)
+    a = Permutation.random(13, rng)
+    b = Permutation.random(13, rng)
+    benchmark(lambda: a * b)
+
+
+def test_timing_permutation_inverse(benchmark):
+    p = Permutation.random(13, random.Random(2))
+    benchmark(p.inverse)
+
+
+def test_timing_star_routing_k13(benchmark):
+    """Optimal star routing is linear-time: practical at 13! scale."""
+    rng = random.Random(3)
+    nodes = [Permutation.random(13, rng) for _ in range(100)]
+
+    def route_all():
+        return sum(len(star_route_to_identity(p)) for p in nodes)
+
+    benchmark(route_all)
+
+
+def test_timing_sc_route_ms43(benchmark):
+    """Emulated routing on MS(4,3) (13! nodes — no BFS possible)."""
+    net = make_network("MS", l=4, n=3)
+    rng = random.Random(4)
+    pairs = [
+        (Permutation.random(13, rng), Permutation.random(13, rng))
+        for _ in range(20)
+    ]
+
+    def route_all():
+        total = 0
+        for u, v in pairs:
+            word = sc_route(net, u, v)
+            total += len(word)
+        return total
+
+    benchmark(route_all)
+
+
+def test_timing_bfs_5040_nodes(benchmark):
+    net = MacroStar(3, 2)
+    benchmark(net.bfs_layers)
+
+
+def test_timing_diameter_120_nodes(benchmark):
+    net = MacroStar(2, 2)
+    benchmark(net.diameter)
+
+
+def test_timing_neighbor_expansion(benchmark):
+    star = StarGraph(9)
+    node = Permutation.random(9, random.Random(5))
+    benchmark(star.neighbors, node)

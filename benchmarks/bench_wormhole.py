@@ -1,0 +1,82 @@
+"""Section 3's long-message remark: "the slowdown factor for an MS,
+complete-RS, MIS, or complete-RIS network to emulate a star-graph
+algorithm under the SDC model is approximately equal to 2 if the network
+uses wormhole or cut-through routing".
+
+The benchmark sweeps message length B and watches the emulated
+dimension-exchange slowdown converge from the dilation (3, at B = 1) to
+the per-dimension congestion (2, for large B)."""
+
+from repro.comm import cut_through_slowdown
+from repro.networks import InsertionSelection, make_network
+
+
+def test_cut_through_convergence(benchmark, report):
+    def compute():
+        rows = []
+        for family in ("MS", "complete-RS"):
+            net = make_network(family, l=2, n=2)
+            for flits in (1, 2, 4, 8, 16, 32):
+                rows.append(
+                    (net.name, flits, cut_through_slowdown(net, 5, flits))
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["network           B(flits)  slowdown   (paper: -> 2)"]
+    for name, flits, slowdown in rows:
+        lines.append(f"{name:<17} {flits:<9} {slowdown:.2f}")
+        if flits >= 8:
+            assert slowdown == 2.0, (name, flits, slowdown)
+    lines.append("long messages: congestion (2) dominates dilation (3)")
+    report("wormhole_slowdown", lines)
+
+
+def test_packet_switching_pipeline(benchmark, report):
+    """The same Section 3 remark, packet-switching flavour: "or if it
+    uses packet switching and each node has many packets to be sent
+    along a certain dimension" — Q unit packets per node pipeline
+    through the 3-hop word; per-dimension congestion 2 dominates."""
+    from repro.comm import PacketSimulator
+    from repro.emulation import CommModel
+
+    net = make_network("MS", l=2, n=2)
+
+    def compute():
+        rows = []
+        word = net.star_dimension_word(5)
+        for q in (1, 2, 4, 8, 16):
+            sim = PacketSimulator(net, CommModel.ALL_PORT)
+            for node in net.nodes():
+                for _ in range(q):
+                    sim.submit(node, list(word))
+            rounds = sim.run().rounds
+            rows.append((q, rounds, rounds / q))  # star baseline: q rounds
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["Q(packets/node)  rounds  slowdown   (paper: -> 2)"]
+    for q, rounds, slowdown in rows:
+        lines.append(f"{q:<16} {rounds:<7} {slowdown:.2f}")
+        if q >= 8:
+            assert slowdown <= 2.5, (q, slowdown)
+    report("packet_switching_slowdown", lines)
+
+
+def test_cut_through_is_network(benchmark, report):
+    """On IS the per-dimension congestion is 1: long-message slowdown
+    converges all the way to 1."""
+
+    def compute():
+        net = InsertionSelection(4)
+        return [
+            (flits, cut_through_slowdown(net, 4, flits))
+            for flits in (1, 4, 16, 64)
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["B(flits)  slowdown on IS(4)   (Theorem 2 regime: -> 1)"]
+    for flits, slowdown in rows:
+        lines.append(f"{flits:<9} {slowdown:.3f}")
+    assert rows[-1][1] <= 1.1
+    report("wormhole_is_network", lines)

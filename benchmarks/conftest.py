@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's results (a theorem,
+corollary, or Figure 1 panel), asserts the claim's shape, and writes the
+paper-style rows to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's stdout capture.  EXPERIMENTS.md indexes those files.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """``report(name, lines)`` — persist and echo a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, lines):
+        text = "\n".join(str(line) for line in lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _report

@@ -1,0 +1,44 @@
+"""The ball-arrangement game (Section 2): play it, solve it, and check
+that its state graph *is* the network.
+
+Run:  python examples/bag_game.py
+"""
+
+from repro import BagConfiguration, BallArrangementGame, MacroStar, Permutation
+from repro.core.bag import state_graph_matches_network
+
+
+def main() -> None:
+    # MS(2, 2): the game with 2 boxes x 2 balls + 1 outside ball.
+    net = MacroStar(2, 2)
+    game = BallArrangementGame(net)
+    print(f"game: {game.l} boxes of {game.n} balls "
+          f"({net.num_nodes} configurations) on {net.name}")
+
+    # A scrambled configuration.
+    start = game.initial(Permutation([3, 1, 5, 4, 2]))
+    print(f"\nstart : {start}")
+    print(f"goal  : {BagConfiguration.goal(game.l, game.n)}")
+
+    # Solving the game = routing to the identity node.
+    moves = game.solve(start)
+    print(f"\nshortest solution ({len(moves)} moves):")
+    state = start
+    for move in moves:
+        state = state.apply(move)
+        print(f"  {move.name:<7} -> {state}")
+    assert state.is_solved()
+
+    # God's number for this game = the network diameter.
+    depth, hardest = game.hardest_instances()
+    print(f"\nhardest configurations need {depth} moves "
+          f"(= diameter of {net.name}); e.g. {hardest[0]}")
+
+    # Section 2's correspondence, verified exhaustively.
+    assert state_graph_matches_network(net)
+    print("\nverified: the game's state-transition graph is exactly "
+          f"{net.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Driving the experiments API: custom parameter sweeps and the quick
+reproduction report.
+
+Run:  python examples/custom_sweep.py
+"""
+
+from repro.experiments import (
+    render_report,
+    run_quick_report,
+    star_embedding_sweep,
+    theorem4_sweep,
+)
+
+
+def main() -> None:
+    print("Theorem 4 on a custom grid (l = 2..6, n = 2..3, MS only):")
+    print("  network      slowdown  max(2n,l+1)  matches")
+    for row in theorem4_sweep(
+        l_range=range(2, 7), n_range=(2, 3), families=("MS",)
+    ):
+        print(f"  {row.network:<12} {row.measured:<9} {row.predicted:<12} "
+              f"{row.matches}")
+        assert row.matches
+
+    print("\nStar-embedding metrics across the five emulating families:")
+    for row in star_embedding_sweep():
+        print(f"  {row.guest} -> {row.host:<18} dilation {row.dilation}, "
+              f"congestion {row.congestion}")
+
+    print("\nQuick reproduction report:")
+    print(render_report(run_quick_report()))
+
+
+if __name__ == "__main__":
+    main()

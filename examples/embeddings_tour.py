@@ -1,0 +1,59 @@
+"""A tour of Section 5: trees, hypercubes, meshes, transposition
+networks, and bubble-sort graphs inside super Cayley networks, each with
+measured load / expansion / dilation.
+
+Run:  python examples/embeddings_tour.py
+"""
+
+from repro.embeddings import (
+    embed_bubble_sort_into_sc,
+    embed_hypercube_into_sc,
+    embed_mesh_into_tn,
+    embed_mixed_mesh_into_star,
+    embed_star,
+    embed_transposition_network,
+    embed_tree_into_sc,
+    max_cube_dimension,
+)
+from repro.networks import InsertionSelection, MacroStar
+
+
+def show(emb, note: str = "") -> None:
+    emb.validate()
+    metrics = emb.metrics()
+    print(f"  {emb.name}")
+    print(f"    load {metrics['load']}, expansion {metrics['expansion']}, "
+          f"dilation {metrics['dilation']}, congestion "
+          f"{metrics['congestion']}  {note}")
+
+
+def main() -> None:
+    ms = MacroStar(2, 2)
+    is5 = InsertionSelection(5)
+
+    print("Star graphs (Theorems 1-3):")
+    show(embed_star(ms), "(Theorem 1: dilation 3)")
+    show(embed_star(is5), "(Theorem 2: dilation 2)")
+
+    print("\nTransposition networks (Theorems 6-7):")
+    show(embed_transposition_network(ms), "(Theorem 6: dilation 5 for l=2)")
+    show(embed_transposition_network(is5), "(Theorem 7: dilation 6)")
+
+    print("\nComplete binary trees (Corollary 4):")
+    show(embed_tree_into_sc(5, is5), "(dilation 2 into IS)")
+    show(embed_tree_into_sc(5, ms), "(dilation 3 into MS)")
+
+    print("\nHypercubes (Corollary 5, substitution S1):")
+    d = max_cube_dimension(ms.k)
+    show(embed_hypercube_into_sc(d, ms), f"(Q{d}, dilation O(1))")
+
+    print("\nMeshes (Corollaries 6-7):")
+    show(embed_mesh_into_tn(5), "(k x (k-1)! mesh in the k-TN, dilation 1)")
+    show(embed_mixed_mesh_into_star(5), "(2x3x4x5 mesh in star, dilation 3)")
+
+    print("\nBubble-sort graphs (Section 5 closing remark):")
+    show(embed_bubble_sort_into_sc(ms), "(via Theorem 6 adjacent swaps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Fault tolerance in super Cayley graphs: disjoint paths, routing under
+failures, and Valiant's trick.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro import MacroStar, Permutation
+from repro.routing import (
+    FaultSet,
+    disjoint_paths,
+    fault_tolerant_route,
+    node_connectivity,
+    valiant_route,
+)
+
+
+def main() -> None:
+    net = MacroStar(2, 2)
+    print(f"network: {net}")
+    connectivity = node_connectivity(net)
+    print(f"vertex connectivity: {connectivity} (= degree {net.degree}: "
+          "maximally fault-tolerant)")
+
+    u = net.identity
+    v = Permutation([5, 4, 3, 2, 1])
+
+    # A full fan of node-disjoint routes.
+    fan = disjoint_paths(net, u, v)
+    print(f"\n{len(fan)} node-disjoint routes {u} -> {v}:")
+    for word in fan:
+        print(f"  ({len(word)} hops) {' '.join(word)}")
+
+    # Knock out two random nodes and keep routing.
+    rng = random.Random(11)
+    others = [p for p in net.nodes() if p not in (u, v)]
+    failed = rng.sample(others, connectivity - 1)
+    faults = FaultSet.of(nodes=failed)
+    print(f"\nfailing {len(failed)} nodes: "
+          + ", ".join(str(p) for p in failed))
+    word = fault_tolerant_route(net, u, v, faults)
+    print(f"fault-free route found ({len(word)} hops): {' '.join(word)}")
+
+    # Valiant two-phase routing for congestion smoothing.
+    word = valiant_route(net, u, v, faults, rng=rng)
+    print(f"Valiant route via a random intermediate ({len(word)} hops)")
+    assert net.apply_word(u, word) == v
+    print("verified: both routes reach the target under faults")
+
+
+if __name__ == "__main__":
+    main()

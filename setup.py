@@ -1,0 +1,6 @@
+"""Legacy shim: this environment has no `wheel` package, so
+`pip install -e .` cannot build modern editable metadata offline.
+`python setup.py develop` (or pip with this shim) installs identically."""
+from setuptools import setup
+
+setup()

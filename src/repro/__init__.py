@@ -1,0 +1,67 @@
+"""repro — reproduction of *Routing and Embeddings in Super Cayley Graphs*
+(Chi-Hsiang Yeh, Emmanouel A. Varvarigos, Hua Lee; PaCT 1999).
+
+The library implements the ball-arrangement game, the ten super Cayley
+network families, the baseline topologies they are compared against, the
+paper's routing/emulation algorithms (single-dimension and all-port
+communication models), the constant-dilation embeddings of Theorems 6-7
+and Corollaries 4-7, and round-accurate simulations of the multinode
+broadcast and total exchange tasks of Corollaries 2-3.
+
+Quick start::
+
+    from repro import MacroStar
+
+    ms = MacroStar(2, 2)          # 5! = 120 nodes, degree 3
+    print(ms.diameter())          # exact BFS diameter
+    word = ms.star_dimension_word(5)   # Theorem 1's 3-step emulation of T_5
+"""
+
+from .core import (
+    BagConfiguration,
+    BallArrangementGame,
+    CayleyGraph,
+    Generator,
+    GeneratorSet,
+    Permutation,
+    SuperCayleyNetwork,
+    factorial,
+)
+from .networks import (
+    CompleteRotationIS,
+    CompleteRotationRotator,
+    CompleteRotationStar,
+    InsertionSelection,
+    MacroIS,
+    MacroRotator,
+    MacroStar,
+    RotationIS,
+    RotationRotator,
+    RotationStar,
+    make_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Permutation",
+    "factorial",
+    "Generator",
+    "GeneratorSet",
+    "CayleyGraph",
+    "SuperCayleyNetwork",
+    "BagConfiguration",
+    "BallArrangementGame",
+    "MacroStar",
+    "RotationStar",
+    "CompleteRotationStar",
+    "MacroRotator",
+    "RotationRotator",
+    "CompleteRotationRotator",
+    "InsertionSelection",
+    "MacroIS",
+    "RotationIS",
+    "CompleteRotationIS",
+    "make_network",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Parallel algorithms running on (super) Cayley networks through the
+library's collectives, emulation, and embedding layers."""
+
+from .collectives import (
+    CollectiveResult,
+    allreduce,
+    broadcast_value,
+    gather_to_root,
+    reduce_to_root,
+    scatter_from_root,
+)
+from .sorting import (
+    odd_even_transposition_sort,
+    shearsort_on_mesh,
+    snake_is_sorted,
+    sort_on_super_cayley,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "reduce_to_root",
+    "broadcast_value",
+    "allreduce",
+    "gather_to_root",
+    "scatter_from_root",
+    "odd_even_transposition_sort",
+    "shearsort_on_mesh",
+    "snake_is_sorted",
+    "sort_on_super_cayley",
+]

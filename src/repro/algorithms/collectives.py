@@ -1,0 +1,230 @@
+"""Collective operations on Cayley networks: reduce, broadcast,
+allreduce, gather.
+
+The paper's purpose for emulation and embeddings is to *run parallel
+algorithms*: anything written for the star graph runs on a suitably
+constructed super Cayley graph with constant slowdown.  This module
+provides the collectives every such algorithm builds on, implemented
+over BFS spanning trees (translations of which underlie the MNB of
+Corollary 2), with exact round counting under the single-port and
+all-port models.
+
+All collectives are *functional simulations*: they move real values and
+return both the result and the number of communication rounds consumed,
+so tests can check results exactly and compare round counts against
+bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..comm.spanning_trees import bfs_spanning_tree, tree_depth
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+class CollectiveResult:
+    """Result of a collective: final per-node values and rounds used."""
+
+    def __init__(self, values: Dict[Permutation, object], rounds: int):
+        self.values = values
+        self.rounds = rounds
+
+    def at(self, node: Permutation):
+        return self.values[node]
+
+
+def _tree_levels(tree) -> List[List[Permutation]]:
+    """Tree nodes grouped by depth, root level omitted."""
+    depths: Dict[Permutation, int] = {}
+
+    def depth_of(node):
+        if node not in tree:
+            return 0
+        if node not in depths:
+            parent, _dim = tree[node]
+            depths[node] = depth_of(parent) + 1
+        return depths[node]
+
+    by_level: Dict[int, List[Permutation]] = {}
+    for node in tree:
+        by_level.setdefault(depth_of(node), []).append(node)
+    return [by_level[d] for d in sorted(by_level)]
+
+
+def reduce_to_root(
+    graph: CayleyGraph,
+    values: Dict[Permutation, object],
+    combine: Callable[[object, object], object],
+    root: Optional[Permutation] = None,
+) -> Tuple[object, int]:
+    """Reduce all node values to ``root`` up a BFS tree.
+
+    Under the all-port model every tree level moves in parallel one
+    round per level bottom-up, so rounds = tree depth = graph diameter
+    for BFS trees on vertex-symmetric graphs.  Returns
+    ``(reduced value, rounds)``.
+
+    ``combine`` must be associative; commutativity is not required
+    (children are combined in a fixed order).
+    """
+    root = root if root is not None else graph.identity
+    tree = _translated_tree(graph, root)
+    partial = dict(values)
+    levels = _tree_levels(tree)
+    rounds = 0
+    for level in reversed(levels):
+        rounds += 1
+        for node in level:
+            parent, _dim = tree[node]
+            partial[parent] = combine(partial[parent], partial[node])
+    return partial[root], rounds
+
+
+def broadcast_value(
+    graph: CayleyGraph,
+    value: object,
+    root: Optional[Permutation] = None,
+) -> CollectiveResult:
+    """Broadcast ``value`` from ``root`` down a BFS tree (all-port:
+    one round per level)."""
+    root = root if root is not None else graph.identity
+    tree = _translated_tree(graph, root)
+    out: Dict[Permutation, object] = {root: value}
+    levels = _tree_levels(tree)
+    rounds = 0
+    for level in levels:
+        rounds += 1
+        for node in level:
+            parent, _dim = tree[node]
+            out[node] = out[parent]
+    return CollectiveResult(out, rounds)
+
+
+def allreduce(
+    graph: CayleyGraph,
+    values: Dict[Permutation, object],
+    combine: Callable[[object, object], object],
+) -> CollectiveResult:
+    """Reduce + broadcast: every node ends with the global combination."""
+    total, up_rounds = reduce_to_root(graph, values, combine)
+    down = broadcast_value(graph, total)
+    return CollectiveResult(down.values, up_rounds + down.rounds)
+
+
+def gather_to_root(
+    graph: CayleyGraph,
+    values: Dict[Permutation, object],
+    root: Optional[Permutation] = None,
+) -> Tuple[List[object], int]:
+    """Gather every node's value at ``root``.
+
+    Values are indivisible, so links near the root carry many of them:
+    each tree link moves one value per round (FIFO), which is the MNB
+    load analysis of Corollary 2 restricted to one destination.  Returns
+    ``(collected values in arrival order, rounds)``; ``root``'s own
+    value arrives first.
+    """
+    root = root if root is not None else graph.identity
+    tree = _translated_tree(graph, root)
+    # pending[node]: values waiting at `node` to move one hop up.
+    pending: Dict[Permutation, List[object]] = {
+        node: [value] for node, value in values.items() if node != root
+    }
+    collected: List[object] = [values[root]]
+    expected = len(values)
+    rounds = 0
+    while len(collected) < expected:
+        rounds += 1
+        moves: List[Tuple[Permutation, object]] = []
+        for node, queue in pending.items():
+            if queue:
+                moves.append((node, queue.pop(0)))
+        if not moves:
+            raise RuntimeError("gather stalled: tree does not cover values")
+        for node, value in moves:
+            parent, _dim = tree[node]
+            if parent == root:
+                collected.append(value)
+            else:
+                pending[parent].append(value)
+    return collected, rounds
+
+
+def scatter_from_root(
+    graph: CayleyGraph,
+    payloads: Dict[Permutation, object],
+    root: Optional[Permutation] = None,
+) -> Tuple[Dict[Permutation, object], int]:
+    """Scatter personalized payloads from ``root`` to every node.
+
+    The reverse of :func:`gather_to_root`: each tree link moves one
+    payload per round; payloads destined deeper in a subtree are sent
+    deepest-first so the pipeline never stalls.  Returns
+    ``(delivered map, rounds)``.
+    """
+    root = root if root is not None else graph.identity
+    tree = _translated_tree(graph, root)
+    children: Dict[Permutation, List[Permutation]] = {}
+    for child, (parent, _dim) in tree.items():
+        children.setdefault(parent, []).append(child)
+
+    # Route of each payload: the tree path root -> destination.
+    def path_to(dest: Permutation) -> List[Permutation]:
+        path = []
+        current = dest
+        while current != root:
+            path.append(current)
+            current = tree[current][0]
+        path.reverse()
+        return path
+
+    # queue per tree link (parent -> child): payloads in send order.
+    from collections import deque
+
+    queues: Dict[Tuple[Permutation, Permutation], deque] = {}
+    routes = {
+        dest: path_to(dest)
+        for dest in payloads
+        if dest != root
+    }
+    # Longest routes first so deep payloads lead the pipeline.
+    for dest, route in sorted(
+        routes.items(), key=lambda item: -len(item[1])
+    ):
+        queues.setdefault((root, route[0]), deque()).append(dest)
+    delivered: Dict[Permutation, object] = {}
+    if root in payloads:
+        delivered[root] = payloads[root]
+    rounds = 0
+    remaining = len(routes)
+    positions: Dict[Permutation, int] = {}  # dest -> hops completed
+    while remaining:
+        rounds += 1
+        moves: List[Tuple[Tuple[Permutation, Permutation], Permutation]] = []
+        for link, queue in queues.items():
+            if queue:
+                moves.append((link, queue.popleft()))
+        for (parent, child), dest in moves:
+            positions[dest] = positions.get(dest, 0) + 1
+            route = routes[dest]
+            if positions[dest] == len(route):
+                delivered[dest] = payloads[dest]
+                remaining -= 1
+            else:
+                nxt = route[positions[dest]]
+                queues.setdefault((child, nxt), deque()).append(dest)
+    return delivered, rounds
+
+
+def _translated_tree(graph: CayleyGraph, root: Permutation):
+    """The identity-rooted BFS tree translated so its root is ``root``
+    (left translation is an automorphism)."""
+    base = bfs_spanning_tree(graph)
+    if root == graph.identity:
+        return base
+    return {
+        root * child: (root * parent, dim)
+        for child, (parent, dim) in base.items()
+    }

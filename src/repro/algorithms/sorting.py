@@ -1,0 +1,117 @@
+"""Parallel sorting through embeddings — the paper's embeddings put to
+work.
+
+Section 5's point is that a super Cayley graph inherits every algorithm
+of the guest topologies it embeds.  Two classics are implemented
+*through the embedding machinery*:
+
+* **odd-even transposition sort** on the dilation-1 linear array
+  (Hamiltonian path) — ``N`` phases on ``N`` values; with dilation 1
+  every phase is one link exchange, so the host runs it at array speed;
+* **shearsort** on the ``k x (k-1)!`` mesh of Corollary 6 —
+  ``O(sqrt(N) log N)``-phase row/column sorting; on a host with mesh
+  dilation ``delta`` every phase costs ``delta`` host rounds.
+
+Both return the sorted arrangement *and* the host-round count, so the
+benchmarks can verify the slowdown equals the embedding dilation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..embeddings.base import Embedding
+from ..embeddings.cycles import embed_linear_array
+
+
+def odd_even_transposition_sort(
+    values: Sequence, host: CayleyGraph, word: List[str] = None
+) -> Tuple[List, int]:
+    """Sort ``len(values) = N`` values placed on the host's embedded
+    linear array (one per node) by odd-even transposition.
+
+    Returns ``(sorted values in array order, host rounds)``.  With the
+    dilation-1 Hamiltonian embedding each phase is a single host round,
+    so rounds = N.
+    """
+    embedding = embed_linear_array(host, word)
+    n = embedding.guest.num_nodes
+    if len(values) != n:
+        raise ValueError(
+            f"need exactly {n} values (one per node), got {len(values)}"
+        )
+    array = list(values)
+    dilation = embedding.dilation()
+    rounds = 0
+    for phase in range(n):
+        rounds += dilation  # each phase exchanges along array links
+        start = phase % 2
+        for i in range(start, n - 1, 2):
+            if array[i] > array[i + 1]:
+                array[i], array[i + 1] = array[i + 1], array[i]
+    return array, rounds
+
+
+def shearsort_on_mesh(
+    values: Sequence, rows: int, cols: int, dilation: int = 1
+) -> Tuple[List[List], int]:
+    """Shearsort a ``rows x cols`` mesh of values into snake order.
+
+    Each of the ``ceil(log2(rows)) + 1`` row/column sweep pairs costs
+    ``rows + cols`` transposition phases; on a host whose mesh embedding
+    has the given ``dilation`` every phase costs ``dilation`` rounds.
+    Returns ``(grid, host rounds)``.
+    """
+    if len(values) != rows * cols:
+        raise ValueError(f"need {rows * cols} values, got {len(values)}")
+    grid = [list(values[r * cols:(r + 1) * cols]) for r in range(rows)]
+    rounds = 0
+
+    def sort_row(r: int, reverse: bool) -> int:
+        # odd-even transposition within the row: `cols` phases
+        row = grid[r]
+        for phase in range(cols):
+            for i in range(phase % 2, cols - 1, 2):
+                if (row[i] > row[i + 1]) != reverse:
+                    if row[i] != row[i + 1]:
+                        row[i], row[i + 1] = row[i + 1], row[i]
+        return cols
+
+    def sort_columns() -> int:
+        for c in range(cols):
+            column = [grid[r][c] for r in range(rows)]
+            for phase in range(rows):
+                for i in range(phase % 2, rows - 1, 2):
+                    if column[i] > column[i + 1]:
+                        column[i], column[i + 1] = column[i + 1], column[i]
+            for r in range(rows):
+                grid[r][c] = column[r]
+        return rows
+
+    sweeps = math.ceil(math.log2(max(rows, 2))) + 1
+    for _ in range(sweeps):
+        for r in range(rows):
+            rounds += sort_row(r, reverse=(r % 2 == 1)) * dilation
+        rounds += sort_columns() * dilation
+    # final row pass to finish the snake
+    for r in range(rows):
+        rounds += sort_row(r, reverse=(r % 2 == 1)) * dilation
+    return grid, rounds
+
+
+def snake_is_sorted(grid: List[List]) -> bool:
+    """True iff the grid reads sorted in boustrophedon (snake) order."""
+    flat: List = []
+    for r, row in enumerate(grid):
+        flat.extend(reversed(row) if r % 2 else row)
+    return all(a <= b for a, b in zip(flat, flat[1:]))
+
+
+def sort_on_super_cayley(
+    values: Sequence, host: CayleyGraph
+) -> Tuple[List, int]:
+    """Convenience wrapper: odd-even sort ``k!`` values on any Cayley
+    host via its Hamiltonian linear array."""
+    return odd_even_transposition_sort(values, host)

@@ -1,0 +1,65 @@
+"""Bounds and structural property analysis used by the benchmarks."""
+
+from .bounds import (
+    balanced_sc_degree_asymptotic,
+    degree_of_balanced_sc,
+    emulation_optimality_ratio,
+    log_ratio,
+    mean_distance_lower_bound,
+    mnb_time_bound_allport,
+    moore_diameter_lower_bound,
+    star_degree_asymptotic,
+    te_time_bound_allport,
+)
+from .properties import (
+    degree_formula,
+    is_regular,
+    is_vertex_symmetric_sample,
+    network_profile,
+    traffic_is_uniform,
+)
+from .spectral import (
+    adjacency_matrix,
+    adjacency_spectrum,
+    cheeger_bounds,
+    has_integral_spectrum,
+    is_bipartite_spectral,
+    spectral_gap,
+)
+from .structure import (
+    are_isomorphic,
+    generator_parities,
+    girth,
+    is_bipartite_by_parity,
+    is_bipartite_exact,
+    parity_classes,
+)
+
+__all__ = [
+    "moore_diameter_lower_bound",
+    "mean_distance_lower_bound",
+    "degree_of_balanced_sc",
+    "log_ratio",
+    "star_degree_asymptotic",
+    "balanced_sc_degree_asymptotic",
+    "mnb_time_bound_allport",
+    "te_time_bound_allport",
+    "emulation_optimality_ratio",
+    "network_profile",
+    "is_vertex_symmetric_sample",
+    "is_regular",
+    "degree_formula",
+    "traffic_is_uniform",
+    "generator_parities",
+    "is_bipartite_by_parity",
+    "is_bipartite_exact",
+    "girth",
+    "are_isomorphic",
+    "parity_classes",
+    "adjacency_matrix",
+    "adjacency_spectrum",
+    "spectral_gap",
+    "is_bipartite_spectral",
+    "has_integral_spectrum",
+    "cheeger_bounds",
+]

@@ -1,0 +1,110 @@
+"""Lower bounds and asymptotic formulas (Section 4, Corollaries 1-3).
+
+The paper's optimality claims compare measured times against:
+
+* the Moore-style universal diameter lower bound ``DL(d, N)``;
+* the degree-ratio emulation bound ``T(d1, d2) = ceil(d2/d1)``;
+* the MNB receive bound ``ceil((N-1)/d)``;
+* the TE counting bound ``(N-1) * avg_dist / d``;
+
+and express network parameters through the asymptotic forms
+``degree = Theta(sqrt(log N / log log N))`` (balanced super Cayley
+graphs with ``l = Theta(n)``) and ``Theta(log N / log log N)`` (star /
+IS networks).  The helpers here make those comparisons concrete for the
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..core.permutations import factorial
+
+
+def moore_diameter_lower_bound(degree: int, num_nodes: int) -> int:
+    """``DL(d, N)``: the smallest ``D`` with
+    ``1 + d + d^2 + ... + d^D >= N`` — no ``N``-node graph of max degree
+    ``d`` has smaller diameter."""
+    if degree < 1 or num_nodes < 1:
+        raise ValueError("degree and num_nodes must be positive")
+    if num_nodes == 1:
+        return 0
+    if degree == 1:
+        return 1 if num_nodes <= 2 else num_nodes  # degenerate
+    total = 1
+    power = 1
+    depth = 0
+    while total < num_nodes:
+        depth += 1
+        power *= degree
+        total += power
+    return depth
+
+
+def mean_distance_lower_bound(degree: int, num_nodes: int) -> float:
+    """A Moore-type lower bound on the mean internodal distance: at most
+    ``d^r`` nodes sit at distance ``r``, so the closest possible
+    distance profile packs nodes greedily by distance."""
+    remaining = num_nodes - 1
+    total = 0.0
+    distance = 1
+    capacity = degree
+    while remaining > 0:
+        here = min(capacity, remaining)
+        total += here * distance
+        remaining -= here
+        distance += 1
+        capacity *= degree
+    return total / (num_nodes - 1)
+
+
+def degree_of_balanced_sc(num_symbols: int) -> int:
+    """Degree of the balanced MS(l, n) with ``l = n`` (``k = n^2 + 1``):
+    ``2n - 1 = Theta(sqrt(log N / log log N))``."""
+    n = int(round(math.sqrt(num_symbols - 1)))
+    if n * n + 1 != num_symbols:
+        raise ValueError(f"{num_symbols} is not n^2 + 1 for integer n")
+    return 2 * n - 1
+
+
+def log_ratio(num_nodes: int) -> float:
+    """``log N / log log N`` — the star-graph degree scale."""
+    if num_nodes < 3:
+        raise ValueError("need at least 3 nodes")
+    return math.log(num_nodes) / math.log(math.log(num_nodes))
+
+
+def star_degree_asymptotic(k: int) -> float:
+    """Check value: the k-star's degree ``k - 1`` equals
+    ``Theta(log N / log log N)`` with ``N = k!`` — the ratio of the two
+    sides, which should stay bounded as ``k`` grows."""
+    return (k - 1) / log_ratio(factorial(k))
+
+
+def balanced_sc_degree_asymptotic(n: int) -> float:
+    """Check value for ``MS(n, n)``: degree ``2n - 1`` against
+    ``sqrt(log N / log log N)``, ``N = (n^2 + 1)!``."""
+    num_nodes = factorial(n * n + 1)
+    return (2 * n - 1) / math.sqrt(log_ratio(num_nodes))
+
+
+def mnb_time_bound_allport(num_nodes: int, degree: int) -> int:
+    """Corollary 2's receive bound ``ceil((N-1)/d)``."""
+    return -(-(num_nodes - 1) // degree)
+
+
+def te_time_bound_allport(num_nodes: int, degree: int) -> float:
+    """Corollary 3's counting bound with the Moore mean-distance bound
+    substituted: ``(N-1) * mean_dist_LB / d``."""
+    return (num_nodes - 1) * mean_distance_lower_bound(degree, num_nodes) / degree
+
+
+def emulation_optimality_ratio(
+    measured_slowdown: int, host_degree: int, guest_degree: int
+) -> float:
+    """``measured / T(d1, d2)`` — Corollary 1's optimality figure; the
+    emulation is asymptotically optimal when this stays O(1) over a
+    family sweep."""
+    lower = -(-guest_degree // host_degree)
+    return measured_slowdown / lower

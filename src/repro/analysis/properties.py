@@ -1,0 +1,90 @@
+"""Structural property tables for the ten super Cayley families
+(Section 2's claims: regularity, vertex symmetry, degrees, diameters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation, factorial
+from ..core.super_cayley import SuperCayleyNetwork
+
+
+def network_profile(network: CayleyGraph, exact: bool = True) -> Dict[str, object]:
+    """A property row: name, k, nodes, degree, directedness, and (when
+    ``exact``) BFS diameter and average distance."""
+    row: Dict[str, object] = {
+        "name": network.name,
+        "k": network.k,
+        "nodes": network.num_nodes,
+        "degree": network.degree,
+        "undirected": network.is_undirectable(),
+    }
+    if exact:
+        row["diameter"] = network.diameter()
+        row["avg_distance"] = round(network.average_distance(), 3)
+    return row
+
+
+def is_vertex_symmetric_sample(
+    network: CayleyGraph, samples: int = 4, seed: int = 0
+) -> bool:
+    """Spot-check vertex symmetry: the distance profile from random
+    nodes matches the profile from the identity.  (Cayley graphs are
+    vertex-transitive by construction — left translations are
+    automorphisms — so this is a sanity check of the implementation,
+    not of the mathematics.)"""
+    import random
+
+    rng = random.Random(seed)
+    reference = sorted(network.distances_from(network.identity).values())
+    for _ in range(samples):
+        source = Permutation.random(network.k, rng)
+        profile = sorted(network.distances_from(source).values())
+        if profile != reference:
+            return False
+    return True
+
+
+def is_regular(network: CayleyGraph) -> bool:
+    """Every node has out-degree = |generators| by construction; check
+    the in-degree too (each generator is a bijection, so in-degree
+    matches out-degree)."""
+    from collections import Counter
+
+    indeg = Counter()
+    for _tail, _dim, head in network.edges():
+        indeg[head] += 1
+    values = set(indeg.values())
+    return values == {network.degree}
+
+
+def degree_formula(network: SuperCayleyNetwork) -> int:
+    """The closed-form degree of each family (Section 2.2)."""
+    l, n = network.l, network.n
+    family = network.family
+    if family in ("MS", "complete-RS"):
+        return n + l - 1
+    if family in ("RS", "RR"):
+        return n + (1 if l == 2 else 2)
+    if family in ("MR",):
+        return n + l - 1
+    if family == "complete-RR":
+        return n + l - 1
+    if family == "IS":
+        return 2 * (network.k - 1)
+    if family in ("MIS", "complete-RIS"):
+        return 2 * n + l - 1
+    if family == "RIS":
+        return 2 * n + (1 if l == 2 else 2)
+    raise ValueError(f"unknown family {family!r}")
+
+
+def traffic_is_uniform(link_traffic: Dict, factor: float = 4.0) -> bool:
+    """Section 1: "the traffic on all the links ... is uniform within a
+    constant factor"."""
+    if not link_traffic:
+        return True
+    values = list(link_traffic.values())
+    return max(values) <= factor * min(values)

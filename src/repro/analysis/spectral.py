@@ -1,0 +1,87 @@
+"""Spectral analysis of the (undirectable) super Cayley families.
+
+The adjacency spectrum certifies several structural facts the rest of
+the library checks combinatorially:
+
+* the largest eigenvalue of a ``d``-regular connected graph is ``d``
+  (with multiplicity 1 iff connected);
+* ``-d`` is an eigenvalue iff the graph is bipartite — an independent
+  witness for the generator-parity criterion;
+* the **spectral gap** ``d - lambda_2`` lower-bounds expansion (Cheeger:
+  ``gap / 2 <= h(G) <= sqrt(2 d gap)``), quantifying how fast the MNB
+  and broadcast algorithms mix.
+
+A classical curiosity verified in the tests: the star graph and the
+transposition network have **integral spectra** (their transposition
+sets form a star / complete graph on the symbols, the known integrality
+cases), while the bubble-sort graph — a transposition Cayley graph too,
+but over a path — does not (eigenvalue ``1 + sqrt(2)`` at ``k = 4``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+def adjacency_matrix(graph: CayleyGraph) -> np.ndarray:
+    """Dense adjacency matrix with nodes in Lehmer-rank order.
+
+    For undirectable graphs the matrix is symmetric; for directed ones
+    it is the 0/1 out-adjacency.  Small instances only (``k <= 7``).
+    """
+    n = graph.num_nodes
+    index = {node: node.rank() for node in graph.nodes()}
+    matrix = np.zeros((n, n), dtype=np.int16)
+    for tail, _dim, head in graph.edges():
+        # Multigraph semantics: parallel generators (e.g. IS's I2 and
+        # I2^-1, which share their action) count with multiplicity, so
+        # the top eigenvalue equals the generator-count degree.
+        matrix[index[tail], index[head]] += 1
+    return matrix
+
+
+def adjacency_spectrum(graph: CayleyGraph) -> np.ndarray:
+    """Eigenvalues in descending order (real symmetric path for
+    undirectable graphs; general eigenvalues otherwise)."""
+    matrix = adjacency_matrix(graph)
+    if graph.is_undirectable():
+        values = np.linalg.eigvalsh(matrix.astype(float))
+    else:
+        values = np.linalg.eigvals(matrix.astype(float))
+    return np.sort_complex(values)[::-1] if np.iscomplexobj(values) else (
+        np.sort(values)[::-1]
+    )
+
+
+def spectral_gap(graph: CayleyGraph) -> float:
+    """``d - lambda_2`` for undirectable graphs."""
+    if not graph.is_undirectable():
+        raise ValueError("spectral gap is defined here for undirected graphs")
+    spectrum = adjacency_spectrum(graph)
+    return float(spectrum[0] - spectrum[1])
+
+
+def is_bipartite_spectral(graph: CayleyGraph, tol: float = 1e-8) -> bool:
+    """Bipartiteness witness: ``-d`` in the spectrum."""
+    spectrum = adjacency_spectrum(graph)
+    return bool(abs(float(spectrum[-1]) + graph.degree) < tol)
+
+
+def has_integral_spectrum(graph: CayleyGraph, tol: float = 1e-6) -> bool:
+    """True iff every eigenvalue is (numerically) an integer."""
+    spectrum = adjacency_spectrum(graph)
+    return bool(np.all(np.abs(spectrum - np.round(spectrum)) < tol))
+
+
+def cheeger_bounds(graph: CayleyGraph) -> Tuple[float, float]:
+    """``(gap/2, sqrt(2 d gap))`` — the Cheeger sandwich on the edge
+    expansion."""
+    gap = spectral_gap(graph)
+    import math
+
+    return gap / 2.0, math.sqrt(2 * graph.degree * gap)

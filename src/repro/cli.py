@@ -1,0 +1,274 @@
+"""Command-line interface: inspect networks, route, schedule, embed.
+
+Usage (also via ``python -m repro``)::
+
+    repro properties MS --l 2 --n 3
+    repro families
+    repro route MS --l 2 --n 2 --source 34251
+    repro schedule MS --l 4 --n 3
+    repro embed tn MS --l 2 --n 2
+    repro game MS --l 2 --n 2 --start 31542
+    repro mnb star --k 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import moore_diameter_lower_bound, network_profile
+from .core.bag import BallArrangementGame
+from .core.permutations import Permutation
+from .emulation import allport_schedule, sdc_slowdown
+from .networks import FAMILIES, make_network
+from .routing import sc_route, star_distance_between
+
+
+def _parse_permutation(text: str, k: int) -> Permutation:
+    """Parse ``"34251"`` or ``"3,4,2,5,1"`` into a Permutation."""
+    if "," in text:
+        symbols = [int(part) for part in text.split(",")]
+    else:
+        symbols = [int(ch) for ch in text]
+    if len(symbols) != k:
+        raise SystemExit(
+            f"error: permutation {text!r} has {len(symbols)} symbols, "
+            f"network needs {k}"
+        )
+    return Permutation(symbols)
+
+
+def _build_network(args):
+    if args.family == "IS":
+        if args.k is None and (args.l is None or args.n is None):
+            raise SystemExit("error: IS needs --k (or --l and --n)")
+        return make_network("IS", k=args.k, l=args.l, n=args.n)
+    if args.l is None or args.n is None:
+        raise SystemExit(f"error: {args.family} needs --l and --n")
+    return make_network(args.family, l=args.l, n=args.n)
+
+
+def _add_network_args(parser):
+    parser.add_argument("family", help="network family tag (see `repro families`)")
+    parser.add_argument("--l", type=int, help="number of boxes")
+    parser.add_argument("--n", type=int, help="balls per box")
+    parser.add_argument("--k", type=int, help="symbols (IS networks)")
+
+
+def cmd_families(_args) -> int:
+    print("family tags: IS, " + ", ".join(FAMILIES))
+    print("IS takes --k; every other family takes --l and --n.")
+    return 0
+
+
+def cmd_properties(args) -> int:
+    net = _build_network(args)
+    exact = net.num_nodes <= args.max_exact_nodes
+    profile = network_profile(net, exact=exact)
+    for key, value in profile.items():
+        print(f"{key:<14}: {value}")
+    if exact:
+        moore = moore_diameter_lower_bound(net.degree, net.num_nodes)
+        print(f"{'moore_lb':<14}: {moore}")
+    else:
+        print(f"(diameter skipped: {net.num_nodes} nodes > "
+              f"--max-exact-nodes {args.max_exact_nodes})")
+    try:
+        print(f"{'sdc_slowdown':<14}: {sdc_slowdown(net)}")
+    except NotImplementedError:
+        print(f"{'sdc_slowdown':<14}: n/a (pure-rotator nucleus)")
+    return 0
+
+
+def cmd_route(args) -> int:
+    from .routing import rotator_family_route
+    from .routing.rotator_routing import ROTATOR_FAMILIES
+
+    net = _build_network(args)
+    source = _parse_permutation(args.source, net.k)
+    target = (
+        _parse_permutation(args.target, net.k)
+        if args.target else net.identity
+    )
+    if net.family in ROTATOR_FAMILIES:
+        word = rotator_family_route(
+            net, source, target, simplify=not args.raw
+        )
+    else:
+        word = sc_route(net, source, target, simplify=not args.raw)
+    print(f"network       : {net.name}")
+    print(f"star distance : {star_distance_between(source, target)}")
+    print(f"route ({len(word)} hops): {' '.join(word) if word else '(empty)'}")
+    if args.trace:
+        node = source
+        print(f"  {node}")
+        for dim in word:
+            node = node * net.generators[dim].perm
+            print(f"  --{dim}--> {node}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    net = _build_network(args)
+    sched = allport_schedule(net)
+    sched.validate()
+    print(f"all-port star-emulation schedule for {net.name}")
+    print(f"makespan   : {sched.makespan}")
+    print(f"utilization: {sched.utilization():.1%}")
+    print()
+    print(sched.render_grid())
+    return 0
+
+
+def cmd_embed(args) -> int:
+    from .embeddings import embed_star, embed_transposition_network
+
+    net = _build_network(args)
+    if args.guest == "star":
+        emb = embed_star(net)
+    elif args.guest == "tn":
+        emb = embed_transposition_network(net)
+    else:
+        raise SystemExit(f"error: unknown guest {args.guest!r} (star | tn)")
+    emb.validate()
+    metrics = emb.metrics()
+    print(f"embedding  : {emb.name}")
+    for key, value in metrics.items():
+        print(f"{key:<11}: {value}")
+    return 0
+
+
+def cmd_game(args) -> int:
+    net = _build_network(args)
+    game = BallArrangementGame(net)
+    start = game.initial(_parse_permutation(args.start, net.k))
+    print(f"game on {net.name}: {game.l} boxes x {game.n} balls")
+    print(f"start: {start}")
+    moves = game.solve(start)
+    state = start
+    for move in moves:
+        state = state.apply(move)
+        print(f"  {move.name:<8} -> {state}")
+    print(f"solved in {len(moves)} moves (shortest)")
+    return 0
+
+
+def cmd_report(_args) -> int:
+    from .experiments import render_report, run_quick_report
+
+    results = run_quick_report()
+    print(render_report(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_girth(args) -> int:
+    from .analysis import girth, is_bipartite_by_parity
+
+    net = _build_network(args)
+    print(f"network  : {net.name}")
+    print(f"girth    : {girth(net)}")
+    print(f"bipartite: {is_bipartite_by_parity(net)} "
+          "(all-generators-odd criterion)")
+    return 0
+
+
+def cmd_connectivity(args) -> int:
+    from .routing import node_connectivity
+
+    net = _build_network(args)
+    value = node_connectivity(net)
+    print(f"network            : {net.name}")
+    print(f"vertex connectivity: {value} (degree {net.degree})")
+    print("maximally fault-tolerant" if value == net.degree
+          else f"tolerates {value - 1} node faults")
+    return 0
+
+
+def cmd_mnb(args) -> int:
+    from .comm import mnb_lower_bound_sdc, mnb_sdc_hamiltonian
+    from .topologies import StarGraph
+
+    if args.family != "star":
+        raise SystemExit("error: mnb currently drives star graphs (--k)")
+    star = StarGraph(args.k)
+    rounds, complete = mnb_sdc_hamiltonian(star)
+    print(f"SDC MNB on {star.name}: {rounds} rounds "
+          f"(optimal {mnb_lower_bound_sdc(star.num_nodes)}), "
+          f"complete={complete}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Super Cayley graphs: routing, embeddings, emulation "
+                    "(PaCT 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list network family tags")
+
+    p = sub.add_parser("properties", help="degree/diameter/profile")
+    _add_network_args(p)
+    p.add_argument("--max-exact-nodes", type=int, default=50_000,
+                   help="BFS diameter only below this size")
+
+    p = sub.add_parser("route", help="route between two nodes")
+    _add_network_args(p)
+    p.add_argument("--source", required=True, help="e.g. 34251")
+    p.add_argument("--target", help="default: identity")
+    p.add_argument("--raw", action="store_true",
+                   help="skip peephole simplification")
+    p.add_argument("--trace", action="store_true", help="print every hop")
+
+    p = sub.add_parser("schedule", help="Figure-1-style all-port schedule")
+    _add_network_args(p)
+
+    p = sub.add_parser("embed", help="measure a Section 5 embedding")
+    p.add_argument("guest", help="star | tn")
+    _add_network_args(p)
+
+    p = sub.add_parser("game", help="solve a ball-arrangement game")
+    _add_network_args(p)
+    p.add_argument("--start", required=True, help="initial configuration")
+
+    p = sub.add_parser("mnb", help="run the SDC multinode broadcast")
+    p.add_argument("family", help="star")
+    p.add_argument("--k", type=int, required=True)
+
+    p = sub.add_parser("girth", help="girth + bipartiteness")
+    _add_network_args(p)
+
+    p = sub.add_parser("connectivity", help="exact vertex connectivity")
+    _add_network_args(p)
+
+    sub.add_parser(
+        "report",
+        help="run the quick paper-reproduction report (PASS/FAIL table)",
+    )
+
+    return parser
+
+
+COMMANDS = {
+    "families": cmd_families,
+    "properties": cmd_properties,
+    "route": cmd_route,
+    "schedule": cmd_schedule,
+    "embed": cmd_embed,
+    "game": cmd_game,
+    "mnb": cmd_mnb,
+    "girth": cmd_girth,
+    "connectivity": cmd_connectivity,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

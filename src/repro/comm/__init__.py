@@ -1,0 +1,76 @@
+"""Communication tasks and packet simulation: multinode broadcast (MNB)
+and total exchange (TE) under SDC and all-port models (Corollaries 2-3,
+Section 3)."""
+
+from .simulator import Packet, PacketSimulator, SimulationResult
+from .spanning_trees import (
+    HamiltonianSearchError,
+    balanced_spanning_tree,
+    bfs_spanning_tree,
+    hamiltonian_cycle_word,
+    hamiltonian_path_word,
+    tree_depth,
+    tree_dimension_counts,
+    tree_path_to_root,
+    verify_hamiltonian_path_word,
+    verify_hamiltonian_word,
+)
+from .mnb import (
+    mnb_allport_broadcast_trees,
+    mnb_allport_trees,
+    mnb_lower_bound_allport,
+    mnb_lower_bound_sdc,
+    mnb_sdc_emulated,
+    mnb_sdc_hamiltonian,
+)
+from .te import te_allport, te_emulated, te_lower_bound_allport, te_star
+from .broadcast import (
+    broadcast_allport,
+    broadcast_lower_bound_allport,
+    broadcast_lower_bound_single_port,
+    broadcast_single_port,
+)
+from .wormhole import (
+    Message,
+    cut_through_completion,
+    cut_through_slowdown,
+    dimension_exchange_messages,
+    emulated_exchange_time,
+    star_exchange_time,
+)
+
+__all__ = [
+    "Packet",
+    "PacketSimulator",
+    "SimulationResult",
+    "bfs_spanning_tree",
+    "balanced_spanning_tree",
+    "tree_dimension_counts",
+    "tree_path_to_root",
+    "tree_depth",
+    "hamiltonian_cycle_word",
+    "hamiltonian_path_word",
+    "verify_hamiltonian_word",
+    "verify_hamiltonian_path_word",
+    "HamiltonianSearchError",
+    "mnb_sdc_hamiltonian",
+    "mnb_sdc_emulated",
+    "mnb_allport_trees",
+    "mnb_allport_broadcast_trees",
+    "mnb_lower_bound_allport",
+    "mnb_lower_bound_sdc",
+    "te_allport",
+    "te_star",
+    "te_emulated",
+    "te_lower_bound_allport",
+    "broadcast_allport",
+    "broadcast_single_port",
+    "broadcast_lower_bound_allport",
+    "broadcast_lower_bound_single_port",
+    "Message",
+    "cut_through_completion",
+    "cut_through_slowdown",
+    "dimension_exchange_messages",
+    "emulated_exchange_time",
+    "star_exchange_time",
+]

@@ -1,0 +1,96 @@
+"""Single-node broadcast (one-to-all), the building block behind the MNB.
+
+Two models:
+
+* **all-port flooding** — every informed node repeats the packet on all
+  links each round; completion = eccentricity of the source = network
+  diameter (vertex symmetry).  Lower bound: the informed set grows by at
+  most a factor ``d + 1`` per round, so ``ceil(log_{d+1} N)`` rounds.
+* **single-port (binomial) broadcast** — each informed node informs one
+  neighbour per round; the informed set at best doubles, so
+  ``ceil(log2 N)`` rounds.  The greedy schedule here matches that bound
+  whenever enough fresh neighbours exist.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+def broadcast_lower_bound_allport(num_nodes: int, degree: int) -> int:
+    """``ceil(log_{d+1} N)``."""
+    if num_nodes <= 1:
+        return 0
+    return math.ceil(math.log(num_nodes) / math.log(degree + 1))
+
+
+def broadcast_lower_bound_single_port(num_nodes: int) -> int:
+    """``ceil(log2 N)``."""
+    if num_nodes <= 1:
+        return 0
+    return math.ceil(math.log2(num_nodes))
+
+
+def broadcast_allport(
+    graph: CayleyGraph, source: Optional[Permutation] = None
+) -> int:
+    """All-port flooding; returns the completion round (= diameter)."""
+    source = source if source is not None else graph.identity
+    informed: Set[Permutation] = {source}
+    frontier = [source]
+    rounds = 0
+    total = graph.num_nodes
+    while len(informed) < total:
+        rounds += 1
+        next_frontier = []
+        for node in frontier:
+            for gen in graph.generators:
+                nbr = node * gen.perm
+                if nbr not in informed:
+                    informed.add(nbr)
+                    next_frontier.append(nbr)
+        if not next_frontier:
+            raise RuntimeError(f"{graph.name} is disconnected")
+        frontier = next_frontier
+    return rounds
+
+
+def broadcast_single_port(
+    graph: CayleyGraph, source: Optional[Permutation] = None
+) -> int:
+    """Greedy single-port broadcast; each informed node passes the packet
+    to one fresh neighbour per round (preferring neighbours with many
+    uninformed neighbours of their own).  Returns the completion round.
+    """
+    source = source if source is not None else graph.identity
+    informed: Set[Permutation] = {source}
+    total = graph.num_nodes
+    rounds = 0
+    gens = [g.perm for g in graph.generators]
+    while len(informed) < total:
+        rounds += 1
+        chosen: Dict[Permutation, Permutation] = {}
+        claimed: Set[Permutation] = set()
+        for node in list(informed):
+            best: Tuple[int, Optional[Permutation]] = (-1, None)
+            for perm in gens:
+                nbr = node * perm
+                if nbr in informed or nbr in claimed:
+                    continue
+                fresh = sum(
+                    1 for q in gens
+                    if nbr * q not in informed and nbr * q not in claimed
+                )
+                if fresh > best[0]:
+                    best = (fresh, nbr)
+            if best[1] is not None:
+                chosen[node] = best[1]
+                claimed.add(best[1])
+        if not chosen:
+            raise RuntimeError(f"{graph.name} is disconnected")
+        informed.update(chosen.values())
+    return rounds

@@ -1,0 +1,189 @@
+"""The multinode broadcast (MNB) task — Corollary 2 and Section 3.
+
+In the MNB every node broadcasts one packet to all other nodes.  Three
+algorithms are provided:
+
+* :func:`mnb_sdc_hamiltonian` — the SDC pipeline: fire a Hamiltonian
+  cycle word network-wide; at round ``t`` every node forwards the packet
+  it received at round ``t - 1`` along dimension ``word[t]``.  Every node
+  receives exactly one new packet per round, so the task completes in
+  exactly ``N - 1`` rounds — Mišić & Jovanović's optimal ``k! - 1`` for
+  the k-star.
+* :func:`mnb_allport_trees` — the all-port spanning-tree algorithm in the
+  style of Fragopoulou & Akl: every node broadcasts down its own
+  translation of one BFS tree; packet-level simulation with FIFO links.
+  Completion is within a constant factor of the degree lower bound
+  ``ceil((N-1)/d)`` — ``Theta((k-1)!)`` on the k-star.
+* emulation on super Cayley networks — expand each star dimension
+  through Theorems 1-3 and rerun; slowdown multiplies, preserving
+  asymptotic optimality (Corollary 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..emulation.models import CommModel
+from .simulator import PacketSimulator, SimulationResult
+from .spanning_trees import (
+    bfs_spanning_tree,
+    hamiltonian_path_word,
+    tree_path_to_root,
+)
+
+
+def mnb_lower_bound_allport(num_nodes: int, degree: int) -> int:
+    """Every node must receive ``N - 1`` packets, at most ``d`` per
+    round: ``ceil((N-1)/d)``."""
+    return -(-(num_nodes - 1) // degree)
+
+
+def mnb_lower_bound_sdc(num_nodes: int) -> int:
+    """Under SDC a node receives at most one packet per round."""
+    return num_nodes - 1
+
+
+def mnb_sdc_hamiltonian(
+    graph: CayleyGraph, word: Optional[List[str]] = None
+) -> Tuple[int, bool]:
+    """Run the SDC pipeline MNB; returns ``(rounds, all_received)``.
+
+    The token bookkeeping is exact: ``holdings[v]`` accumulates the
+    sources whose packet has visited ``v``.
+    """
+    word = word if word is not None else hamiltonian_path_word(graph)
+    nodes = list(graph.nodes())
+    received: Dict[Permutation, set] = {v: {v} for v in nodes}
+    # carried[v] = source of the packet currently parked at v
+    carried: Dict[Permutation, Permutation] = {v: v for v in nodes}
+    rounds = 0
+    for dim in word[: graph.num_nodes - 1]:
+        rounds += 1
+        perm = graph.generators[dim].perm
+        carried = {v * perm: src for v, src in carried.items()}
+        for v, src in carried.items():
+            received[v].add(src)
+    complete = all(len(srcs) == graph.num_nodes for srcs in received.values())
+    return rounds, complete
+
+
+def mnb_allport_trees(graph: CayleyGraph) -> SimulationResult:
+    """All-port MNB via translated BFS spanning trees.
+
+    Each source ``v`` sends one packet per tree leaf-path... precisely:
+    one packet per destination, routed along the BFS-tree path translated
+    by ``v``.  (A production implementation would multicast down the tree
+    — same link loads, fewer packet objects; unit-size packets make the
+    per-destination form equivalent for completion-time purposes within a
+    constant factor, and it exercises the FIFO queueing.)
+    """
+    tree = bfs_spanning_tree(graph)
+    paths = {
+        node: tree_path_to_root(tree, node) for node in graph.nodes()
+    }
+    sim = PacketSimulator(graph, CommModel.ALL_PORT)
+    for source in graph.nodes():
+        for destination_offset, path in paths.items():
+            if not path:
+                continue
+            sim.submit(source, path)
+    return sim.run()
+
+
+def mnb_allport_broadcast_trees(
+    graph: CayleyGraph,
+    tree: Optional[Dict[Permutation, Tuple[Permutation, str]]] = None,
+) -> int:
+    """All-port MNB with true multicast down translated trees.
+
+    Node ``v`` broadcasts down the left translation by ``v`` of the
+    identity-rooted BFS tree (left translation is an automorphism of any
+    Cayley graph).  By symmetry we simulate the identity tree carrying
+    all ``N`` sources at once: source ``v`` on tree edge ``p -> c``
+    (dimension ``g``) stands for the real transmission
+    ``v*p -> v*p*g``.  Two pending transmissions conflict exactly when
+    they share a real link — same dimension ``g`` and same ``v * p`` —
+    and the simulation arbitrates those conflicts FIFO, one packet per
+    real link per round.
+
+    Each real ``g``-link carries ``c_g`` packets in total (``c_g`` = tree
+    edges with dimension ``g``), so completion is
+    ``Theta(max_g c_g + depth)`` — the Fragopoulou-Akl
+    ``Theta((k-1)!)`` on the k-star.  Returns the completion round.
+    """
+    from collections import deque
+
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    # Physical-link canonicalization: parallel generator names with the
+    # same action (IS's I2 and I2^-1) share one wire, so conflicts must
+    # be keyed by the generator's *action*, not its name.
+    canon: Dict[str, str] = {}
+    by_perm: Dict[Permutation, str] = {}
+    for gen in graph.generators:
+        canon[gen.name] = by_perm.setdefault(gen.perm, gen.name)
+    children: Dict[Permutation, List[Tuple[Permutation, str]]] = {}
+    for child, (parent, dim) in tree.items():
+        children.setdefault(parent, []).append((child, dim))
+    identity = graph.identity
+    all_sources = list(graph.nodes())
+    # pending[(parent, child, dim)] = FIFO of sources awaiting that edge
+    pending: Dict[Tuple[Permutation, Permutation, str], deque] = {}
+    for child, dim in children.get(identity, []):
+        pending[(identity, child, dim)] = deque(all_sources)
+    rounds = 0
+    total_deliveries = 0
+    needed = len(tree) * len(all_sources)
+    while total_deliveries < needed:
+        rounds += 1
+        # Every queued source may go, subject to one packet per real
+        # link per round.  Sources on the *same* tree edge never clash
+        # (distinct translations -> distinct real links); clashes only
+        # arise between same-dimension tree edges.
+        claimed: set = set()
+        arrivals: List[Tuple[Permutation, str, Permutation]] = []
+        for (parent, child, dim), queue in pending.items():
+            if not queue:
+                continue
+            blocked: deque = deque()
+            while queue:
+                source = queue.popleft()
+                real_link = (source * parent, canon[dim])
+                if real_link in claimed:
+                    blocked.append(source)  # retry next round, in order
+                else:
+                    claimed.add(real_link)
+                    arrivals.append((child, dim, source))
+            queue.extend(blocked)
+        for child, _dim, source in arrivals:
+            total_deliveries += 1
+            for grandchild, gdim in children.get(child, []):
+                pending.setdefault(
+                    (child, grandchild, gdim), deque()
+                ).append(source)
+    return rounds
+
+
+def mnb_sdc_emulated(
+    network: SuperCayleyNetwork, star_word: List[str]
+) -> Tuple[int, bool]:
+    """Emulate the star's SDC Hamiltonian MNB on a super Cayley network:
+    each star dimension expands to its Theorem 1-3 word.  Completion is
+    at most ``slowdown * (N - 1)`` network rounds (Corollary 2's SDC
+    shape)."""
+    nodes = list(network.nodes())
+    received: Dict[Permutation, set] = {v: {v} for v in nodes}
+    carried: Dict[Permutation, Permutation] = {v: v for v in nodes}
+    rounds = 0
+    for star_dim_name in star_word[: network.num_nodes - 1]:
+        j = int(star_dim_name[1:])
+        for dim in network.star_dimension_word(j):
+            rounds += 1
+            perm = network.generators[dim].perm
+            carried = {v * perm: src for v, src in carried.items()}
+        for v, src in carried.items():
+            received[v].add(src)
+    complete = all(len(srcs) == network.num_nodes for srcs in received.values())
+    return rounds, complete

@@ -1,0 +1,191 @@
+"""Synchronous packet-level network simulator.
+
+Substitution S5 in DESIGN.md: the paper's completion-time claims are all
+stated in synchronous rounds with unit-capacity links, so a round-based
+software simulator reproduces them exactly.  Packets are source-routed
+(a precomputed list of dimension names); each directed link carries at
+most one packet per round, queued FIFO, and the three communication
+models constrain which links may fire in a round:
+
+* **all-port** — every nonempty link queue sends its head packet;
+* **SDC** — only links of the round's single active dimension send (the
+  dimension sequence is a policy: round-robin by default, or supplied);
+* **single-port** — each node sends on at most one link (round-robin over
+  its queues) and receives at most one packet per round.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+from ..emulation.models import CommModel
+
+
+@dataclass
+class Packet:
+    """A source-routed packet.
+
+    ``path`` lists the dimension names still to traverse; ``at`` is the
+    packet's current node.  ``delivered_round`` is filled on arrival.
+    """
+
+    source: Permutation
+    at: Permutation
+    path: List[str]
+    hop: int = 0
+    delivered_round: Optional[int] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.hop >= len(self.path)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    rounds: int
+    delivered: int
+    link_traffic: Dict[Tuple[Permutation, str], int]
+    max_queue: int
+
+    def max_link_traffic(self) -> int:
+        return max(self.link_traffic.values()) if self.link_traffic else 0
+
+    def min_link_traffic(self) -> int:
+        return min(self.link_traffic.values()) if self.link_traffic else 0
+
+    def traffic_uniformity(self) -> float:
+        """max/min traffic over links that carried anything (Section 1's
+        "traffic ... is uniform within a constant factor")."""
+        lo = self.min_link_traffic()
+        return self.max_link_traffic() / lo if lo else float("inf")
+
+
+class PacketSimulator:
+    """Round-synchronous simulator over a Cayley graph."""
+
+    def __init__(
+        self,
+        graph: CayleyGraph,
+        model: CommModel = CommModel.ALL_PORT,
+        sdc_sequence: Optional[Sequence[str]] = None,
+    ):
+        self.graph = graph
+        self.model = model
+        self._dims = graph.generators.names()
+        self._perms = {g.name: g.perm for g in graph.generators}
+        self._sdc_sequence = list(sdc_sequence) if sdc_sequence else None
+        self._queues: Dict[Tuple[Permutation, str], deque] = defaultdict(deque)
+        self._packets: List[Packet] = []
+        self._round = 0
+        self._delivered = 0
+        self._traffic: Dict[Tuple[Permutation, str], int] = defaultdict(int)
+        self._max_queue = 0
+
+    # -- workload -----------------------------------------------------------
+
+    def submit(self, source: Permutation, path: Sequence[str]) -> None:
+        """Inject one packet at ``source`` with the given route.
+
+        Zero-length routes count as immediately delivered.
+        """
+        packet = Packet(source=source, at=source, path=list(path))
+        self._packets.append(packet)
+        if packet.delivered:
+            packet.delivered_round = 0
+            self._delivered += 1
+        else:
+            self._enqueue(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        key = (packet.at, packet.path[packet.hop])
+        self._queues[key].append(packet)
+        self._max_queue = max(self._max_queue, len(self._queues[key]))
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_rounds: int = 10_000_000) -> SimulationResult:
+        """Simulate until every packet is delivered."""
+        while self._delivered < len(self._packets):
+            if self._round >= max_rounds:
+                raise RuntimeError(
+                    f"simulation exceeded {max_rounds} rounds "
+                    f"({self._delivered}/{len(self._packets)} delivered)"
+                )
+            self._step()
+        return SimulationResult(
+            rounds=self._round,
+            delivered=self._delivered,
+            link_traffic=dict(self._traffic),
+            max_queue=self._max_queue,
+        )
+
+    def _step(self) -> None:
+        self._round += 1
+        sending = self._select_transmissions()
+        moved: List[Packet] = []
+        for key in sending:
+            queue = self._queues[key]
+            if not queue:
+                continue
+            packet = queue.popleft()
+            node, dim = key
+            self._traffic[key] += 1
+            packet.at = node * self._perms[dim]
+            packet.hop += 1
+            moved.append(packet)
+        for packet in moved:
+            if packet.delivered:
+                packet.delivered_round = self._round
+                self._delivered += 1
+            else:
+                self._enqueue(packet)
+
+    def _select_transmissions(self) -> List[Tuple[Permutation, str]]:
+        nonempty = [k for k, q in self._queues.items() if q]
+        if self.model is CommModel.ALL_PORT:
+            return nonempty
+        if self.model is CommModel.SDC:
+            dim = self._active_dimension(nonempty)
+            return [k for k in nonempty if k[1] == dim]
+        if self.model is CommModel.SINGLE_PORT:
+            return self._single_port_selection(nonempty)
+        raise ValueError(f"unknown model {self.model!r}")
+
+    def _active_dimension(self, nonempty) -> str:
+        if self._sdc_sequence:
+            return self._sdc_sequence[(self._round - 1) % len(self._sdc_sequence)]
+        # Round-robin over dimensions that currently have traffic.
+        live = sorted({dim for _node, dim in nonempty})
+        return live[(self._round - 1) % len(live)] if live else self._dims[0]
+
+    def _single_port_selection(self, nonempty):
+        # One send per node (round-robin by dimension order), one receive
+        # per node (first come wins; blocked links wait for a later round).
+        by_node: Dict[Permutation, List[str]] = defaultdict(list)
+        for node, dim in nonempty:
+            by_node[node].append(dim)
+        chosen = []
+        receivers = set()
+        for node, dims in by_node.items():
+            dims.sort()
+            dim = dims[self._round % len(dims)]
+            target = node * self._perms[dim]
+            if target in receivers:
+                continue
+            receivers.add(target)
+            chosen.append((node, dim))
+        return chosen
+
+    @property
+    def packets(self) -> List[Packet]:
+        return self._packets
+
+    @property
+    def current_round(self) -> int:
+        return self._round

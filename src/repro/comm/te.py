@@ -1,0 +1,83 @@
+"""The total exchange (TE) task — Corollary 3.
+
+In the TE every node sends a distinct (personalized) packet to every
+other node — ``N(N-1)`` packets in all.  The lower-bound argument of
+Corollary 3: the packets need ``N(N-1) * avg_distance`` link crossings
+in total, and at most ``N * d`` crossings happen per round under the
+all-port model, so
+
+    rounds >= (N - 1) * avg_distance / d.
+
+On the k-star (``d = k - 1``, ``avg_distance = Theta(k)``) this is
+``Theta(N)``; emulating on super Cayley networks of degree
+``Theta(sqrt(log N / log log N))`` gives Corollary 3's
+``Theta(N sqrt(log N / log log N))``.
+
+The algorithm: source-route every packet along the optimal star route
+(or the emulated route on super Cayley networks) and let the FIFO
+all-port simulator resolve contention.  Vertex symmetry balances the
+load, so completion stays within a small constant of the bound — that
+ratio is what the benchmark sweeps measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..emulation.models import CommModel
+from ..routing.sc_routing import sc_route
+from ..routing.star_routing import star_route
+from .simulator import PacketSimulator, SimulationResult
+
+
+def te_lower_bound_allport(
+    num_nodes: int, degree: int, average_distance: float
+) -> int:
+    """``ceil((N-1) * avg_dist / d)`` — Corollary 3's counting bound."""
+    return math.ceil((num_nodes - 1) * average_distance / degree)
+
+
+def te_allport(
+    graph: CayleyGraph,
+    route_fn: Optional[Callable[[Permutation, Permutation], List[str]]] = None,
+    sources: Optional[List[Permutation]] = None,
+) -> SimulationResult:
+    """Run a total exchange under the all-port model.
+
+    ``route_fn(source, target)`` supplies each packet's dimension word;
+    defaults to BFS shortest paths (exact but slow — pass
+    :func:`repro.routing.star_route` for star graphs).  ``sources``
+    restricts the sending set (all nodes by default), which the
+    benchmarks use for partial-TE scaling runs.
+    """
+    route_fn = route_fn or (
+        lambda u, v: [dim for dim, _node in graph.shortest_path(u, v)]
+    )
+    sim = PacketSimulator(graph, CommModel.ALL_PORT)
+    all_nodes = list(graph.nodes())
+    for source in sources if sources is not None else all_nodes:
+        for target in all_nodes:
+            if target == source:
+                continue
+            sim.submit(source, route_fn(source, target))
+    return sim.run()
+
+
+def te_star(k: int) -> SimulationResult:
+    """TE on the k-star with optimal routes (Fragopoulou-Akl's Theta(N)
+    completion shape)."""
+    from ..topologies.star import StarGraph
+
+    return te_allport(StarGraph(k), route_fn=star_route)
+
+
+def te_emulated(network: SuperCayleyNetwork) -> SimulationResult:
+    """TE on a super Cayley network via Theorem 1-3 emulated routes
+    (Corollary 3)."""
+    return te_allport(
+        network, route_fn=lambda u, v: sc_route(network, u, v)
+    )

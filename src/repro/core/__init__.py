@@ -1,0 +1,53 @@
+"""Core machinery: permutations, generators, the ball-arrangement game,
+and Cayley/super-Cayley graph construction."""
+
+from .permutations import Permutation, factorial
+from .generators import (
+    Generator,
+    GeneratorSet,
+    bubble_sort_generators,
+    insertion,
+    pair_transposition,
+    rotation,
+    rotation_inverse,
+    rotator_generators,
+    selection,
+    star_generators,
+    swap,
+    transposition,
+    transposition_network_generators,
+)
+from .cayley import CayleyGraph
+from .super_cayley import SuperCayleyNetwork, split_star_dimension
+from .bag import (
+    BagConfiguration,
+    BallArrangementGame,
+    state_graph_matches_network,
+)
+from .coset import CayleyCosetGraph, subgroup_closure
+
+__all__ = [
+    "Permutation",
+    "factorial",
+    "Generator",
+    "GeneratorSet",
+    "transposition",
+    "pair_transposition",
+    "insertion",
+    "selection",
+    "swap",
+    "rotation",
+    "rotation_inverse",
+    "star_generators",
+    "bubble_sort_generators",
+    "transposition_network_generators",
+    "rotator_generators",
+    "CayleyGraph",
+    "SuperCayleyNetwork",
+    "split_star_dimension",
+    "BagConfiguration",
+    "BallArrangementGame",
+    "state_graph_matches_network",
+    "CayleyCosetGraph",
+    "subgroup_closure",
+]

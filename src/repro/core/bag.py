@@ -1,0 +1,224 @@
+"""The ball-arrangement game (BAG), Section 2 of the paper.
+
+The game has ``l`` boxes and ``k = n*l + 1`` distinct balls; one ball sits
+outside the boxes and each box holds ``n`` balls.  Legal moves (1) permute
+the outside ball together with the contents of the leftmost box (nucleus
+actions), or (2) permute whole boxes (super actions).  The goal
+configuration has ball ``1`` outside and box ``i`` holding the balls
+``(i-1)n + 2 .. i*n + 1`` in order.
+
+Every configuration corresponds to a permutation of the ``k`` balls:
+position 1 is the outside ball and positions ``(i-1)n + 2 .. i*n + 1`` are
+box ``i`` read left to right.  Drawing the state-transition graph of the
+game therefore reproduces the corresponding super Cayley graph, and
+*solving the game* (reaching the goal) is exactly *routing to the identity
+node*.  :func:`state_graph_matches_network` checks this correspondence
+explicitly and is exercised in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cayley import CayleyGraph
+from .generators import Generator
+from .permutations import Permutation
+
+
+@dataclass(frozen=True)
+class BagConfiguration:
+    """A game state: the outside ball plus the boxes left to right.
+
+    ``boxes[i][j]`` is the ``j``-th ball (left to right) in box ``i + 1``.
+    """
+
+    outside: int
+    boxes: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        sizes = {len(box) for box in self.boxes}
+        if len(sizes) > 1:
+            raise ValueError(f"boxes must have equal sizes, got {sizes}")
+        balls = sorted(self.all_balls())
+        if balls != list(range(1, len(balls) + 1)):
+            raise ValueError(f"balls must be exactly 1..k, got {balls}")
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def num_boxes(self) -> int:
+        return len(self.boxes)
+
+    @property
+    def box_size(self) -> int:
+        return len(self.boxes[0]) if self.boxes else 0
+
+    @property
+    def num_balls(self) -> int:
+        return self.num_boxes * self.box_size + 1
+
+    def all_balls(self) -> List[int]:
+        out = [self.outside]
+        for box in self.boxes:
+            out.extend(box)
+        return out
+
+    # -- permutation correspondence -------------------------------------
+
+    def to_permutation(self) -> Permutation:
+        """The node label: outside ball first, then boxes left to right."""
+        return Permutation(self.all_balls())
+
+    @staticmethod
+    def from_permutation(perm: Permutation, n: int) -> "BagConfiguration":
+        """Split a node label back into outside ball + ``n``-ball boxes."""
+        k = perm.k
+        if (k - 1) % n:
+            raise ValueError(f"k - 1 = {k - 1} not divisible by n = {n}")
+        symbols = list(perm)
+        boxes = tuple(
+            tuple(symbols[start:start + n])
+            for start in range(1, k, n)
+        )
+        return BagConfiguration(outside=symbols[0], boxes=boxes)
+
+    @staticmethod
+    def goal(l: int, n: int) -> "BagConfiguration":
+        """The solved state — the identity permutation."""
+        return BagConfiguration.from_permutation(
+            Permutation.identity(n * l + 1), n
+        )
+
+    def is_solved(self) -> bool:
+        """True iff every ball of colour ``i`` sits in box ``i`` in order.
+
+        With distinct balls, "colour ``i``" for ball ``b`` means
+        ``b`` belongs to box ``ceil((b - 1) / n)``; ball 1 is the
+        colour-0 outside ball (paper, Section 2).
+        """
+        return self.to_permutation().is_identity()
+
+    # -- moves -----------------------------------------------------------
+
+    def apply(self, generator: Generator) -> "BagConfiguration":
+        """Apply a game action given as a network generator."""
+        return BagConfiguration.from_permutation(
+            self.to_permutation() * generator.perm, self.box_size
+        )
+
+    def __str__(self) -> str:
+        boxes = " ".join("[" + " ".join(map(str, box)) + "]" for box in self.boxes)
+        return f"({self.outside}) {boxes}"
+
+
+class BallArrangementGame:
+    """A BAG instance tied to a specific super Cayley network.
+
+    Parameters
+    ----------
+    network:
+        Any :class:`~repro.core.cayley.CayleyGraph` whose generators are
+        the legal moves.  The game's ``l`` and ``n`` are taken from the
+        network when it exposes them (all super Cayley classes do);
+        otherwise ``n`` defaults to ``k - 1`` (a single box).
+    """
+
+    def __init__(self, network: CayleyGraph, n: Optional[int] = None):
+        self.network = network
+        self.n = n if n is not None else getattr(network, "n", network.k - 1)
+        if (network.k - 1) % self.n:
+            raise ValueError(
+                f"network with k = {network.k} cannot host boxes of size {self.n}"
+            )
+        self.l = (network.k - 1) // self.n
+
+    # -- play ------------------------------------------------------------
+
+    def initial(self, perm: Permutation) -> BagConfiguration:
+        """The configuration corresponding to node ``perm``."""
+        return BagConfiguration.from_permutation(perm, self.n)
+
+    def legal_moves(self) -> List[Generator]:
+        return list(self.network.generators)
+
+    def play(
+        self, start: BagConfiguration, moves: Iterable[Generator]
+    ) -> BagConfiguration:
+        """Apply a move sequence."""
+        state = start
+        for move in moves:
+            state = state.apply(move)
+        return state
+
+    def solve(self, start: BagConfiguration) -> List[Generator]:
+        """A shortest solving move sequence (BFS through the network).
+
+        Solving the game from configuration ``c`` is routing from node
+        ``c.to_permutation()`` to the identity node.
+        """
+        path = self.network.shortest_path(
+            start.to_permutation(), self.network.identity
+        )
+        return [self.network.generators[dim] for dim, _node in path]
+
+    def solution_length(self, start: BagConfiguration) -> int:
+        """Number of moves in a shortest solution."""
+        return len(self.solve(start))
+
+    def hardest_instances(self) -> Tuple[int, List[BagConfiguration]]:
+        """The game's "God's number" (= network diameter) and the states
+        attaining it.  Exponential in ``k``; small instances only."""
+        layers = self.network.bfs_layers()
+        # BFS from identity explores words g1 g2 ... gm, i.e. nodes
+        # *reachable from* the identity; the states needing m moves to
+        # solve are those with identity reachable from them.  For
+        # inverse-closed generator sets the two coincide; otherwise we
+        # BFS over inverted generators.
+        if self.network.is_undirectable():
+            depth = len(layers) - 1
+            states = [self.initial(p) for p in layers[-1]]
+            return depth, states
+        inverse_distances = self._distances_to_identity()
+        depth = max(inverse_distances.values())
+        states = [
+            self.initial(p)
+            for p, d in inverse_distances.items()
+            if d == depth
+        ]
+        return depth, states
+
+    def _distances_to_identity(self) -> Dict[Permutation, int]:
+        """Distance *to* the identity from every node (reverse BFS)."""
+        from collections import deque
+
+        inv_perms = [g.perm.inverse() for g in self.network.generators]
+        identity = self.network.identity
+        dist = {identity: 0}
+        queue = deque([identity])
+        while queue:
+            node = queue.popleft()
+            for perm in inv_perms:
+                prev = node * perm
+                if prev not in dist:
+                    dist[prev] = dist[node] + 1
+                    queue.append(prev)
+        return dist
+
+
+def state_graph_matches_network(network: CayleyGraph, n: Optional[int] = None) -> bool:
+    """Verify the paper's claim that the BAG state graph *is* the network.
+
+    Enumerates every configuration, applies every legal move, and checks
+    the resulting transition graph has exactly the network's edges.
+    Exhaustive — use on small instances.
+    """
+    game = BallArrangementGame(network, n)
+    for node in network.nodes():
+        config = game.initial(node)
+        for gen in network.generators:
+            via_game = config.apply(gen).to_permutation()
+            via_network = node * gen.perm
+            if via_game != via_network:
+                return False
+    return True

@@ -1,0 +1,338 @@
+"""Generators of super Cayley graphs, as named label operators.
+
+The paper builds every network from a handful of generator families acting
+on permutation labels ``u_{1:k}``:
+
+* transpositions ``T_i`` (star generators) and ``T_{i,j}`` (transposition-
+  network generators) — *nucleus* generators for MS/RS/complete-RS;
+* insertions ``I_i`` and selections ``I_i^{-1}`` — nucleus generators for
+  the rotator / insertion-selection families;
+* swaps ``S_{n,i}`` — *super* generators exchanging super-symbols (boxes)
+  1 and ``i``;
+* rotations ``R^i`` — super generators cyclically shifting all boxes.
+
+A :class:`Generator` pairs a :class:`~repro.core.permutations.Permutation`
+(the action on label positions) with a structured name, so routing
+algorithms and schedules can talk about *which link* a packet crosses, and
+so inverses can be taken symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .permutations import Permutation
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A named generator: a permutation of label positions plus metadata.
+
+    Attributes
+    ----------
+    name:
+        Canonical display name, e.g. ``"T3"``, ``"S(2,3)"``, ``"I4"``,
+        ``"I4^-1"``, ``"R^2"``.
+    perm:
+        Action on positions; node ``u`` has the neighbour ``u * perm``.
+    kind:
+        One of ``"transposition"``, ``"pair_transposition"``,
+        ``"insertion"``, ``"selection"``, ``"swap"``, ``"rotation"``.
+    index:
+        Family parameters: ``(i,)`` for ``T_i`` / ``I_i`` / ``I_i^{-1}``,
+        ``(i, j)`` for ``T_{i,j}``, ``(n, i)`` for ``S_{n,i}``, ``(i,)``
+        for ``R^i``.
+    is_nucleus:
+        True for nucleus generators (they move balls in the leftmost box),
+        False for super generators (they move whole boxes).
+    """
+
+    name: str
+    perm: Permutation
+    kind: str
+    index: Tuple[int, ...]
+    is_nucleus: bool
+
+    @property
+    def k(self) -> int:
+        """Number of symbols the generator acts on."""
+        return self.perm.k
+
+    def apply(self, node: Permutation) -> Permutation:
+        """The neighbour of ``node`` across this generator's link."""
+        return node * self.perm
+
+    def inverse(self) -> "Generator":
+        """The generator undoing this one (same family, symbolic name)."""
+        inv = self.perm.inverse()
+        if self.kind in ("transposition", "pair_transposition", "swap"):
+            return self  # self-inverse families
+        if self.kind == "insertion":
+            return Generator(
+                name=f"I{self.index[0]}^-1",
+                perm=inv,
+                kind="selection",
+                index=self.index,
+                is_nucleus=self.is_nucleus,
+            )
+        if self.kind == "selection":
+            return Generator(
+                name=f"I{self.index[0]}",
+                perm=inv,
+                kind="insertion",
+                index=self.index,
+                is_nucleus=self.is_nucleus,
+            )
+        if self.kind == "rotation":
+            i, l, n = self.index
+            j = (-i) % l
+            return rotation(l, n, j) if j else Generator(
+                name="R^0", perm=inv, kind="rotation", index=(0, l, n),
+                is_nucleus=False,
+            )
+        raise ValueError(f"unknown generator kind {self.kind!r}")
+
+    def is_self_inverse(self) -> bool:
+        """True iff applying the generator twice returns to the start."""
+        return (self.perm * self.perm).is_identity()
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __call__(self, node: Permutation) -> Permutation:
+        return self.apply(node)
+
+
+# ----------------------------------------------------------------------
+# Generator factories
+# ----------------------------------------------------------------------
+
+
+def transposition(k: int, i: int) -> Generator:
+    """Star generator ``T_i``: swap positions 1 and ``i`` (``2 <= i <= k``).
+
+    >>> transposition(4, 3).apply(Permutation.identity(4))
+    Permutation(3, 2, 1, 4)
+    """
+    if not 2 <= i <= k:
+        raise ValueError(f"T_i needs 2 <= i <= k, got i={i}, k={k}")
+    label = list(range(1, k + 1))
+    label[0], label[i - 1] = label[i - 1], label[0]
+    return Generator(
+        name=f"T{i}",
+        perm=Permutation(label),
+        kind="transposition",
+        index=(i,),
+        is_nucleus=True,
+    )
+
+
+def pair_transposition(k: int, i: int, j: int) -> Generator:
+    """Transposition-network generator ``T_{i,j}``: swap positions ``i < j``."""
+    if not 1 <= i < j <= k:
+        raise ValueError(f"T_(i,j) needs 1 <= i < j <= k, got {i}, {j}, k={k}")
+    label = list(range(1, k + 1))
+    label[i - 1], label[j - 1] = label[j - 1], label[i - 1]
+    return Generator(
+        name=f"T({i},{j})",
+        perm=Permutation(label),
+        kind="pair_transposition",
+        index=(i, j),
+        is_nucleus=True,
+    )
+
+
+def insertion(k: int, i: int) -> Generator:
+    """Insertion generator ``I_i``: cyclic left shift of the leftmost ``i``
+    symbols by one (Definition 1), i.e. ``I_i(u) = u_{2:i} u_1 u_{i+1:k}``.
+
+    Inserts the outside ball at the ``(i-1)``-th slot of the leftmost box.
+    """
+    if not 2 <= i <= k:
+        raise ValueError(f"I_i needs 2 <= i <= k, got i={i}, k={k}")
+    label = list(range(2, i + 1)) + [1] + list(range(i + 1, k + 1))
+    return Generator(
+        name=f"I{i}",
+        perm=Permutation(label),
+        kind="insertion",
+        index=(i,),
+        is_nucleus=True,
+    )
+
+
+def selection(k: int, i: int) -> Generator:
+    """Selection generator ``I_i^{-1}``: cyclic right shift of the leftmost
+    ``i`` symbols by one (Definition 2), ``I_i^{-1}(u) = u_i u_{1:i-1} u_{i+1:k}``.
+
+    Selects the ball at slot ``i - 1`` of the leftmost box as the new
+    outside ball; inverse of :func:`insertion`.
+    """
+    if not 2 <= i <= k:
+        raise ValueError(f"I_i^-1 needs 2 <= i <= k, got i={i}, k={k}")
+    label = [i] + list(range(1, i)) + list(range(i + 1, k + 1))
+    return Generator(
+        name=f"I{i}^-1",
+        perm=Permutation(label),
+        kind="selection",
+        index=(i,),
+        is_nucleus=True,
+    )
+
+
+def swap(l: int, n: int, i: int) -> Generator:
+    """Swap super generator ``S_{n,i}``: exchange super-symbols 1 and ``i``.
+
+    Super-symbol ``i`` occupies positions ``(i-1)n + 2 .. i*n + 1``; the
+    outside ball at position 1 stays put.  Self-inverse.
+    """
+    if not 2 <= i <= l:
+        raise ValueError(f"S_(n,i) needs 2 <= i <= l, got i={i}, l={l}")
+    k = n * l + 1
+    label = list(range(1, k + 1))
+    first = slice(1, n + 1)                      # box 1: positions 2..n+1
+    other = slice((i - 1) * n + 1, i * n + 1)    # box i
+    label[first], label[other] = label[other], label[first]
+    return Generator(
+        name=f"S({n},{i})",
+        perm=Permutation(label),
+        kind="swap",
+        index=(n, i),
+        is_nucleus=False,
+    )
+
+
+def rotation(l: int, n: int, i: int = 1) -> Generator:
+    """Rotation super generator ``R^i`` (Definition 3).
+
+    Cyclically shifts the rightmost ``k - 1`` symbols (all the boxes) to
+    the *right* by ``n*i`` positions, keeping the outside ball in place::
+
+        R^i(u_{1:k}) = u_1 u_{k-in+1:k} u_{2:k-in}
+
+    ``R^i`` composed with ``R^{l-i}`` is the identity.  ``i`` is taken
+    modulo ``l``; ``i = 0`` would be the identity and is rejected.
+    """
+    k = n * l + 1
+    i = i % l
+    if i == 0:
+        raise ValueError("R^0 is the identity, not a generator")
+    shift = n * i
+    body = list(range(2, k + 1))
+    body = body[-shift:] + body[:-shift]
+    label = [1] + body
+    return Generator(
+        name=f"R^{i}" if i != 1 else "R",
+        perm=Permutation(label),
+        kind="rotation",
+        index=(i, l, n),
+        is_nucleus=False,
+    )
+
+
+def rotation_inverse(l: int, n: int, i: int = 1) -> Generator:
+    """``R^{-i}``, realised as the forward rotation ``R^{l-i}`` with an
+    explicit inverse-style display name so schedules read like the paper."""
+    gen = rotation(l, n, (-i) % l)
+    return Generator(
+        name=f"R^-{i}" if i != 1 else "R^-1",
+        perm=gen.perm,
+        kind="rotation",
+        index=gen.index,
+        is_nucleus=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generator sets
+# ----------------------------------------------------------------------
+
+
+class GeneratorSet:
+    """An ordered, name-indexed collection of generators.
+
+    The Cayley-graph machinery consumes these; order is preserved so that
+    link "dimensions" are stable across runs.
+    """
+
+    def __init__(self, generators: Iterable[Generator]):
+        self._generators: List[Generator] = list(generators)
+        if not self._generators:
+            raise ValueError("a generator set cannot be empty")
+        sizes = {g.k for g in self._generators}
+        if len(sizes) != 1:
+            raise ValueError(f"mixed symbol counts in generator set: {sizes}")
+        self._by_name: Dict[str, Generator] = {}
+        for gen in self._generators:
+            if gen.name in self._by_name:
+                raise ValueError(f"duplicate generator name {gen.name!r}")
+            self._by_name[gen.name] = gen
+
+    @property
+    def k(self) -> int:
+        return self._generators[0].k
+
+    def __iter__(self) -> Iterator[Generator]:
+        return iter(self._generators)
+
+    def __len__(self) -> int:
+        return len(self._generators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Generator:
+        return self._by_name[name]
+
+    def names(self) -> List[str]:
+        return [g.name for g in self._generators]
+
+    def nucleus(self) -> List[Generator]:
+        """The nucleus generators, in definition order."""
+        return [g for g in self._generators if g.is_nucleus]
+
+    def supers(self) -> List[Generator]:
+        """The super generators, in definition order."""
+        return [g for g in self._generators if not g.is_nucleus]
+
+    def is_inverse_closed(self) -> bool:
+        """True iff every generator's inverse action is also present.
+
+        Inverse-closed sets yield graphs that can be viewed as undirected
+        Cayley graphs (the paper merges such directed link pairs).
+        """
+        actions = {g.perm for g in self._generators}
+        return all(g.perm.inverse() in actions for g in self._generators)
+
+    def find_by_perm(self, perm: Permutation) -> Optional[Generator]:
+        """The generator with the given action, if any."""
+        for gen in self._generators:
+            if gen.perm == perm:
+                return gen
+        return None
+
+
+def star_generators(k: int) -> GeneratorSet:
+    """The ``k - 1`` star-graph generators ``T_2 .. T_k``."""
+    return GeneratorSet(transposition(k, i) for i in range(2, k + 1))
+
+
+def bubble_sort_generators(k: int) -> GeneratorSet:
+    """Adjacent transpositions ``T_{i,i+1}`` (bubble-sort graph)."""
+    return GeneratorSet(
+        pair_transposition(k, i, i + 1) for i in range(1, k)
+    )
+
+
+def transposition_network_generators(k: int) -> GeneratorSet:
+    """All ``k(k-1)/2`` transpositions ``T_{i,j}`` (the k-TN graph)."""
+    return GeneratorSet(
+        pair_transposition(k, i, j)
+        for i in range(1, k + 1)
+        for j in range(i + 1, k + 1)
+    )
+
+
+def rotator_generators(k: int) -> GeneratorSet:
+    """The rotator-graph generators ``I_2 .. I_k`` (Corbett)."""
+    return GeneratorSet(insertion(k, i) for i in range(2, k + 1))

@@ -1,0 +1,321 @@
+"""Immutable permutations of ``{1, ..., k}``.
+
+Nodes of every network in the paper are labelled by permutations of ``k``
+distinct symbols, where ``k`` is the number of balls in the underlying
+ball-arrangement game.  This module provides the permutation algebra the
+rest of the library is built on: composition, inversion, cycle structure,
+Lehmer-code ranking (used to index the ``k!`` nodes densely), and parity.
+
+Conventions
+-----------
+A :class:`Permutation` ``p`` is stored as a tuple ``p.symbols`` where
+``p.symbols[i - 1]`` is the symbol at *position* ``i`` (positions are
+1-based throughout, matching the paper's notation ``u_{1:k}``).
+
+Viewed as a function, ``p(i)`` is the symbol at position ``i``.  The
+product ``p * q`` is the permutation whose label is obtained by using
+``q`` to *rearrange the positions* of ``p``'s label::
+
+    (p * q)(i) = p(q(i))
+
+which is exactly how the paper's generators act: node ``U`` is connected
+to ``U * g`` for each generator ``g`` (generators permute the positions of
+the node label, i.e. they act on the right).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class Permutation:
+    """A permutation of the symbols ``1..k``, immutable and hashable.
+
+    Parameters
+    ----------
+    symbols:
+        The label read left to right: ``symbols[i]`` is the symbol at
+        position ``i + 1``.  Must be a rearrangement of ``1..k``.
+
+    Examples
+    --------
+    >>> p = Permutation([2, 1, 3])
+    >>> p(1), p(2), p(3)
+    (2, 1, 3)
+    >>> p * p == Permutation.identity(3)
+    True
+    """
+
+    __slots__ = ("symbols", "_hash")
+
+    def __init__(self, symbols: Iterable[int]):
+        symbols = tuple(symbols)
+        k = len(symbols)
+        if sorted(symbols) != list(range(1, k + 1)):
+            raise ValueError(
+                f"not a permutation of 1..{k}: {symbols!r}"
+            )
+        object.__setattr__(self, "symbols", symbols)
+        object.__setattr__(self, "_hash", hash(symbols))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Permutation is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def identity(k: int) -> "Permutation":
+        """The identity permutation on ``k`` symbols."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return Permutation(range(1, k + 1))
+
+    @staticmethod
+    def from_cycles(k: int, cycles: Sequence[Sequence[int]]) -> "Permutation":
+        """Build a permutation from disjoint cycles (in one-line action form).
+
+        ``cycles`` lists cycles of *positions*; a cycle ``(a, b, c)`` sends
+        the symbol at position ``a`` to position ``b``, ``b`` to ``c``, and
+        ``c`` back to ``a``.
+
+        >>> Permutation.from_cycles(4, [(1, 2)])
+        Permutation(2, 1, 3, 4)
+        """
+        image = list(range(1, k + 1))
+        seen: set = set()
+        for cycle in cycles:
+            for position in cycle:
+                if not 1 <= position <= k:
+                    raise ValueError(f"position {position} out of range 1..{k}")
+                if position in seen:
+                    raise ValueError(f"cycles are not disjoint at {position}")
+                seen.add(position)
+            for src, dst in zip(cycle, cycle[1:] + type(cycle)([cycle[0]])):
+                image[dst - 1] = src
+        # ``image[j-1] = i`` means the symbol originally at position i lands
+        # at position j; as a label this is the inverse mapping applied to
+        # the identity, which is precisely the one-line form below.
+        label = [0] * k
+        for dst_position, src_position in enumerate(image, start=1):
+            label[dst_position - 1] = src_position
+        return Permutation(label)
+
+    @staticmethod
+    def random(k: int, rng: random.Random = None) -> "Permutation":
+        """A uniformly random permutation (Fisher-Yates via ``random.shuffle``)."""
+        rng = rng or random
+        label = list(range(1, k + 1))
+        rng.shuffle(label)
+        return Permutation(label)
+
+    @staticmethod
+    def unrank(k: int, rank: int) -> "Permutation":
+        """Inverse of :meth:`rank`: the ``rank``-th permutation of ``1..k``
+        in Lehmer-code order (``0 <= rank < k!``)."""
+        if rank < 0:
+            raise ValueError(f"rank must be non-negative, got {rank}")
+        digits: List[int] = []
+        for radix in range(1, k + 1):
+            digits.append(rank % radix)
+            rank //= radix
+        if rank:
+            raise ValueError("rank out of range")
+        digits.reverse()
+        pool = list(range(1, k + 1))
+        label = [pool.pop(d) for d in digits]
+        return Permutation(label)
+
+    @staticmethod
+    def all_permutations(k: int) -> Iterator["Permutation"]:
+        """Iterate over all ``k!`` permutations in lexicographic label order."""
+        for label in itertools.permutations(range(1, k + 1)):
+            yield Permutation(label)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of symbols."""
+        return len(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __call__(self, position: int) -> int:
+        """The symbol at 1-based ``position``."""
+        return self.symbols[position - 1]
+
+    def __getitem__(self, position: int) -> int:
+        """Alias for :meth:`__call__` (1-based)."""
+        return self.symbols[position - 1]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.symbols)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self.symbols == other.symbols
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Permutation") -> bool:
+        return self.symbols < other.symbols
+
+    def __repr__(self) -> str:
+        return f"Permutation{self.symbols!r}"
+
+    def __str__(self) -> str:
+        return "".join(str(s) for s in self.symbols) if self.k <= 9 else (
+            "-".join(str(s) for s in self.symbols)
+        )
+
+    # ------------------------------------------------------------------
+    # Group operations
+    # ------------------------------------------------------------------
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        """Right action composition: ``(p * q)(i) == p(q(i))``.
+
+        ``p * g`` is the node reached from node ``p`` by following the
+        generator ``g``.
+        """
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if other.k != self.k:
+            raise ValueError(
+                f"size mismatch: {self.k} vs {other.k}"
+            )
+        mine = self.symbols
+        return Permutation(mine[j - 1] for j in other.symbols)
+
+    def inverse(self) -> "Permutation":
+        """The group inverse: ``p * p.inverse() == identity``."""
+        label = [0] * self.k
+        for position, symbol in enumerate(self.symbols, start=1):
+            label[symbol - 1] = position
+        return Permutation(label)
+
+    def conjugate(self, by: "Permutation") -> "Permutation":
+        """``by.inverse() * self * by``."""
+        return by.inverse() * self * by
+
+    def power(self, exponent: int) -> "Permutation":
+        """``p`` composed with itself ``exponent`` times (negative allowed)."""
+        if exponent < 0:
+            return self.inverse().power(-exponent)
+        result = Permutation.identity(self.k)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base * base
+            exponent >>= 1
+        return result
+
+    def is_identity(self) -> bool:
+        """True iff every symbol sits at its own position."""
+        return all(symbol == position for position, symbol in enumerate(self.symbols, 1))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def cycles(self, include_fixed: bool = False) -> List[Tuple[int, ...]]:
+        """Disjoint cycle decomposition over *symbols*.
+
+        A cycle ``(a, b, c)`` means symbol ``a`` occupies the home position
+        of ``b``, ``b`` occupies the home position of ``c``, and ``c``
+        occupies the home position of ``a``.  This is the decomposition the
+        classical star-graph routing algorithm operates on.
+        """
+        seen = [False] * (self.k + 1)
+        out: List[Tuple[int, ...]] = []
+        for start in range(1, self.k + 1):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            current = self.symbols[start - 1]
+            while current != start:
+                cycle.append(current)
+                seen[current] = True
+                current = self.symbols[current - 1]
+            if len(cycle) > 1 or include_fixed:
+                out.append(tuple(cycle))
+        return out
+
+    def num_inversions(self) -> int:
+        """Number of inversions (pairs out of order)."""
+        count = 0
+        for i in range(self.k):
+            for j in range(i + 1, self.k):
+                if self.symbols[i] > self.symbols[j]:
+                    count += 1
+        return count
+
+    def parity(self) -> int:
+        """0 for even permutations, 1 for odd."""
+        return self.num_inversions() % 2
+
+    def fixed_points(self) -> Tuple[int, ...]:
+        """Positions holding their own symbol."""
+        return tuple(
+            position
+            for position, symbol in enumerate(self.symbols, 1)
+            if position == symbol
+        )
+
+    def position_of(self, symbol: int) -> int:
+        """1-based position holding ``symbol``."""
+        return self.symbols.index(symbol) + 1
+
+    def rank(self) -> int:
+        """Lehmer-code rank in ``0..k!-1`` (inverse of :meth:`unrank`)."""
+        rank = 0
+        pool = list(range(1, self.k + 1))
+        for symbol in self.symbols:
+            digit = pool.index(symbol)
+            rank = rank * len(pool) + digit
+            pool.pop(digit)
+        return rank
+
+    # ------------------------------------------------------------------
+    # Super-symbol (box) helpers — shared by all super Cayley graphs
+    # ------------------------------------------------------------------
+
+    def super_symbol(self, i: int, n: int) -> Tuple[int, ...]:
+        """The ``i``-th *super-symbol* for box size ``n``.
+
+        The paper defines it as the ``n``-long run at positions
+        ``(i-1)n + 2 .. i*n + 1`` of the label (position 1 is the outside
+        ball and belongs to no box).
+        """
+        k = self.k
+        if (k - 1) % n:
+            raise ValueError(f"k - 1 = {k - 1} not divisible by box size n = {n}")
+        l = (k - 1) // n
+        if not 1 <= i <= l:
+            raise ValueError(f"super-symbol index {i} out of range 1..{l}")
+        start = (i - 1) * n + 1  # 0-based index of position (i-1)n + 2
+        return self.symbols[start:start + n]
+
+    def super_symbols(self, n: int) -> List[Tuple[int, ...]]:
+        """All ``l`` super-symbols, left to right."""
+        l = (self.k - 1) // n
+        return [self.super_symbol(i, n) for i in range(1, l + 1)]
+
+
+def factorial(k: int) -> int:
+    """``k!`` (tiny helper so callers avoid importing :mod:`math` for one use)."""
+    result = 1
+    for i in range(2, k + 1):
+        result *= i
+    return result

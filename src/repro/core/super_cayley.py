@@ -1,0 +1,216 @@
+"""Base class shared by all ten super Cayley network families.
+
+A super Cayley graph (paper, Section 2.1) is a Cayley graph whose
+generator set splits into *nucleus generators* (permute the leftmost
+``n + 1`` symbols — the outside ball plus the leftmost box) and *super
+generators* (permute whole super-symbols/boxes).  This module provides:
+
+* :class:`SuperCayleyNetwork` — the common machinery: ``(l, n)``
+  parameters, nucleus/super split, super-symbol accessors;
+* the box-bring abstraction ``B_i`` of Theorems 4 and 6 — the generator
+  word that brings box ``i`` to the leftmost position — which each
+  concrete family defines (a single swap for MS, a single rotation for
+  complete-RS, a rotation *walk* for RS/RIS);
+* the star-dimension expansion of Theorems 1-3: the constant-length word
+  emulating a star-graph link ``T_j``, for the families the paper proves
+  constant-dilation emulation for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .cayley import CayleyGraph
+from .generators import GeneratorSet
+from .permutations import Permutation
+
+
+def split_star_dimension(j: int, n: int) -> Tuple[int, int]:
+    """The paper's index arithmetic: ``j0 = (j - 2) mod n`` and
+    ``j1 = floor((j - 2) / n)`` for a star dimension ``j >= 2``.
+
+    ``j1`` names the box holding the target ball (0 = leftmost box);
+    ``j0 + 2`` is the nucleus dimension once that box is leftmost.
+    """
+    if j < 2:
+        raise ValueError(f"star dimensions start at 2, got {j}")
+    return (j - 2) % n, (j - 2) // n
+
+
+class SuperCayleyNetwork(CayleyGraph):
+    """Common base for MS, RS, complete-RS, MR, RR, complete-RR, IS, MIS,
+    RIS, and complete-RIS networks.
+
+    Parameters
+    ----------
+    l, n:
+        Number of boxes and balls per box; node labels are permutations
+        of ``k = n*l + 1`` symbols.
+    generators:
+        Full generator set (nucleus + super), supplied by the subclass.
+    name:
+        Display name like ``"MS(2,3)"``.
+    """
+
+    #: Short family tag ("MS", "RS", "complete-RS", ...), set by subclasses.
+    family: str = "super-Cayley"
+
+    def __init__(self, l: int, n: int, generators: GeneratorSet, name: str):
+        if l < 1 or n < 1:
+            raise ValueError(f"l and n must be positive, got l={l}, n={n}")
+        super().__init__(generators, name=name)
+        self.l = l
+        self.n = n
+        expected_k = n * l + 1
+        if generators.k != expected_k:
+            raise ValueError(
+                f"generators act on {generators.k} symbols; expected {expected_k}"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    def nucleus_generators(self):
+        """Generators that permute the leftmost ``n + 1`` symbols."""
+        return self.generators.nucleus()
+
+    def super_generators(self):
+        """Generators that permute whole boxes."""
+        return self.generators.supers()
+
+    def super_symbol(self, node: Permutation, i: int) -> Tuple[int, ...]:
+        """Box ``i``'s contents in ``node``'s label."""
+        return node.super_symbol(i, self.n)
+
+    def nucleus_degree(self) -> int:
+        return len(self.nucleus_generators())
+
+    def super_degree(self) -> int:
+        return len(self.super_generators())
+
+    # ------------------------------------------------------------------
+    # Box-bring words (``B_i`` of Theorems 4 and 6)
+    # ------------------------------------------------------------------
+
+    def bring_box_word(self, i: int) -> List[str]:
+        """Dimension names whose application brings box ``i`` leftmost.
+
+        ``i = 1`` (already leftmost) yields the empty word.  Subclasses
+        with super generators override :meth:`_bring_box_word`.
+        """
+        if not 1 <= i <= self.l:
+            raise ValueError(f"box index {i} out of range 1..{self.l}")
+        if i == 1:
+            return []
+        return self._bring_box_word(i)
+
+    def return_box_word(self, i: int) -> List[str]:
+        """Dimension names undoing :meth:`bring_box_word`."""
+        if not 1 <= i <= self.l:
+            raise ValueError(f"box index {i} out of range 1..{self.l}")
+        if i == 1:
+            return []
+        return self._return_box_word(i)
+
+    def _bring_box_word(self, i: int) -> List[str]:
+        raise NotImplementedError(
+            f"{self.family} does not define a box-bring word"
+        )
+
+    def _return_box_word(self, i: int) -> List[str]:
+        raise NotImplementedError(
+            f"{self.family} does not define a box-return word"
+        )
+
+    def pair_bring_words(self, a: int, b: int):
+        """Nested box-bring words for Theorem 6's two-box case.
+
+        Returns ``(w1, w2, w2_inv, w1_inv)``: ``w1`` brings box ``a``
+        leftmost; ``w2``, applied *after* ``w1``, brings the original box
+        ``b`` leftmost; the inverses undo them in LIFO order.
+
+        For swap-based families bringing box ``a`` leaves every other box
+        in place, so the plain words compose.  Rotation-based families
+        override this: after rotating box ``a`` to the front, box ``b``
+        sits ``b - a`` boxes away, so the inner bring is the *relative*
+        rotation ``R^{-(b-a)}`` — this is the operational reading of the
+        paper's ``B_{j1+1}`` ("bring the box that holds the ball").
+        """
+        if a == b:
+            raise ValueError("pair_bring_words needs two distinct boxes")
+        return (
+            self.bring_box_word(a),
+            self.bring_box_word(b),
+            self.return_box_word(b),
+            self.return_box_word(a),
+        )
+
+    # ------------------------------------------------------------------
+    # Nucleus transposition words (Theorems 1-3)
+    # ------------------------------------------------------------------
+
+    def nucleus_transposition_word(self, i: int) -> List[str]:
+        """Dimension names realising the star generator ``T_i`` for
+        ``2 <= i <= n + 1`` using only nucleus generators.
+
+        * transposition-nucleus families: ``[T_i]``;
+        * insertion/selection-nucleus families (Theorem 2's trick):
+          ``[I_i, I_{i-1}^{-1}]`` (just ``[I_2]`` when ``i = 2``).
+
+        Families whose nucleus cannot realise ``T_i`` in O(1) steps
+        (pure-insertion rotator nuclei) raise ``NotImplementedError``.
+        """
+        if not 2 <= i <= self.n + 1:
+            raise ValueError(
+                f"nucleus dimensions are 2..{self.n + 1}, got {i}"
+            )
+        return self._nucleus_transposition_word(i)
+
+    def _nucleus_transposition_word(self, i: int) -> List[str]:
+        if f"T{i}" in self.generators:
+            return [f"T{i}"]
+        if f"I{i}" in self.generators and (
+            i == 2 or f"I{i - 1}^-1" in self.generators
+        ):
+            return [f"I{i}"] if i == 2 else [f"I{i}", f"I{i - 1}^-1"]
+        raise NotImplementedError(
+            f"{self.family} nucleus cannot emulate T_{i} in O(1) steps"
+        )
+
+    # ------------------------------------------------------------------
+    # Star-dimension emulation (Theorems 1, 2, 3)
+    # ------------------------------------------------------------------
+
+    def star_dimension_word(self, j: int) -> List[str]:
+        """The constant-length word emulating star link ``T_j``
+        (``2 <= j <= k``) on this network.
+
+        For ``j`` inside the leftmost box (``j <= n + 1``) this is the
+        nucleus word alone; otherwise it is
+        ``B_{j1+1} . <nucleus word for T_{j0+2}> . B_{j1+1}^{-1}``
+        (Theorem 1 for transposition nuclei — length 3; Theorem 3 for
+        insertion/selection nuclei — length at most 4).
+        """
+        if not 2 <= j <= self.k:
+            raise ValueError(f"star dimensions are 2..{self.k}, got {j}")
+        j0, j1 = split_star_dimension(j, self.n)
+        nucleus_word = self.nucleus_transposition_word(j0 + 2)
+        if j1 == 0:
+            return nucleus_word
+        return (
+            self.bring_box_word(j1 + 1)
+            + nucleus_word
+            + self.return_box_word(j1 + 1)
+        )
+
+    def star_emulation_dilation(self) -> int:
+        """Length of the longest star-dimension word — the dilation of the
+        identity-map embedding of the ``(ln+1)``-star into this network."""
+        return max(len(self.star_dimension_word(j)) for j in range(2, self.k + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name}: l={self.l}, n={self.n}, k={self.k}, "
+            f"nodes={self.num_nodes}, degree={self.degree}>"
+        )

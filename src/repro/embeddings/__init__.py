@@ -1,0 +1,98 @@
+"""Embeddings of Section 5: framework, the paper's constructions, and
+compositions through the star graph and transposition network."""
+
+from .base import Embedding, FunctionEmbedding, WordEmbedding
+from .compose import compose_through_cayley
+from .star_into_sc import (
+    embed_star,
+    theoretical_star_congestion,
+    theoretical_star_dilation,
+)
+from .tn_into_sc import (
+    embed_tn_into_star,
+    embed_transposition_network,
+    star_swap_word,
+    theoretical_tn_dilation,
+    tn_dimension_word,
+)
+from .tree_into_star import (
+    TreeSearchError,
+    corollary4_tree_height,
+    embed_tree_into_sc,
+    embed_tree_into_star,
+    find_tree_in_star,
+)
+from .hypercube import (
+    cube_node_image,
+    embed_hypercube_into_sc,
+    embed_hypercube_into_star,
+    embed_hypercube_into_tn,
+    max_cube_dimension,
+)
+from .mesh_into_tn import (
+    embed_mesh_into_sc,
+    embed_mesh_into_star,
+    embed_mesh_into_tn,
+    mesh_node_image,
+)
+from .mesh_into_star import (
+    embed_mixed_mesh_into_sc,
+    embed_mixed_mesh_into_star,
+    embed_mixed_mesh_into_tn,
+    insertion_coords_from_perm,
+    perm_from_insertion_coords,
+)
+from .subgraphs import (
+    embed_bubble_sort_into_sc,
+    embed_bubble_sort_into_tn,
+    embed_star_into_tn,
+)
+from .sjt import adjacent_swap_position, sjt_permutations, sjt_sequence
+from .cycles import (
+    embed_even_ring_in_star_like,
+    embed_linear_array,
+    embed_ring,
+)
+
+__all__ = [
+    "Embedding",
+    "FunctionEmbedding",
+    "WordEmbedding",
+    "compose_through_cayley",
+    "embed_star",
+    "theoretical_star_dilation",
+    "theoretical_star_congestion",
+    "embed_transposition_network",
+    "embed_tn_into_star",
+    "tn_dimension_word",
+    "star_swap_word",
+    "theoretical_tn_dilation",
+    "embed_tree_into_star",
+    "embed_tree_into_sc",
+    "find_tree_in_star",
+    "corollary4_tree_height",
+    "TreeSearchError",
+    "embed_hypercube_into_tn",
+    "embed_hypercube_into_star",
+    "embed_hypercube_into_sc",
+    "cube_node_image",
+    "max_cube_dimension",
+    "embed_mesh_into_tn",
+    "embed_mesh_into_star",
+    "embed_mesh_into_sc",
+    "mesh_node_image",
+    "embed_mixed_mesh_into_tn",
+    "embed_mixed_mesh_into_star",
+    "embed_mixed_mesh_into_sc",
+    "perm_from_insertion_coords",
+    "insertion_coords_from_perm",
+    "embed_star_into_tn",
+    "embed_bubble_sort_into_tn",
+    "embed_bubble_sort_into_sc",
+    "sjt_permutations",
+    "sjt_sequence",
+    "adjacent_swap_position",
+    "embed_ring",
+    "embed_linear_array",
+    "embed_even_ring_in_star_like",
+]

@@ -1,0 +1,267 @@
+"""Embedding framework: node maps, edge-to-path maps, and the four
+quality metrics of Section 5 — load, expansion, dilation, congestion.
+
+An embedding of a *guest* graph into a *host* graph maps each guest node
+to a host node and each guest edge to a host path connecting the images.
+The paper measures:
+
+* **load** — maximum number of guest nodes mapped to one host node;
+* **expansion** — ratio of host nodes to guest nodes;
+* **dilation** — maximum length of an image path;
+* **congestion** — maximum number of image paths crossing one host link.
+
+Guest edges are treated as *directed pairs* (both orientations of every
+undirected edge), matching how emulation uses them: a packet crossing a
+guest edge in either direction occupies host links in that direction.
+For the symmetric constructions in this library, the per-direction
+congestion equals the classical undirected definition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+from ..topologies.base import SimpleTopology
+
+
+def iter_guest_nodes(guest) -> Iterator[Hashable]:
+    """Nodes of either a Cayley graph or an explicit topology."""
+    return guest.nodes()
+
+
+def iter_directed_guest_edges(guest) -> Iterator[Tuple[Hashable, Hashable, str]]:
+    """Each directed guest edge once, as ``(tail, head, label)``.
+
+    Cayley guests are naturally directed (one link per generator);
+    explicit topologies yield both orientations of every undirected edge.
+    """
+    if isinstance(guest, CayleyGraph):
+        for tail, dim, head in guest.edges():
+            yield tail, head, dim
+    elif isinstance(guest, SimpleTopology):
+        for u, v in guest.edges():
+            yield u, v, ""
+            yield v, u, ""
+    else:
+        raise TypeError(f"unsupported guest graph type: {type(guest)!r}")
+
+
+def guest_node_count(guest) -> int:
+    if isinstance(guest, CayleyGraph):
+        return guest.num_nodes
+    return guest.num_nodes
+
+
+class Embedding:
+    """Base class; subclasses provide :meth:`map_node` and :meth:`edge_path`.
+
+    ``edge_path(tail, head, label)`` must return the full host node
+    sequence ``[map_node(tail), ..., map_node(head)]``.
+    """
+
+    def __init__(self, guest, host: CayleyGraph, name: str = "embedding"):
+        self.guest = guest
+        self.host = host
+        self.name = name
+
+    # -- to be provided by subclasses -------------------------------------
+
+    def map_node(self, node: Hashable) -> Permutation:
+        raise NotImplementedError
+
+    def edge_path(
+        self, tail: Hashable, head: Hashable, label: str = ""
+    ) -> List[Permutation]:
+        raise NotImplementedError
+
+    # -- metrics -----------------------------------------------------------
+
+    def load(self) -> int:
+        """Maximum number of guest nodes sharing a host image."""
+        images = Counter(
+            self.map_node(node) for node in iter_guest_nodes(self.guest)
+        )
+        return max(images.values())
+
+    def is_one_to_one(self) -> bool:
+        return self.load() == 1
+
+    def expansion(self) -> float:
+        """Host nodes / guest nodes."""
+        return self.host.num_nodes / guest_node_count(self.guest)
+
+    def dilation(self) -> int:
+        """Maximum image-path length over all guest edges."""
+        return max(
+            len(self.edge_path(t, h, lab)) - 1
+            for t, h, lab in iter_directed_guest_edges(self.guest)
+        )
+
+    def congestion(self, directed: bool = True) -> int:
+        """Maximum number of image paths crossing one host link.
+
+        ``directed`` (default) counts both orientations of every guest
+        edge against directed host links — the load seen during
+        bidirectional emulation.  ``directed=False`` is the classical
+        definition used by the paper's congestion-1 claims: one path per
+        undirected guest edge, counted on undirected host links.
+        """
+        return max(self.link_usage(directed=directed).values())
+
+    def link_usage(self, directed: bool = True) -> Counter:
+        """Host link -> number of image paths crossing it."""
+        usage: Counter = Counter()
+        seen_undirected = set()
+        for t, h, lab in iter_directed_guest_edges(self.guest):
+            if not directed:
+                key = frozenset((t, h))
+                if key in seen_undirected:
+                    continue
+                seen_undirected.add(key)
+            path = self.edge_path(t, h, lab)
+            for a, b in zip(path, path[1:]):
+                usage[(a, b) if directed else frozenset((a, b))] += 1
+        return usage
+
+    def metrics(self) -> Dict[str, float]:
+        """All four metrics at once (each is an exhaustive pass)."""
+        return {
+            "load": self.load(),
+            "expansion": self.expansion(),
+            "dilation": self.dilation(),
+            "congestion": self.congestion(),
+        }
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Exhaustively check the embedding is well-formed.
+
+        Raises ``AssertionError`` on the first malformed image path:
+        endpoints must match the node map and every hop must be a host
+        link.
+        """
+        for t, h, lab in iter_directed_guest_edges(self.guest):
+            path = self.edge_path(t, h, lab)
+            assert path[0] == self.map_node(t), (
+                f"path for {t}->{h} starts at {path[0]}, "
+                f"expected {self.map_node(t)}"
+            )
+            assert path[-1] == self.map_node(h), (
+                f"path for {t}->{h} ends at {path[-1]}, "
+                f"expected {self.map_node(h)}"
+            )
+            for a, b in zip(path, path[1:]):
+                assert self.host.has_link(a, b), (
+                    f"hop {a} -> {b} in the image of {t}->{h} "
+                    f"is not a {self.host.name} link"
+                )
+
+    def __repr__(self) -> str:
+        return f"<{self.name}: {getattr(self.guest, 'name', '?')} -> {self.host.name}>"
+
+
+class FunctionEmbedding(Embedding):
+    """An embedding given by two callables.
+
+    ``node_map(guest_node) -> host node`` and
+    ``path_fn(tail, head, label) -> [host nodes]``.
+    """
+
+    def __init__(
+        self,
+        guest,
+        host: CayleyGraph,
+        node_map: Callable[[Hashable], Permutation],
+        path_fn: Callable[[Hashable, Hashable, str], List[Permutation]],
+        name: str = "embedding",
+    ):
+        super().__init__(guest, host, name)
+        self._node_map = node_map
+        self._path_fn = path_fn
+
+    def map_node(self, node):
+        return self._node_map(node)
+
+    def edge_path(self, tail, head, label=""):
+        return self._path_fn(tail, head, label)
+
+
+class WordEmbedding(Embedding):
+    """Cayley-guest-to-Cayley-host embedding via per-dimension words.
+
+    The node map is the identity (both graphs share the symbol count) or
+    a supplied bijection; each guest dimension ``d`` expands to a fixed
+    host generator word ``words[d]``, applied starting at the image of
+    the guest edge's tail.  This is exactly the shape of Theorems 1-3 and
+    6-7: vertex-symmetric, so one word per dimension covers every edge.
+    """
+
+    def __init__(
+        self,
+        guest: CayleyGraph,
+        host: CayleyGraph,
+        words: Dict[str, List[str]],
+        node_map: Optional[Callable[[Permutation], Permutation]] = None,
+        name: str = "word-embedding",
+    ):
+        super().__init__(guest, host, name)
+        missing = [d for d in guest.generators.names() if d not in words]
+        if missing:
+            raise ValueError(f"no word for guest dimensions {missing}")
+        self.words = dict(words)
+        self._node_map = node_map or (lambda node: node)
+
+    def map_node(self, node):
+        return self._node_map(node)
+
+    def edge_path(self, tail, head, label=""):
+        start = self.map_node(tail)
+        path = [start]
+        for dim in self.words[label]:
+            path.append(path[-1] * self.host.generators[dim].perm)
+        return path
+
+    def dilation(self) -> int:
+        """Max word length — no graph pass needed for word embeddings."""
+        return max(len(word) for word in self.words.values())
+
+    def dimension_link_usage(self, dimension: str) -> Counter:
+        """Host link usage from images of one guest dimension only.
+
+        The paper (Section 3) notes that embedding *all links of a single
+        star dimension* into MS/complete-RS costs congestion at most 2 —
+        this method measures exactly that.
+        """
+        usage: Counter = Counter()
+        word = self.words[dimension]
+        for tail in self.guest.nodes():
+            node = self.map_node(tail)
+            for dim in word:
+                nxt = node * self.host.generators[dim].perm
+                usage[(node, nxt)] += 1
+                node = nxt
+        return usage
+
+    def dimension_congestion(self, dimension: str) -> int:
+        return max(self.dimension_link_usage(dimension).values())
+
+    def compose(self, outer: "WordEmbedding") -> "WordEmbedding":
+        """``outer`` after ``self``: guest -> self.host == outer.guest -> outer.host.
+
+        Both must be identity-node-map word embeddings (the common case
+        here); each word of ``self`` is expanded through ``outer``.
+        """
+        expanded = {
+            dim: [h for mid in word for h in outer.words[mid]]
+            for dim, word in self.words.items()
+        }
+        return WordEmbedding(
+            self.guest,
+            outer.host,
+            expanded,
+            name=f"{self.name} . {outer.name}",
+        )

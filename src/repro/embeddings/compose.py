@@ -1,0 +1,55 @@
+"""Composition of embeddings through an intermediate Cayley graph.
+
+Corollaries 4-7 all have the shape *guest -> star/TN -> super Cayley
+network*: an explicit embedding into an intermediate Cayley graph,
+composed with one of the word embeddings of Theorems 1-3/6-7.  This
+module provides that composition: the inner embedding's host paths are
+re-expanded hop by hop through the outer word embedding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.permutations import Permutation
+from .base import Embedding, FunctionEmbedding, WordEmbedding
+
+
+def compose_through_cayley(
+    inner: Embedding, outer: WordEmbedding
+) -> FunctionEmbedding:
+    """``outer`` after ``inner``.
+
+    ``inner`` embeds an arbitrary guest into a Cayley graph ``H``;
+    ``outer`` is a word embedding of ``H`` into the final host ``K``.
+    Each hop of an inner image path is an ``H`` link; its dimension is
+    recovered and expanded through ``outer``'s word.  Dilation multiplies
+    (at most), congestion multiplies by at most ``outer``'s congestion.
+    """
+    if outer.guest.generators.k != inner.host.k:
+        raise ValueError(
+            f"composition mismatch: inner host acts on {inner.host.k} "
+            f"symbols, outer guest on {outer.guest.generators.k}"
+        )
+    mid = inner.host
+    host = outer.host
+
+    def node_map(guest_node) -> Permutation:
+        return outer.map_node(inner.map_node(guest_node))
+
+    def path_fn(tail, head, label="") -> List[Permutation]:
+        mid_path = inner.edge_path(tail, head, label)
+        out = [node_map(tail)]
+        for a, b in zip(mid_path, mid_path[1:]):
+            dim = mid.link_dimension(a, b)
+            for host_dim in outer.words[dim]:
+                out.append(out[-1] * host.generators[host_dim].perm)
+        return out
+
+    return FunctionEmbedding(
+        inner.guest,
+        host,
+        node_map=node_map,
+        path_fn=path_fn,
+        name=f"{inner.name} . {outer.name}",
+    )

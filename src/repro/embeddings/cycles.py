@@ -1,0 +1,153 @@
+"""Ring and linear-array embeddings via Hamiltonian words.
+
+A Hamiltonian cycle word in a Cayley graph *is* a dilation-1 ring
+embedding (node ``i`` of the ring maps to the ``i``-th prefix product),
+and a Hamiltonian path word a dilation-1 linear array.  Star graphs are
+bipartite so only even rings embed with dilation 1; the full-size ring
+(``N = k!`` is even) always does once a Hamiltonian cycle is found.
+Composed through Theorems 1-3/6-7 these yield constant-dilation rings in
+every super Cayley family — the cycles-in-star theme of Jwo et al. that
+Corollary 6 builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..comm.spanning_trees import (
+    hamiltonian_cycle_word,
+    hamiltonian_path_word,
+)
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+from ..topologies.ring import LinearArray, Ring
+from .base import FunctionEmbedding
+
+
+def _prefix_nodes(graph: CayleyGraph, word: List[str]) -> List[Permutation]:
+    nodes = [graph.identity]
+    for dim in word:
+        nodes.append(nodes[-1] * graph.generators[dim].perm)
+    return nodes
+
+
+def embed_ring(
+    graph: CayleyGraph, word: Optional[List[str]] = None
+) -> FunctionEmbedding:
+    """A dilation-1, load-1, expansion-1 ring embedding from a
+    Hamiltonian cycle word (found by search when not supplied)."""
+    word = word if word is not None else hamiltonian_cycle_word(graph)
+    nodes = _prefix_nodes(graph, word)
+    if nodes[-1] != graph.identity or len(word) != graph.num_nodes:
+        raise ValueError("not a Hamiltonian cycle word")
+    images = nodes[:-1]
+    ring = Ring(len(images))
+
+    def node_map(i: int) -> Permutation:
+        return images[i]
+
+    def path_fn(tail: int, head: int, label: str = ""):
+        return [images[tail], images[head]]
+
+    return FunctionEmbedding(
+        ring, graph, node_map, path_fn,
+        name=f"{ring.name} -> {graph.name}",
+    )
+
+
+def embed_linear_array(
+    graph: CayleyGraph, word: Optional[List[str]] = None
+) -> FunctionEmbedding:
+    """A dilation-1 linear array (Hamiltonian path) embedding."""
+    word = word if word is not None else hamiltonian_path_word(graph)
+    images = _prefix_nodes(graph, word)
+    if len(images) != graph.num_nodes or len(set(images)) != len(images):
+        raise ValueError("not a Hamiltonian path word")
+    array = LinearArray(len(images))
+
+    def node_map(i: int) -> Permutation:
+        return images[i]
+
+    def path_fn(tail: int, head: int, label: str = ""):
+        return [images[tail], images[head]]
+
+    return FunctionEmbedding(
+        array, graph, node_map, path_fn,
+        name=f"{array.name} -> {graph.name}",
+    )
+
+
+def embed_even_ring_in_star_like(
+    graph: CayleyGraph, length: int
+) -> FunctionEmbedding:
+    """A dilation-1 ring of any even length ``6 <= length <= N`` in an
+    undirected Cayley graph, found by bounded DFS (cycle through the
+    identity).  Star graphs are bipartite, so odd rings need dilation
+    >= 2 and are rejected here."""
+    if length % 2:
+        raise ValueError(
+            "star-like (bipartite) Cayley graphs contain even cycles only"
+        )
+    if not 6 <= length <= graph.num_nodes:
+        raise ValueError(f"length must be in 6..{graph.num_nodes}")
+    word = _bounded_cycle_search(graph, length)
+    nodes = _prefix_nodes(graph, word)
+    images = nodes[:-1]
+    ring = Ring(length)
+
+    def node_map(i: int) -> Permutation:
+        return images[i]
+
+    def path_fn(tail: int, head: int, label: str = ""):
+        return [images[tail], images[head]]
+
+    return FunctionEmbedding(
+        ring, graph, node_map, path_fn,
+        name=f"{ring.name} -> {graph.name}",
+    )
+
+
+def _bounded_cycle_search(
+    graph: CayleyGraph, length: int, max_steps: int = 2_000_000
+) -> List[str]:
+    """DFS for a simple cycle of exact ``length`` through the identity."""
+    gens = [(g.name, g.perm) for g in graph.generators]
+    identity = graph.identity
+    visited = {identity}
+    word: List[str] = []
+    trail = [identity]
+    steps = 0
+
+    def candidates(node, closing):
+        if closing:
+            return [
+                (name, identity) for name, perm in gens
+                if node * perm == identity
+            ]
+        return [
+            (name, node * perm) for name, perm in gens
+            if node * perm not in visited
+        ]
+
+    stack = [candidates(identity, closing=(length == 1))]
+    while stack:
+        steps += 1
+        if steps > max_steps:
+            raise ValueError(
+                f"no {length}-cycle found in {graph.name} within budget"
+            )
+        top = stack[-1]
+        if not top:
+            stack.pop()
+            if word:
+                word.pop()
+                visited.discard(trail.pop())
+            continue
+        name, nxt = top.pop()
+        word.append(name)
+        if nxt == identity and len(word) == length:
+            return word
+        visited.add(nxt)
+        trail.append(nxt)
+        stack.append(candidates(nxt, closing=len(word) == length - 1))
+    raise ValueError(f"{graph.name} has no {length}-cycle")

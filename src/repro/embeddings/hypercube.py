@@ -1,0 +1,108 @@
+"""Hypercube embeddings (Corollary 5, substitution S1 in DESIGN.md).
+
+The paper cites Miller-Pritikin-Sudborough for a dilation-O(1)
+embedding of ``Q_d`` into the k-star for ``d`` up to
+``k log2 k - 3k/2 + o(k)``.  We substitute a self-contained
+**commuting-transpositions construction**:
+
+the ``floor(k/2)`` transpositions ``tau_i = T_{2i-1, 2i}`` have pairwise
+disjoint supports, hence commute and generate an elementary abelian
+2-group — a ``floor(k/2)``-dimensional sub-hypercube of the k-TN with
+dilation 1.  Mapping bit vector ``b`` to ``prod tau_i^{b_i}`` makes each
+cube edge a single k-TN link; expanding ``tau_i`` into a star word
+(``T_{2i-1} T_{2i} T_{2i-1}``, or ``T_2`` for ``tau_1``) gives dilation
+3 into the star, and composing with Theorems 1-3/6-7 gives dilation-O(1)
+embeddings into every super Cayley family.
+
+The claim *shape* (constant dilation, load 1) is fully preserved; the
+dimension range is ``Theta(k)`` instead of ``Theta(k log k)`` — recorded
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..topologies.hypercube import Hypercube
+from ..topologies.star import StarGraph
+from ..topologies.transposition import TranspositionNetwork
+from .base import FunctionEmbedding
+from .compose import compose_through_cayley
+from .tn_into_sc import embed_transposition_network, star_swap_word
+
+
+def max_cube_dimension(k: int) -> int:
+    """Largest ``d`` the commuting-transpositions construction reaches."""
+    return k // 2
+
+
+def cube_node_image(bits: Tuple[int, ...], k: int) -> Permutation:
+    """``b -> prod_i tau_i^{b_i}`` with ``tau_i = T_{2i-1,2i}``."""
+    label = list(range(1, k + 1))
+    for i, bit in enumerate(bits):
+        if bit:
+            a, b = 2 * i, 2 * i + 1  # 0-based positions 2i-1, 2i (1-based)
+            label[a], label[b] = label[b], label[a]
+    return Permutation(label)
+
+
+def embed_hypercube_into_tn(d: int, k: int) -> FunctionEmbedding:
+    """Dilation-1, load-1 embedding of ``Q_d`` into the k-TN
+    (``d <= floor(k/2)``)."""
+    if d > max_cube_dimension(k):
+        raise ValueError(
+            f"commuting-transpositions embedding reaches d <= {k // 2} "
+            f"for k = {k}, got d = {d}"
+        )
+    cube = Hypercube(d)
+    tn = TranspositionNetwork(k)
+
+    def node_map(bits):
+        return cube_node_image(bits, k)
+
+    def path_fn(tail, head, label=""):
+        return [node_map(tail), node_map(head)]
+
+    return FunctionEmbedding(
+        cube, tn, node_map, path_fn, name=f"Q{d} -> TN({k})"
+    )
+
+
+def embed_hypercube_into_star(d: int, k: int) -> FunctionEmbedding:
+    """Dilation-3 embedding of ``Q_d`` into the k-star
+    (``d <= floor(k/2)``): each cube edge expands ``tau_i`` into
+    ``T_{2i-1} T_{2i} T_{2i-1}`` (just ``T_2`` for ``tau_1``)."""
+    if d > max_cube_dimension(k):
+        raise ValueError(
+            f"commuting-transpositions embedding reaches d <= {k // 2} "
+            f"for k = {k}, got d = {d}"
+        )
+    cube = Hypercube(d)
+    star = StarGraph(k)
+
+    def node_map(bits):
+        return cube_node_image(bits, k)
+
+    def path_fn(tail, head, label=""):
+        axis = cube.dimension_of_edge(tail, head)
+        word = star_swap_word(2 * axis + 1, 2 * axis + 2)
+        out = [node_map(tail)]
+        for dim in word:
+            out.append(out[-1] * star.generators[dim].perm)
+        return out
+
+    return FunctionEmbedding(
+        cube, star, node_map, path_fn, name=f"Q{d} -> star({k})"
+    )
+
+
+def embed_hypercube_into_sc(
+    d: int, network: SuperCayleyNetwork
+) -> FunctionEmbedding:
+    """Corollary 5: dilation-O(1) hypercube embedding into a super Cayley
+    network, via ``Q_d -> TN(k) -> network``."""
+    inner = embed_hypercube_into_tn(d, network.k)
+    outer = embed_transposition_network(network)
+    return compose_through_cayley(inner, outer)

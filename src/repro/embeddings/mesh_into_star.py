@@ -1,0 +1,125 @@
+"""The mixed-radix mesh ``2 x 3 x ... x k`` embedding (Corollary 7;
+Jwo, Lakshmivarahan & Dhall 1990 give dilation 3 into the k-star).
+
+Construction (re-derived from scratch — substitution S3 in DESIGN.md):
+
+Every permutation of ``1..k`` is uniquely described by **insertion
+coordinates** ``(d_2, ..., d_k)`` with ``d_i in 1..i``: build the label
+by starting from ``[1]`` and inserting symbol ``i`` at position ``d_i``
+of the current sequence.  Equivalently, ``d_i`` is the position of
+symbol ``i`` within the subsequence of symbols ``<= i``.  The coordinate
+box is exactly the ``2 x 3 x ... x k`` mesh (``d_i - 1 in 0..i-1``), so
+the map is load-1 and expansion-1.
+
+A mesh step along axis ``i`` changes ``d_i`` by one, i.e. swaps symbol
+``i`` with its neighbour in the ``<= i`` subsequence.  Because no symbol
+smaller than ``i`` lies between the two swapped symbols, every other
+coordinate ``d_j`` is unchanged — and the swap is a single transposition
+of the label:
+
+* one k-TN link (dilation 1 into the k-TN — strictly stronger than the
+  corollary needs), and
+* a ``T_a T_b T_a`` star path (dilation 3 into the k-star, matching Jwo
+  et al.).
+
+Composing with Theorems 1-3 (star route) or 6-7 (TN route) yields
+Corollary 7's load-1, expansion-1, dilation-O(1) embeddings into MS,
+complete-RS, MIS, complete-RIS, and IS networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..topologies.mesh import Mesh
+from ..topologies.star import StarGraph
+from ..topologies.transposition import TranspositionNetwork
+from .base import FunctionEmbedding
+from .compose import compose_through_cayley
+from .star_into_sc import embed_star
+from .tn_into_sc import embed_transposition_network, star_swap_word
+
+
+def perm_from_insertion_coords(coords: Tuple[int, ...]) -> Permutation:
+    """Build the permutation with insertion coordinates
+    ``(d_2, ..., d_k)`` (1-based, ``1 <= d_i <= i``)."""
+    label: List[int] = [1]
+    for i, d in enumerate(coords, start=2):
+        if not 1 <= d <= i:
+            raise ValueError(f"d_{i} must be in 1..{i}, got {d}")
+        label.insert(d - 1, i)
+    return Permutation(label)
+
+
+def insertion_coords_from_perm(perm: Permutation) -> Tuple[int, ...]:
+    """Inverse of :func:`perm_from_insertion_coords`."""
+    label = list(perm)
+    coords: List[int] = []
+    for i in range(perm.k, 1, -1):
+        position = label.index(i)
+        coords.append(position + 1)
+        label.pop(position)
+    coords.reverse()
+    return tuple(coords)
+
+
+def _mesh_coord_to_insertion(coord: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Mesh coordinates are 0-based: axis ``i`` (for symbol ``i + 2``)
+    ranges over ``0..i+1``; insertion coordinates are 1-based."""
+    return tuple(c + 1 for c in coord)
+
+
+def _swap_positions(u: Permutation, v: Permutation) -> Tuple[int, int]:
+    diffs = [p for p in range(1, u.k + 1) if u(p) != v(p)]
+    if len(diffs) != 2:
+        raise ValueError(f"{u} and {v} are not one transposition apart")
+    return diffs[0], diffs[1]
+
+
+def embed_mixed_mesh_into_tn(k: int) -> FunctionEmbedding:
+    """``2 x 3 x ... x k`` mesh into the k-TN: load 1, expansion 1,
+    dilation 1."""
+    mesh = Mesh.mixed_radix(k)
+    tn = TranspositionNetwork(k)
+
+    def node_map(coord):
+        return perm_from_insertion_coords(_mesh_coord_to_insertion(coord))
+
+    def path_fn(tail, head, label=""):
+        return [node_map(tail), node_map(head)]
+
+    return FunctionEmbedding(
+        mesh, tn, node_map, path_fn, name=f"{mesh.name} -> TN({k})"
+    )
+
+
+def embed_mixed_mesh_into_star(k: int) -> FunctionEmbedding:
+    """Corollary 7's cited substrate: the mixed-radix mesh into the
+    k-star with load 1, expansion 1, dilation <= 3."""
+    mesh = Mesh.mixed_radix(k)
+    star = StarGraph(k)
+
+    def node_map(coord):
+        return perm_from_insertion_coords(_mesh_coord_to_insertion(coord))
+
+    def path_fn(tail, head, label=""):
+        u, v = node_map(tail), node_map(head)
+        a, b = _swap_positions(u, v)
+        out = [u]
+        for dim in star_swap_word(a, b):
+            out.append(out[-1] * star.generators[dim].perm)
+        return out
+
+    return FunctionEmbedding(
+        mesh, star, node_map, path_fn, name=f"{mesh.name} -> star({k})"
+    )
+
+
+def embed_mixed_mesh_into_sc(network: SuperCayleyNetwork) -> FunctionEmbedding:
+    """Corollary 7: the mixed-radix mesh into a super Cayley network with
+    load 1, expansion 1, dilation O(1) (via the star embedding)."""
+    inner = embed_mixed_mesh_into_star(network.k)
+    outer = embed_star(network)
+    return compose_through_cayley(inner, outer)

@@ -1,0 +1,101 @@
+"""The ``k x (k-1)!`` mesh embedding into the k-TN (Corollary 6's
+substrate; Latifi & Srimani 1996 show the k-TN embeds an
+``m1 x m2 = k!`` mesh with load 1, expansion 1, dilation 1).
+
+Construction (re-derived; substitution S3-adjacent, see DESIGN.md):
+
+* **columns** enumerate the ``(k-1)!`` arrangements of symbols
+  ``1..k-1`` in Steinhaus-Johnson-Trotter order, so consecutive columns
+  differ by one adjacent transposition of those symbols;
+* **row** ``r`` inserts symbol ``k`` at position ``r + 1`` of the
+  arrangement.
+
+Row steps transpose ``k`` with the neighbouring symbol — one k-TN link.
+Column steps swap two symbols that are adjacent in the arrangement;
+in the full label they sit at distance 1 or 2 (when ``k`` sits between
+them), but any transposition is a k-TN link, so dilation is 1 either
+way.  Composing with Theorems 6-7 yields Corollary 6's mesh embeddings
+into MS, complete-RS, IS, MIS, and complete-RIS networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..topologies.mesh import Mesh
+from ..topologies.star import StarGraph
+from ..topologies.transposition import TranspositionNetwork
+from .base import FunctionEmbedding
+from .compose import compose_through_cayley
+from .sjt import sjt_sequence
+from .tn_into_sc import embed_transposition_network, star_swap_word
+
+
+def mesh_node_image(
+    row: int, column_perm: Tuple[int, ...], k: int
+) -> Permutation:
+    """Insert symbol ``k`` at position ``row + 1`` of the arrangement."""
+    label = list(column_perm)
+    label.insert(row, k)
+    return Permutation(label)
+
+
+def _differing_positions(u: Permutation, v: Permutation) -> Tuple[int, int]:
+    """The two (1-based) positions where adjacent mesh images differ."""
+    diffs = [p for p in range(1, u.k + 1) if u(p) != v(p)]
+    if len(diffs) != 2:
+        raise ValueError(f"{u} and {v} are not one transposition apart")
+    return diffs[0], diffs[1]
+
+
+def embed_mesh_into_tn(k: int) -> FunctionEmbedding:
+    """The load-1, expansion-1, dilation-1 ``k x (k-1)!`` mesh embedding
+    into the k-TN."""
+    columns = sjt_sequence(k - 1)
+    mesh = Mesh([k, len(columns)])
+    tn = TranspositionNetwork(k)
+
+    def node_map(coord):
+        row, col = coord
+        return mesh_node_image(row, columns[col], k)
+
+    def path_fn(tail, head, label=""):
+        return [node_map(tail), node_map(head)]
+
+    return FunctionEmbedding(
+        mesh, tn, node_map, path_fn, name=f"{mesh.name} -> TN({k})"
+    )
+
+
+def embed_mesh_into_star(k: int) -> FunctionEmbedding:
+    """The same mesh into the k-star with dilation <= 3 (each
+    transposition expands to ``T_a T_b T_a``)."""
+    columns = sjt_sequence(k - 1)
+    mesh = Mesh([k, len(columns)])
+    star = StarGraph(k)
+
+    def node_map(coord):
+        row, col = coord
+        return mesh_node_image(row, columns[col], k)
+
+    def path_fn(tail, head, label=""):
+        u, v = node_map(tail), node_map(head)
+        a, b = _differing_positions(u, v)
+        out = [u]
+        for dim in star_swap_word(a, b):
+            out.append(out[-1] * star.generators[dim].perm)
+        return out
+
+    return FunctionEmbedding(
+        mesh, star, node_map, path_fn, name=f"{mesh.name} -> star({k})"
+    )
+
+
+def embed_mesh_into_sc(network: SuperCayleyNetwork) -> FunctionEmbedding:
+    """Corollary 6: the ``k x (k-1)!`` mesh into a super Cayley network
+    with load 1, expansion 1, and O(1) dilation, via the k-TN."""
+    inner = embed_mesh_into_tn(network.k)
+    outer = embed_transposition_network(network)
+    return compose_through_cayley(inner, outer)

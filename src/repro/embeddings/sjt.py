@@ -1,0 +1,66 @@
+"""The Steinhaus-Johnson-Trotter permutation Gray code.
+
+Enumerates all ``m!`` permutations of ``1..m`` such that consecutive
+permutations differ by a single *adjacent* transposition.  This is the
+backbone of the Corollary 6 mesh embedding: SJT columns give a
+Hamiltonian adjacent-transposition path through the ``(k-1)!``
+arrangements of the non-``k`` symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def sjt_permutations(m: int) -> Iterator[Tuple[int, ...]]:
+    """Yield the ``m!`` permutations of ``1..m`` in SJT order.
+
+    Consecutive outputs differ by swapping two adjacent entries (the
+    classical "plain changes" order).
+    """
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    # Classic directed-integers algorithm.  direction: -1 left, +1 right.
+    perm: List[int] = list(range(1, m + 1))
+    direction: List[int] = [-1] * m
+    yield tuple(perm)
+    while True:
+        # Find the largest mobile element.
+        mobile_index = -1
+        mobile_value = 0
+        for idx, value in enumerate(perm):
+            target = idx + direction[idx]
+            if 0 <= target < m and perm[target] < value and value > mobile_value:
+                mobile_index, mobile_value = idx, value
+        if mobile_index < 0:
+            return
+        # Swap it in its direction (carrying the direction flag).
+        target = mobile_index + direction[mobile_index]
+        perm[mobile_index], perm[target] = perm[target], perm[mobile_index]
+        direction[mobile_index], direction[target] = (
+            direction[target],
+            direction[mobile_index],
+        )
+        # Reverse direction of all larger elements.
+        for idx, value in enumerate(perm):
+            if value > mobile_value:
+                direction[idx] = -direction[idx]
+        yield tuple(perm)
+
+
+def sjt_sequence(m: int) -> List[Tuple[int, ...]]:
+    """The full SJT list (``m!`` entries)."""
+    return list(sjt_permutations(m))
+
+
+def adjacent_swap_position(
+    before: Tuple[int, ...], after: Tuple[int, ...]
+) -> int:
+    """0-based index ``p`` such that ``before`` and ``after`` differ by
+    swapping entries ``p`` and ``p + 1``."""
+    diffs = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+    if len(diffs) != 2 or diffs[1] != diffs[0] + 1:
+        raise ValueError(
+            f"{before} and {after} do not differ by one adjacent swap"
+        )
+    return diffs[0]

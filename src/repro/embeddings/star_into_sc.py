@@ -1,0 +1,55 @@
+"""Embedding the star graph into super Cayley networks (Theorems 1-3).
+
+The node map is the identity — node ``U`` of the ``(ln+1)``-star maps to
+the node with the same permutation label — and star link ``T_j`` maps to
+the network's star-dimension word, giving
+
+* dilation 2, congestion 1 into IS(k)            (Theorem 2),
+* dilation 3 into MS(l, n) / complete-RS(l, n)   (Theorem 1),
+* dilation 4 into MIS(l, n) / complete-RIS(l, n) (Theorem 3),
+
+with congestion ``max(2n, l)`` for the macro/complete-rotation families
+(Section 3) and per-dimension congestion at most 2.
+"""
+
+from __future__ import annotations
+
+from ..core.super_cayley import SuperCayleyNetwork
+from ..topologies.star import StarGraph
+from .base import WordEmbedding
+
+
+def embed_star(network: SuperCayleyNetwork) -> WordEmbedding:
+    """The identity-map star embedding of Theorems 1-3.
+
+    Works for every family with a constant-dilation star emulation (MS,
+    complete-RS, IS, MIS, complete-RIS); raises ``NotImplementedError``
+    for pure-rotator nuclei and produces non-constant (but valid) words
+    for the single-step rotation families.
+    """
+    star = StarGraph(network.k)
+    words = {
+        f"T{j}": network.star_dimension_word(j)
+        for j in range(2, network.k + 1)
+    }
+    return WordEmbedding(
+        star, network, words, name=f"star({network.k}) -> {network.name}"
+    )
+
+
+def theoretical_star_dilation(family: str) -> int:
+    """The paper's dilation constants for the star embedding."""
+    return {
+        "IS": 2,
+        "MS": 3,
+        "complete-RS": 3,
+        "MIS": 4,
+        "complete-RIS": 4,
+    }[family]
+
+
+def theoretical_star_congestion(network: SuperCayleyNetwork) -> int:
+    """The paper's congestion claim: 1 for IS, else ``max(2n, l)``."""
+    if network.family == "IS":
+        return 1
+    return max(2 * network.n, network.l)

@@ -1,0 +1,48 @@
+"""Subgraph embeddings: star and bubble-sort graphs inside the k-TN.
+
+Section 5 notes the k-TN "contains a k-star or a k-dimensional
+bubble-sort graph as a subgraph"; combined with Theorems 6-7 this gives
+constant-dilation bubble-sort embeddings into every super Cayley family.
+A subgraph inclusion is a dilation-1, load-1 word embedding where each
+guest generator maps to itself.
+"""
+
+from __future__ import annotations
+
+from ..core.super_cayley import SuperCayleyNetwork
+from ..topologies.bubble_sort import BubbleSortGraph
+from ..topologies.star import StarGraph
+from ..topologies.transposition import TranspositionNetwork
+from .base import FunctionEmbedding, WordEmbedding
+from .tn_into_sc import embed_transposition_network, tn_dimension_word
+
+
+def embed_star_into_tn(k: int) -> WordEmbedding:
+    """The k-star as a subgraph of the k-TN (``T_j = T_{1,j}``)."""
+    star = StarGraph(k)
+    tn = TranspositionNetwork(k)
+    words = {f"T{j}": [f"T(1,{j})"] for j in range(2, k + 1)}
+    return WordEmbedding(star, tn, words, name=f"star({k}) c TN({k})")
+
+
+def embed_bubble_sort_into_tn(k: int) -> WordEmbedding:
+    """The bubble-sort graph as a subgraph of the k-TN."""
+    bs = BubbleSortGraph(k)
+    tn = TranspositionNetwork(k)
+    words = {f"T({i},{i + 1})": [f"T({i},{i + 1})"] for i in range(1, k)}
+    return WordEmbedding(bs, tn, words, name=f"bubble-sort({k}) c TN({k})")
+
+
+def embed_bubble_sort_into_sc(network: SuperCayleyNetwork) -> WordEmbedding:
+    """Bubble-sort graph into a super Cayley network with constant
+    dilation (Section 5's closing remark), via the Theorem 6/7 words for
+    the adjacent transpositions only."""
+    bs = BubbleSortGraph(network.k)
+    words = {
+        f"T({i},{i + 1})": tn_dimension_word(network, i, i + 1)
+        for i in range(1, network.k)
+    }
+    return WordEmbedding(
+        bs, network, words,
+        name=f"bubble-sort({network.k}) -> {network.name}",
+    )

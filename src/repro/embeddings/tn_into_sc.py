@@ -1,0 +1,121 @@
+"""Embedding the transposition network into super Cayley graphs
+(Theorems 6 and 7) and into the star graph.
+
+Theorem 6's case analysis for the image of the k-TN generator
+``T_{i,j}`` (``1 <= i < j <= k``), with ``i0 = (i-2) mod n``,
+``i1 = floor((i-2)/n)`` and likewise for ``j``:
+
+=====================  ==========================================================
+case                   word
+=====================  ==========================================================
+``i = 1, j1 = 0``      ``T_j``
+``i = 1, j1 > 0``      ``B_{j1+1} T_{j0+2} B_{j1+1}^{-1}``
+``i1 = j1 = 0``        ``T_i T_j T_i``
+``i1 = 0, j1 > 0``     ``T_i B_{j1+1} T_{j0+2} B_{j1+1}^{-1} T_i``
+``i1 = j1 > 0``        ``B_{i1+1} T_{i0+2} T_{j0+2} T_{i0+2} B_{i1+1}^{-1}``
+``i1 != j1, both > 0`` ``B_{i1+1} T_{i0+2} B' T_{j0+2} B'^{-1} T_{i0+2} B_{i1+1}^{-1}``
+=====================  ==========================================================
+
+where ``B'`` brings the box holding the second ball to the front *from
+the current configuration* (equal to ``B_{j1+1}`` for swap-based
+families; a relative rotation for rotation-based ones — see
+``SuperCayleyNetwork.pair_bring_words``).  Nucleus transpositions are
+realised by ``nucleus_transposition_word`` so the same table serves the
+insertion-selection nuclei of Theorem 7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.super_cayley import SuperCayleyNetwork, split_star_dimension
+from ..topologies.star import StarGraph
+from ..topologies.transposition import TranspositionNetwork
+from .base import WordEmbedding
+
+
+def star_swap_word(a: int, b: int) -> List[str]:
+    """Star-graph word realising the pair transposition ``T_{a,b}``:
+    ``T_b`` when ``a = 1``, else the conjugation ``T_a T_b T_a``."""
+    if not 1 <= a < b:
+        raise ValueError(f"need 1 <= a < b, got {a}, {b}")
+    if a == 1:
+        return [f"T{b}"]
+    return [f"T{a}", f"T{b}", f"T{a}"]
+
+
+def tn_dimension_word(network: SuperCayleyNetwork, i: int, j: int) -> List[str]:
+    """The Theorem 6/7 word for k-TN generator ``T_{i,j}`` on ``network``."""
+    if not 1 <= i < j <= network.k:
+        raise ValueError(f"need 1 <= i < j <= {network.k}, got {i}, {j}")
+    nw = network.nucleus_transposition_word
+    if i == 1:
+        return network.star_dimension_word(j)
+    i0, i1 = split_star_dimension(i, network.n)
+    j0, j1 = split_star_dimension(j, network.n)
+    if i1 == 0 and j1 == 0:
+        return nw(i) + nw(j) + nw(i)
+    if i1 == 0:
+        return (
+            nw(i)
+            + network.bring_box_word(j1 + 1)
+            + nw(j0 + 2)
+            + network.return_box_word(j1 + 1)
+            + nw(i)
+        )
+    if i1 == j1:
+        return (
+            network.bring_box_word(i1 + 1)
+            + nw(i0 + 2)
+            + nw(j0 + 2)
+            + nw(i0 + 2)
+            + network.return_box_word(i1 + 1)
+        )
+    outer, inner, inner_inv, outer_inv = network.pair_bring_words(
+        i1 + 1, j1 + 1
+    )
+    return (
+        outer + nw(i0 + 2) + inner + nw(j0 + 2) + inner_inv
+        + nw(i0 + 2) + outer_inv
+    )
+
+
+def embed_transposition_network(network: SuperCayleyNetwork) -> WordEmbedding:
+    """The load-1, expansion-1 k-TN embedding of Theorems 6-7.
+
+    Dilation: 5 for MS/complete-RS with ``l = 2``; 7 with ``l >= 3``;
+    6 for IS; O(1) for MIS/complete-RIS.
+    """
+    tn = TranspositionNetwork(network.k)
+    words = {
+        f"T({i},{j})": tn_dimension_word(network, i, j)
+        for i in range(1, network.k + 1)
+        for j in range(i + 1, network.k + 1)
+    }
+    return WordEmbedding(
+        tn, network, words, name=f"TN({network.k}) -> {network.name}"
+    )
+
+
+def embed_tn_into_star(k: int) -> WordEmbedding:
+    """The dilation-3 embedding of the k-TN into the k-star used by
+    Theorem 7 (``T_{i,j} -> T_i T_j T_i``, ``T_{1,j} -> T_j``)."""
+    tn = TranspositionNetwork(k)
+    star = StarGraph(k)
+    words = {
+        f"T({i},{j})": star_swap_word(i, j)
+        for i in range(1, k + 1)
+        for j in range(i + 1, k + 1)
+    }
+    return WordEmbedding(tn, star, words, name=f"TN({k}) -> star({k})")
+
+
+def theoretical_tn_dilation(network: SuperCayleyNetwork) -> int:
+    """Theorem 6's dilation constants (transposition-nucleus families)."""
+    if network.family in ("MS", "complete-RS"):
+        return 5 if network.l == 2 else 7
+    if network.family == "IS":
+        return 6
+    raise ValueError(
+        f"the paper states no exact TN dilation for {network.family}"
+    )

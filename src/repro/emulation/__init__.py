@@ -1,0 +1,61 @@
+"""Star-graph emulation under the SDC and all-port communication models
+(Sections 3 and 4 of the paper)."""
+
+from .models import (
+    CommModel,
+    emulation_slowdown_lower_bound,
+    is_legal_round,
+    ports_per_step,
+)
+from .schedule import Schedule, ScheduleEntry
+from .sdc import (
+    emulate_sdc_algorithm,
+    emulate_sdc_exchange,
+    sdc_emulation_cost,
+    sdc_emulation_steps,
+    sdc_slowdown,
+    verify_sdc_emulation,
+)
+from .allport import (
+    allport_schedule,
+    allport_slowdown,
+    theorem4_slowdown,
+    theorem5_slowdown,
+    theoretical_allport_slowdown,
+)
+from .generic import (
+    bubble_sort_emulation_jobs,
+    emulation_makespan,
+    generic_allport_schedule,
+    makespan_lower_bound,
+    star_emulation_jobs,
+    tn_emulation_jobs,
+    validate_generic_schedule,
+)
+
+__all__ = [
+    "CommModel",
+    "is_legal_round",
+    "ports_per_step",
+    "emulation_slowdown_lower_bound",
+    "Schedule",
+    "ScheduleEntry",
+    "sdc_emulation_steps",
+    "sdc_slowdown",
+    "emulate_sdc_exchange",
+    "verify_sdc_emulation",
+    "emulate_sdc_algorithm",
+    "sdc_emulation_cost",
+    "allport_schedule",
+    "allport_slowdown",
+    "theorem4_slowdown",
+    "theorem5_slowdown",
+    "theoretical_allport_slowdown",
+    "generic_allport_schedule",
+    "validate_generic_schedule",
+    "emulation_makespan",
+    "makespan_lower_bound",
+    "tn_emulation_jobs",
+    "bubble_sort_emulation_jobs",
+    "star_emulation_jobs",
+]

@@ -1,0 +1,80 @@
+"""Communication models (Sections 3 and 4).
+
+* **single-dimension communication (SDC)** — in each step every node may
+  use only links of one common dimension (SIMD-style);
+* **single-port** — each node sends on at most one outgoing link and
+  receives on at most one incoming link per step;
+* **all-port** — each node may use all its incident links simultaneously
+  (one packet per link per step).
+
+A *round* is a set of ``(node, dimension)`` transmissions; the checkers
+below decide whether a round is legal under each model.  They are used
+both by the emulation schedules (Theorems 1-5) and by the packet
+simulator behind the MNB/TE experiments (Corollaries 2-3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+from typing import Iterable, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+class CommModel(Enum):
+    """The three communication models considered by the paper."""
+
+    SDC = "single-dimension"
+    SINGLE_PORT = "single-port"
+    ALL_PORT = "all-port"
+
+
+Transmission = Tuple[Permutation, str]  # (sending node, dimension name)
+
+
+def is_legal_round(
+    graph: CayleyGraph,
+    transmissions: Iterable[Transmission],
+    model: CommModel,
+) -> bool:
+    """Check one round of transmissions against a communication model.
+
+    Under every model a link carries at most one packet per round, so a
+    ``(node, dimension)`` pair may appear at most once.
+    """
+    transmissions = list(transmissions)
+    counts = Counter(transmissions)
+    if counts and max(counts.values()) > 1:
+        return False  # a link carries one packet per round
+    if model is CommModel.SDC:
+        dims = {dim for _node, dim in transmissions}
+        return len(dims) <= 1
+    if model is CommModel.SINGLE_PORT:
+        senders = Counter(node for node, _dim in transmissions)
+        if senders and max(senders.values()) > 1:
+            return False
+        receivers = Counter(
+            node * graph.generators[dim].perm for node, dim in transmissions
+        )
+        return not receivers or max(receivers.values()) <= 1
+    if model is CommModel.ALL_PORT:
+        return True  # per-link uniqueness already checked
+    raise ValueError(f"unknown model {model!r}")
+
+
+def ports_per_step(graph: CayleyGraph, model: CommModel) -> int:
+    """Maximum packets a node can emit per step under ``model``."""
+    if model is CommModel.ALL_PORT:
+        return graph.degree
+    return 1
+
+
+def emulation_slowdown_lower_bound(host_degree: int, guest_degree: int) -> int:
+    """``T(d1, d2) = ceil(d2 / d1)`` — Section 4's lower bound on the
+    slowdown for a degree-``d1`` graph emulating a degree-``d2`` graph
+    under the all-port model."""
+    if host_degree < 1 or guest_degree < 1:
+        raise ValueError("degrees must be positive")
+    return -(-guest_degree // host_degree)

@@ -1,0 +1,46 @@
+"""Programmatic experiment runners.
+
+The benchmark suite regenerates the paper's results as pass/fail
+assertions; this package exposes the same sweeps as a *library API*
+returning structured rows, so downstream users can run custom parameter
+ranges and build their own tables::
+
+    from repro.experiments import theorem4_sweep
+
+    for row in theorem4_sweep(l_range=range(2, 12), n_range=range(1, 8)):
+        print(row.network, row.measured, row.predicted, row.matches)
+"""
+
+from .report import CheckResult, render_report, run_quick_report
+from .runners import (
+    EmbeddingRow,
+    EmulationRow,
+    Figure1Row,
+    TaskRow,
+    figure1_panels,
+    mnb_sweep,
+    properties_sweep,
+    star_embedding_sweep,
+    te_sweep,
+    theorem4_sweep,
+    theorem5_sweep,
+    tn_embedding_sweep,
+)
+
+__all__ = [
+    "EmulationRow",
+    "EmbeddingRow",
+    "TaskRow",
+    "Figure1Row",
+    "theorem4_sweep",
+    "theorem5_sweep",
+    "star_embedding_sweep",
+    "tn_embedding_sweep",
+    "mnb_sweep",
+    "te_sweep",
+    "figure1_panels",
+    "properties_sweep",
+    "CheckResult",
+    "run_quick_report",
+    "render_report",
+]

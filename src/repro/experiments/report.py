@@ -1,0 +1,133 @@
+"""One-shot reproduction report: every theorem/corollary/figure checked
+programmatically, rendered as a PASS/FAIL table.
+
+Powers ``repro report``; the quick mode covers everything that runs in
+seconds (the full benchmark suite remains the authoritative record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..embeddings import (
+    embed_star,
+    embed_transposition_network,
+)
+from ..emulation import allport_schedule, sdc_slowdown, verify_sdc_emulation
+from ..networks import make_network
+
+
+@dataclass
+class CheckResult:
+    claim: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+def _check(claim, expected, measured, passed) -> CheckResult:
+    return CheckResult(claim, str(expected), str(measured), bool(passed))
+
+
+def run_quick_report() -> List[CheckResult]:
+    """The second-scale reproduction sweep."""
+    out: List[CheckResult] = []
+
+    # Theorem 1: SDC slowdown 3 on MS / complete-RS.
+    for family in ("MS", "complete-RS"):
+        net = make_network(family, l=2, n=2)
+        measured = sdc_slowdown(net)
+        out.append(_check(
+            f"Thm 1: SDC slowdown on {net.name}", 3, measured, measured == 3
+        ))
+
+    # Theorem 2: IS slowdown 2, verified exchange.
+    is5 = make_network("IS", k=5)
+    measured = sdc_slowdown(is5)
+    out.append(_check("Thm 2: SDC slowdown on IS(5)", 2, measured,
+                      measured == 2))
+    ok = all(verify_sdc_emulation(is5, j) for j in range(2, 6))
+    out.append(_check("Thm 2: verified token exchange on IS(5)",
+                      "all dims", "all dims" if ok else "FAILED", ok))
+
+    # Theorem 3: MIS slowdown 4.
+    mis = make_network("MIS", l=2, n=2)
+    measured = sdc_slowdown(mis)
+    out.append(_check("Thm 3: SDC slowdown on MIS(2,2)", 4, measured,
+                      measured == 4))
+
+    # Theorem 4: all-port makespans.
+    for l, n in ((2, 2), (3, 2), (4, 3)):
+        net = make_network("MS", l=l, n=n)
+        sched = allport_schedule(net)
+        sched.validate()
+        want = max(2 * n, l + 1)
+        out.append(_check(
+            f"Thm 4: all-port slowdown on {net.name}", want,
+            sched.makespan, sched.makespan == want,
+        ))
+
+    # Theorem 5 (non-degenerate instance).
+    net = make_network("MIS", l=3, n=2)
+    sched = allport_schedule(net)
+    sched.validate()
+    out.append(_check("Thm 5: all-port slowdown on MIS(3,2)", 5,
+                      sched.makespan, sched.makespan == 5))
+
+    # Theorem 6: TN dilations.
+    for family, l, n, want in (("MS", 2, 2, 5), ("MS", 3, 2, 7)):
+        net = make_network(family, l=l, n=n)
+        emb = embed_transposition_network(net)
+        measured = emb.dilation()
+        out.append(_check(
+            f"Thm 6: TN dilation into {net.name}", want, measured,
+            measured == want,
+        ))
+
+    # Theorem 7: TN into IS.
+    emb = embed_transposition_network(is5)
+    measured = emb.dilation()
+    out.append(_check("Thm 7: TN dilation into IS(5)", 6, measured,
+                      measured == 6))
+
+    # Star-embedding metrics (Theorems 1-3 as embeddings).
+    for net, want in ((make_network("MS", l=2, n=2), 3), (is5, 2),
+                      (mis, 4)):
+        emb = embed_star(net)
+        measured = emb.dilation()
+        out.append(_check(
+            f"star embedding dilation into {net.name}", want, measured,
+            measured == want,
+        ))
+
+    # Figure 1b: utilization 93%.
+    net = make_network("MS", l=5, n=3)
+    sched = allport_schedule(net)
+    sched.validate()
+    util = round(sched.utilization(), 2)
+    out.append(_check("Fig 1b: MS(5,3) average link utilization", 0.93,
+                      util, util == 0.93))
+    steps = sched.per_step_utilization()
+    full5 = all(u == 1.0 for u in steps[:5])
+    out.append(_check("Fig 1b: links fully used during steps 1-5",
+                      "100% x5", "yes" if full5 else "no", full5))
+    return out
+
+
+def render_report(results: List[CheckResult]) -> str:
+    width = max(len(r.claim) for r in results) + 2
+    lines = [
+        f"{'claim'.ljust(width)} expected   measured   status",
+        "-" * (width + 32),
+    ]
+    for r in results:
+        status = "PASS" if r.passed else "FAIL"
+        lines.append(
+            f"{r.claim.ljust(width)} {r.expected:<10} {r.measured:<10} "
+            f"{status}"
+        )
+    passed = sum(r.passed for r in results)
+    lines.append("-" * (width + 32))
+    lines.append(f"{passed}/{len(results)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""Experiment runners: structured, reusable versions of the paper's
+evaluation sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..analysis import network_profile
+from ..comm import (
+    mnb_allport_broadcast_trees,
+    mnb_lower_bound_allport,
+    te_emulated,
+    te_lower_bound_allport,
+    te_star,
+)
+from ..embeddings import embed_star, embed_transposition_network
+from ..emulation import (
+    allport_schedule,
+    theorem4_slowdown,
+    theorem5_slowdown,
+)
+from ..networks import make_network
+from ..topologies import StarGraph
+
+
+@dataclass(frozen=True)
+class EmulationRow:
+    """One instance of an emulation sweep."""
+
+    network: str
+    l: int
+    n: int
+    measured: int
+    predicted: int
+
+    @property
+    def matches(self) -> bool:
+        return self.measured == self.predicted
+
+
+@dataclass(frozen=True)
+class EmbeddingRow:
+    """Measured embedding metrics for one host."""
+
+    guest: str
+    host: str
+    load: int
+    expansion: float
+    dilation: int
+    congestion: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TaskRow:
+    """A communication-task measurement against its lower bound."""
+
+    network: str
+    nodes: int
+    degree: int
+    rounds: int
+    lower_bound: float
+
+    @property
+    def ratio(self) -> float:
+        return self.rounds / self.lower_bound
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One Figure 1 panel."""
+
+    network: str
+    star_k: int
+    makespan: int
+    utilization: float
+    per_step: Sequence[float]
+    grid: str
+
+
+def theorem4_sweep(
+    l_range: Iterable[int] = range(2, 9),
+    n_range: Iterable[int] = range(1, 6),
+    families: Sequence[str] = ("MS", "complete-RS"),
+    validate: bool = True,
+) -> Iterator[EmulationRow]:
+    """Theorem 4's slowdown surface: ``max(2n, l+1)`` vs. measured."""
+    for l in l_range:
+        for n in n_range:
+            for family in families:
+                net = make_network(family, l=l, n=n)
+                sched = allport_schedule(net)
+                if validate:
+                    sched.validate()
+                yield EmulationRow(
+                    net.name, l, n, sched.makespan, theorem4_slowdown(l, n)
+                )
+
+
+def theorem5_sweep(
+    l_range: Iterable[int] = range(2, 8),
+    n_range: Iterable[int] = range(1, 5),
+    families: Sequence[str] = ("MIS", "complete-RIS"),
+    validate: bool = True,
+) -> Iterator[EmulationRow]:
+    """Theorem 5's surface (the degenerate (2,2) instance measures
+    predicted + 1; see EXPERIMENTS.md D1)."""
+    for l in l_range:
+        for n in n_range:
+            for family in families:
+                net = make_network(family, l=l, n=n)
+                sched = allport_schedule(net)
+                if validate:
+                    sched.validate()
+                yield EmulationRow(
+                    net.name, l, n, sched.makespan, theorem5_slowdown(l, n)
+                )
+
+
+def star_embedding_sweep(
+    instances: Sequence = (("MS", 2, 2), ("complete-RS", 2, 2),
+                           ("IS", None, None), ("MIS", 2, 2),
+                           ("complete-RIS", 2, 2)),
+    k_for_is: int = 5,
+    with_congestion: bool = True,
+) -> Iterator[EmbeddingRow]:
+    """Theorems 1-3: star-embedding metrics per family."""
+    for family, l, n in instances:
+        net = (make_network("IS", k=k_for_is) if family == "IS"
+               else make_network(family, l=l, n=n))
+        emb = embed_star(net)
+        yield EmbeddingRow(
+            guest=f"star({net.k})",
+            host=net.name,
+            load=emb.load(),
+            expansion=emb.expansion(),
+            dilation=emb.dilation(),
+            congestion=emb.congestion() if with_congestion else None,
+        )
+
+
+def tn_embedding_sweep(
+    instances: Sequence = (("MS", 2, 2), ("MS", 3, 2),
+                           ("complete-RS", 2, 2), ("IS", None, None)),
+    k_for_is: int = 5,
+) -> Iterator[EmbeddingRow]:
+    """Theorems 6-7: transposition-network embedding metrics."""
+    for family, l, n in instances:
+        net = (make_network("IS", k=k_for_is) if family == "IS"
+               else make_network(family, l=l, n=n))
+        emb = embed_transposition_network(net)
+        yield EmbeddingRow(
+            guest=f"TN({net.k})",
+            host=net.name,
+            load=emb.load(),
+            expansion=emb.expansion(),
+            dilation=emb.dilation(),
+        )
+
+
+def mnb_sweep(star_ks: Iterable[int] = (3, 4, 5),
+              sc_instances: Sequence = (("MS", 2, 2),)) -> Iterator[TaskRow]:
+    """Corollary 2: all-port MNB rounds vs. ``ceil((N-1)/d)``."""
+    for k in star_ks:
+        star = StarGraph(k)
+        rounds = mnb_allport_broadcast_trees(star)
+        yield TaskRow(
+            star.name, star.num_nodes, star.degree, rounds,
+            mnb_lower_bound_allport(star.num_nodes, star.degree),
+        )
+    for family, l, n in sc_instances:
+        net = make_network(family, l=l, n=n)
+        rounds = mnb_allport_broadcast_trees(net)
+        yield TaskRow(
+            net.name, net.num_nodes, net.degree, rounds,
+            mnb_lower_bound_allport(net.num_nodes, net.degree),
+        )
+
+
+def te_sweep(star_ks: Iterable[int] = (3, 4, 5),
+             sc_instances: Sequence = (("MS", 2, 2),)) -> Iterator[TaskRow]:
+    """Corollary 3: TE rounds vs. the counting bound."""
+    for k in star_ks:
+        star = StarGraph(k)
+        result = te_star(k)
+        yield TaskRow(
+            star.name, star.num_nodes, star.degree, result.rounds,
+            te_lower_bound_allport(
+                star.num_nodes, star.degree, star.average_distance()
+            ),
+        )
+    for family, l, n in sc_instances:
+        net = make_network(family, l=l, n=n)
+        result = te_emulated(net)
+        yield TaskRow(
+            net.name, net.num_nodes, net.degree, result.rounds,
+            te_lower_bound_allport(
+                net.num_nodes, net.degree, net.average_distance()
+            ),
+        )
+
+
+def figure1_panels(
+    panels: Sequence = (("MS", 4, 3, 13), ("MS", 5, 3, 16)),
+) -> Iterator[Figure1Row]:
+    """Regenerate Figure 1's panels (and any custom ones)."""
+    for family, l, n, star_k in panels:
+        net = make_network(family, l=l, n=n)
+        assert net.k == star_k
+        sched = allport_schedule(net)
+        sched.validate()
+        yield Figure1Row(
+            network=net.name,
+            star_k=star_k,
+            makespan=sched.makespan,
+            utilization=sched.utilization(),
+            per_step=tuple(sched.per_step_utilization()),
+            grid=sched.render_grid(),
+        )
+
+
+def properties_sweep(
+    instances: Sequence = (("MS", 2, 2), ("RS", 2, 2), ("MR", 2, 2),
+                           ("IS", None, None), ("MIS", 2, 2)),
+    k_for_is: int = 4,
+    exact: bool = True,
+) -> Iterator[dict]:
+    """Section 2's property table, row per instance."""
+    for family, l, n in instances:
+        net = (make_network("IS", k=k_for_is) if family == "IS"
+               else make_network(family, l=l, n=n))
+        yield network_profile(net, exact=exact)

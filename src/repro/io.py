@@ -1,0 +1,120 @@
+"""JSON serialization for the library's artefacts.
+
+Schedules, embeddings, and network specifications are expensive to
+recompute at scale (a Theorem 4 schedule for MS(8,5) enumerates ~200
+transmissions; a validated TN(7) embedding walks ~10^5 paths), so this
+module round-trips them through plain JSON:
+
+* **network specs** — ``{"family": "MS", "l": 4, "n": 3}`` rebuild via
+  the registry;
+* **schedules** — entry triples plus the network spec, revalidated on
+  load;
+* **word embeddings** — the per-dimension words plus guest/host specs.
+
+Only word embeddings serialize (function embeddings close over
+arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .core.super_cayley import SuperCayleyNetwork
+from .embeddings.base import WordEmbedding
+from .emulation.schedule import Schedule, ScheduleEntry
+from .networks import make_network
+from .topologies import StarGraph, TranspositionNetwork
+
+
+def network_spec(network: SuperCayleyNetwork) -> Dict[str, object]:
+    """The JSON-able constructor arguments of a super Cayley network."""
+    if network.family == "IS":
+        return {"family": "IS", "k": network.k}
+    return {"family": network.family, "l": network.l, "n": network.n}
+
+
+def network_from_spec(spec: Dict[str, object]) -> SuperCayleyNetwork:
+    """Rebuild a network from :func:`network_spec` output."""
+    spec = dict(spec)
+    family = spec.pop("family")
+    return make_network(family, **spec)
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, object]:
+    return {
+        "network": network_spec(schedule.network),
+        "entries": [
+            [e.time, e.star_dim, e.generator] for e in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, object]) -> Schedule:
+    network = network_from_spec(data["network"])
+    entries = [
+        ScheduleEntry(time, star_dim, generator)
+        for time, star_dim, generator in data["entries"]
+    ]
+    schedule = Schedule(network, entries)
+    schedule.validate()
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=1))
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Word embeddings
+# ----------------------------------------------------------------------
+
+_GUEST_KINDS = {"star": StarGraph, "tn": TranspositionNetwork}
+
+
+def word_embedding_to_dict(
+    embedding: WordEmbedding, guest_kind: str
+) -> Dict[str, object]:
+    """Serialize a word embedding whose guest is a star graph
+    (``guest_kind="star"``) or transposition network (``"tn"``)."""
+    if guest_kind not in _GUEST_KINDS:
+        raise ValueError(
+            f"guest_kind must be one of {sorted(_GUEST_KINDS)}"
+        )
+    return {
+        "guest": {"kind": guest_kind, "k": embedding.guest.k},
+        "host": network_spec(embedding.host),
+        "words": {dim: list(word) for dim, word in embedding.words.items()},
+        "name": embedding.name,
+    }
+
+
+def word_embedding_from_dict(data: Dict[str, object]) -> WordEmbedding:
+    guest = _GUEST_KINDS[data["guest"]["kind"]](data["guest"]["k"])
+    host = network_from_spec(data["host"])
+    return WordEmbedding(
+        guest, host, {d: list(w) for d, w in data["words"].items()},
+        name=data.get("name", "loaded-embedding"),
+    )
+
+
+def save_word_embedding(
+    embedding: WordEmbedding, guest_kind: str, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(
+        json.dumps(word_embedding_to_dict(embedding, guest_kind), indent=1)
+    )
+
+
+def load_word_embedding(path: Union[str, Path]) -> WordEmbedding:
+    return word_embedding_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,44 @@
+"""The ten super Cayley network families of the paper (Section 2.2).
+
+================  ====================  =========================
+family            nucleus generators    super generators
+================  ====================  =========================
+MS(l, n)          transpositions T_i    swaps S_{n,i}
+RS(l, n)          transpositions T_i    rotation R, R^{-1}
+complete-RS(l,n)  transpositions T_i    rotations R^1..R^{l-1}
+MR(l, n)          insertions I_i        swaps S_{n,i}
+RR(l, n)          insertions I_i        rotation R, R^{-1}
+complete-RR(l,n)  insertions I_i        rotations R^1..R^{l-1}
+IS(k)             I_i and I_i^{-1}      (single box)
+MIS(l, n)         I_i and I_i^{-1}      swaps S_{n,i}
+RIS(l, n)         I_i and I_i^{-1}      rotation R, R^{-1}
+complete-RIS      I_i and I_i^{-1}      rotations R^1..R^{l-1}
+================  ====================  =========================
+"""
+
+from .macro_star import MacroStar
+from .rotation_star import RotationStar, CompleteRotationStar
+from .macro_rotator import MacroRotator
+from .rotation_rotator import RotationRotator, CompleteRotationRotator
+from .insertion_selection import (
+    InsertionSelection,
+    MacroIS,
+    RotationIS,
+    CompleteRotationIS,
+)
+from .registry import FAMILIES, make_network
+
+__all__ = [
+    "MacroStar",
+    "RotationStar",
+    "CompleteRotationStar",
+    "MacroRotator",
+    "RotationRotator",
+    "CompleteRotationRotator",
+    "InsertionSelection",
+    "MacroIS",
+    "RotationIS",
+    "CompleteRotationIS",
+    "FAMILIES",
+    "make_network",
+]

@@ -1,0 +1,102 @@
+"""Shared super-generator plumbing for rotation-based families.
+
+Rotation generators come in two flavours across the families:
+
+* *single-step*: only ``R`` and its inverse ``R^{l-1}`` are links
+  (RS, RR, RIS) — bringing box ``i`` leftmost takes a walk of
+  ``min(i - 1, l - i + 1)`` rotation links;
+* *complete*: every power ``R^1 .. R^{l-1}`` is a link
+  (complete-RS/RR/RIS) — any box arrives in one hop.
+
+The exponent arithmetic lives here so the six rotation families share it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.generators import Generator, GeneratorSet, rotation
+
+
+def rotation_name(exponent: int, l: int) -> str:
+    """Canonical link name for ``R^exponent`` (forward exponent mod ``l``)."""
+    exponent %= l
+    if exponent == 0:
+        raise ValueError("R^0 is not a link")
+    return "R" if exponent == 1 else f"R^{exponent}"
+
+
+def single_rotation_generators(l: int, n: int) -> List[Generator]:
+    """``R`` and ``R^{-1}`` (= ``R^{l-1}``), deduplicated when ``l = 2``."""
+    gens = [rotation(l, n, 1)]
+    if l > 2:
+        gens.append(rotation(l, n, l - 1))
+    return gens
+
+
+def complete_rotation_generators(l: int, n: int) -> List[Generator]:
+    """All rotations ``R^1 .. R^{l-1}``."""
+    return [rotation(l, n, i) for i in range(1, l)]
+
+
+class SingleRotationMixin:
+    """Box-bring words for the single-step rotation families.
+
+    Bringing box ``i`` to the front is the rotation ``R^{-(i-1)}``,
+    realised as a walk over ``R^{-1}`` links (or the shorter way round
+    over ``R`` links when ``l - i + 1 < i - 1``).
+    """
+
+    def _bring_box_word(self, i: int) -> List[str]:
+        return self._rotation_walk(-(i - 1))
+
+    def _return_box_word(self, i: int) -> List[str]:
+        return self._rotation_walk(i - 1)
+
+    def pair_bring_words(self, a: int, b: int):
+        if a == b:
+            raise ValueError("pair_bring_words needs two distinct boxes")
+        return (
+            self._rotation_walk(-(a - 1)),
+            self._rotation_walk(-(b - a)),
+            self._rotation_walk(b - a),
+            self._rotation_walk(a - 1),
+        )
+
+    def _rotation_walk(self, exponent: int) -> List[str]:
+        """A minimal walk of single-step rotation links realising
+        ``R^exponent``."""
+        l = self.l
+        exponent %= l
+        if exponent == 0:
+            return []
+        backward = l - exponent  # number of R^{-1} steps
+        if exponent <= backward or l == 2:
+            return [rotation_name(1, l)] * exponent
+        return [rotation_name(l - 1, l)] * backward
+
+
+class CompleteRotationMixin:
+    """Box-bring words for the complete-rotation families: one hop."""
+
+    def _bring_box_word(self, i: int) -> List[str]:
+        return [rotation_name(-(i - 1), self.l)]
+
+    def _return_box_word(self, i: int) -> List[str]:
+        return [rotation_name(i - 1, self.l)]
+
+    def pair_bring_words(self, a: int, b: int):
+        if a == b:
+            raise ValueError("pair_bring_words needs two distinct boxes")
+        return (
+            self._rotation_links(-(a - 1)),
+            self._rotation_links(-(b - a)),
+            self._rotation_links(b - a),
+            self._rotation_links(a - 1),
+        )
+
+    def _rotation_links(self, exponent: int) -> List[str]:
+        exponent %= self.l
+        if exponent == 0:
+            return []
+        return [rotation_name(exponent, self.l)]

@@ -1,0 +1,97 @@
+"""The insertion-selection family: IS, MIS, RIS, and complete-RIS.
+
+* **IS(k)** — one box, ``k`` balls: the undirected Cayley graph generated
+  by all insertions ``I_2 .. I_k`` and selections ``I_2^{-1} .. I_k^{-1}``
+  (degree ``2(k-1)``).  Theorem 2: it emulates the k-star with slowdown 2
+  under *every* communication model, since ``T_i = I_{i-1}^{-1} ∘ I_i``.
+* **MIS(l, n)** — nucleus insertions/selections on the leftmost box plus
+  swap super generators (Theorem 3: SDC star emulation with slowdown 4;
+  Theorem 5: all-port slowdown ``max(2n, l+2)``).
+* **RIS(l, n)** / **complete-RIS(l, n)** — same nucleus with single-step /
+  complete rotation super generators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.generators import GeneratorSet, insertion, selection, swap
+from ..core.super_cayley import SuperCayleyNetwork
+from ._rotation_mixin import (
+    CompleteRotationMixin,
+    SingleRotationMixin,
+    complete_rotation_generators,
+    single_rotation_generators,
+)
+
+
+def _nucleus(k: int, n: int) -> List:
+    """Insertions and selections over the leftmost box (dims 2..n+1)."""
+    gens = [insertion(k, i) for i in range(2, n + 2)]
+    gens += [selection(k, i) for i in range(2, n + 2)]
+    return gens
+
+
+class InsertionSelection(SuperCayleyNetwork):
+    """The k-dimensional insertion-selection network IS(k).
+
+    A one-box super Cayley graph (``l = 1``, ``n = k - 1``): the nucleus
+    *is* the whole game.  Closely tied to the star graph — see Theorem 2.
+    """
+
+    family = "IS"
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError(f"IS(k) needs k >= 2, got {k}")
+        super().__init__(
+            1, k - 1, GeneratorSet(_nucleus(k, k - 1)), name=f"IS({k})"
+        )
+
+
+class MacroIS(SuperCayleyNetwork):
+    """The macro-insertion-selection network MIS(l, n)."""
+
+    family = "MIS"
+
+    def __init__(self, l: int, n: int):
+        k = n * l + 1
+        gens = _nucleus(k, n)
+        gens += [swap(l, n, i) for i in range(2, l + 1)]
+        super().__init__(l, n, GeneratorSet(gens), name=f"MIS({l},{n})")
+
+    def _bring_box_word(self, i: int) -> List[str]:
+        return [f"S({self.n},{i})"]
+
+    def _return_box_word(self, i: int) -> List[str]:
+        return [f"S({self.n},{i})"]
+
+
+class RotationIS(SingleRotationMixin, SuperCayleyNetwork):
+    """The rotation-insertion-selection network RIS(l, n)."""
+
+    family = "RIS"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("RIS(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = _nucleus(k, n)
+        gens += single_rotation_generators(l, n)
+        super().__init__(l, n, GeneratorSet(gens), name=f"RIS({l},{n})")
+
+
+class CompleteRotationIS(CompleteRotationMixin, SuperCayleyNetwork):
+    """The complete-rotation-insertion-selection network complete-RIS(l, n)."""
+
+    family = "complete-RIS"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("complete-RIS(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = _nucleus(k, n)
+        gens += complete_rotation_generators(l, n)
+        super().__init__(
+            l, n, GeneratorSet(gens), name=f"complete-RIS({l},{n})"
+        )

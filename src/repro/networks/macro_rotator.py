@@ -1,0 +1,36 @@
+"""Macro-rotator networks MR(l, n).
+
+The directed super Cayley graph whose nucleus generators are the
+insertions ``I_2 .. I_{n+1}`` (rotator-style moves: the outside ball is
+inserted into the leftmost box) and whose super generators are the swaps
+``S_{n,2} .. S_{n,l}``.  Because insertions are not self-inverse and no
+selections are present, MR is genuinely directed; the paper derives no
+constant-dilation star emulation for it (that is what MIS adds), but it
+remains a bona fide super Cayley graph whose structural properties
+(regularity, vertex symmetry, BAG correspondence) we verify.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.generators import GeneratorSet, insertion, swap
+from ..core.super_cayley import SuperCayleyNetwork
+
+
+class MacroRotator(SuperCayleyNetwork):
+    """The macro-rotator network MR(l, n)."""
+
+    family = "MR"
+
+    def __init__(self, l: int, n: int):
+        k = n * l + 1
+        gens = [insertion(k, i) for i in range(2, n + 2)]
+        gens += [swap(l, n, i) for i in range(2, l + 1)]
+        super().__init__(l, n, GeneratorSet(gens), name=f"MR({l},{n})")
+
+    def _bring_box_word(self, i: int) -> List[str]:
+        return [f"S({self.n},{i})"]
+
+    def _return_box_word(self, i: int) -> List[str]:
+        return [f"S({self.n},{i})"]

@@ -1,0 +1,65 @@
+"""Name-based construction of the ten super Cayley families.
+
+``make_network("MS", l=2, n=3)`` and friends; used by benchmarks and
+examples to sweep families uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.super_cayley import SuperCayleyNetwork
+from .insertion_selection import (
+    CompleteRotationIS,
+    InsertionSelection,
+    MacroIS,
+    RotationIS,
+)
+from .macro_rotator import MacroRotator
+from .macro_star import MacroStar
+from .rotation_rotator import CompleteRotationRotator, RotationRotator
+from .rotation_star import CompleteRotationStar, RotationStar
+
+#: family tag -> constructor taking (l, n) — IS is special-cased below.
+FAMILIES: Dict[str, Callable[[int, int], SuperCayleyNetwork]] = {
+    "MS": MacroStar,
+    "RS": RotationStar,
+    "complete-RS": CompleteRotationStar,
+    "MR": MacroRotator,
+    "RR": RotationRotator,
+    "complete-RR": CompleteRotationRotator,
+    "MIS": MacroIS,
+    "RIS": RotationIS,
+    "complete-RIS": CompleteRotationIS,
+}
+
+#: families for which the paper proves constant-dilation star emulation
+STAR_EMULATING_FAMILIES = ("MS", "complete-RS", "IS", "MIS", "complete-RIS")
+
+
+def make_network(
+    family: str, l: Optional[int] = None, n: Optional[int] = None, k: Optional[int] = None
+) -> SuperCayleyNetwork:
+    """Construct a super Cayley network by family tag.
+
+    ``IS`` takes ``k``; every other family takes ``(l, n)``.
+
+    >>> make_network("MS", l=2, n=2).name
+    'MS(2,2)'
+    >>> make_network("IS", k=4).name
+    'IS(4)'
+    """
+    if family == "IS":
+        if k is None:
+            if l is not None and n is not None:
+                k = l * n + 1
+            else:
+                raise ValueError("IS needs k (or l and n)")
+        return InsertionSelection(k)
+    if family not in FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r}; known: IS, {', '.join(FAMILIES)}"
+        )
+    if l is None or n is None:
+        raise ValueError(f"{family} needs both l and n")
+    return FAMILIES[family](l, n)

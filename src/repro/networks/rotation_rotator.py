@@ -1,0 +1,46 @@
+"""Rotation-rotator RR(l, n) and complete-rotation-rotator networks.
+
+Directed super Cayley graphs: insertions ``I_2 .. I_{n+1}`` move the
+balls of the leftmost box, rotations move the boxes (single-step for RR,
+all powers for complete-RR).  The lowest-degree members of the rotation
+families: RR(l, n) has degree ``n + 2``.
+"""
+
+from __future__ import annotations
+
+from ..core.generators import GeneratorSet, insertion
+from ..core.super_cayley import SuperCayleyNetwork
+from ._rotation_mixin import (
+    CompleteRotationMixin,
+    SingleRotationMixin,
+    complete_rotation_generators,
+    single_rotation_generators,
+)
+
+
+class RotationRotator(SingleRotationMixin, SuperCayleyNetwork):
+    """The rotation-rotator network RR(l, n)."""
+
+    family = "RR"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("RR(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = [insertion(k, i) for i in range(2, n + 2)]
+        gens += single_rotation_generators(l, n)
+        super().__init__(l, n, GeneratorSet(gens), name=f"RR({l},{n})")
+
+
+class CompleteRotationRotator(CompleteRotationMixin, SuperCayleyNetwork):
+    """The complete-rotation-rotator network complete-RR(l, n)."""
+
+    family = "complete-RR"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("complete-RR(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = [insertion(k, i) for i in range(2, n + 2)]
+        gens += complete_rotation_generators(l, n)
+        super().__init__(l, n, GeneratorSet(gens), name=f"complete-RR({l},{n})")

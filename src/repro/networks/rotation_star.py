@@ -1,0 +1,54 @@
+"""Rotation-star RS(l, n) and complete-rotation-star networks.
+
+Both use transposition nucleus generators ``T_2 .. T_{n+1}``; they differ
+in how boxes move:
+
+* **RS(l, n)** — boxes rotate one step at a time: super links ``R`` and
+  ``R^{-1}`` (degree ``n + 2``, or ``n + 1`` when ``l = 2`` since
+  ``R = R^{-1}``);
+* **complete-RS(l, n)** — every rotation ``R^1 .. R^{l-1}`` is a link
+  (degree ``n + l - 1``, matching MS(l, n)).
+
+Complete-RS supports the paper's constant-dilation star emulation
+(Theorem 1) and all the downstream results; plain RS trades a lower
+degree for box-bring walks of up to ``floor(l/2)`` hops.
+"""
+
+from __future__ import annotations
+
+from ..core.generators import GeneratorSet, transposition
+from ..core.super_cayley import SuperCayleyNetwork
+from ._rotation_mixin import (
+    CompleteRotationMixin,
+    SingleRotationMixin,
+    complete_rotation_generators,
+    single_rotation_generators,
+)
+
+
+class RotationStar(SingleRotationMixin, SuperCayleyNetwork):
+    """The rotation-star network RS(l, n)."""
+
+    family = "RS"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("RS(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = [transposition(k, i) for i in range(2, n + 2)]
+        gens += single_rotation_generators(l, n)
+        super().__init__(l, n, GeneratorSet(gens), name=f"RS({l},{n})")
+
+
+class CompleteRotationStar(CompleteRotationMixin, SuperCayleyNetwork):
+    """The complete-rotation-star network complete-RS(l, n)."""
+
+    family = "complete-RS"
+
+    def __init__(self, l: int, n: int):
+        if l < 2:
+            raise ValueError("complete-RS(l, n) needs at least two boxes")
+        k = n * l + 1
+        gens = [transposition(k, i) for i in range(2, n + 2)]
+        gens += complete_rotation_generators(l, n)
+        super().__init__(l, n, GeneratorSet(gens), name=f"complete-RS({l},{n})")

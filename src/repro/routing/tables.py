@@ -1,0 +1,82 @@
+"""Precomputed routing tables.
+
+For networks that are simulated heavily (TE sweeps re-route the same
+pairs thousands of times) a one-shot all-destinations table pays off.
+Vertex symmetry shrinks it radically: one table *from the identity*
+covers every source, because a shortest ``u -> v`` word is exactly a
+shortest ``identity -> u^{-1} v`` word (left translation by ``u`` maps
+one path onto the other).  The table stores the *first dimension* of a
+shortest identity-to-``r`` path for every relative label ``r``; a full
+word is reconstructed by left-shifting the relative one hop at a time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+class RoutingTable:
+    """First-hop table from the identity, usable from every source."""
+
+    def __init__(self, graph: CayleyGraph):
+        self.graph = graph
+        self._first_hop: Dict[Permutation, str] = {}
+        self._distance: Dict[Permutation, int] = {}
+        self._inverse_perm = {
+            g.name: g.perm.inverse() for g in graph.generators
+        }
+        self._build()
+
+    def _build(self) -> None:
+        graph = self.graph
+        identity = graph.identity
+        self._distance[identity] = 0
+        queue = deque([identity])
+        while queue:
+            node = queue.popleft()
+            for gen in graph.generators:
+                nbr = node * gen.perm
+                if nbr in self._distance:
+                    continue
+                self._distance[nbr] = self._distance[node] + 1
+                self._first_hop[nbr] = (
+                    gen.name if node == identity else self._first_hop[node]
+                )
+                queue.append(nbr)
+
+    @property
+    def size(self) -> int:
+        return len(self._distance)
+
+    def distance(self, source: Permutation, target: Permutation) -> int:
+        """Shortest directed distance (one multiplication + lookup)."""
+        return self._distance[source.inverse() * target]
+
+    def route(self, source: Permutation, target: Permutation) -> List[str]:
+        """A shortest generator word from ``source`` to ``target``.
+
+        Chases first hops: after taking dimension ``d``, the remaining
+        job is the relative label ``g_d^{-1} * r`` (one hop closer to the
+        identity), whose own first hop the table also knows.
+        """
+        relative = source.inverse() * target
+        word: List[str] = []
+        while not relative.is_identity():
+            dim = self._first_hop[relative]
+            word.append(dim)
+            relative = self._inverse_perm[dim] * relative
+        return word
+
+    def eccentricity(self) -> int:
+        """The identity's eccentricity (= diameter by vertex symmetry
+        for the undirectable families)."""
+        return max(self._distance.values())
+
+    def memory_entries(self) -> int:
+        """Entries stored — ``N`` first-hops, versus the ``N^2`` a
+        per-pair table would need."""
+        return len(self._first_hop)

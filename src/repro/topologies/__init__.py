@@ -1,0 +1,33 @@
+"""Baseline topologies the paper embeds or emulates.
+
+Cayley-graph baselines (nodes are permutations): star graph, bubble-sort
+graph, transposition network, rotator graph.  Explicit baselines (nodes
+are tuples/ints): hypercube, mesh, complete binary tree.
+"""
+
+from .base import SimpleTopology
+from .star import StarGraph
+from .bubble_sort import BubbleSortGraph
+from .transposition import TranspositionNetwork
+from .rotator import RotatorGraph
+from .hypercube import Hypercube
+from .mesh import Mesh
+from .tree import CompleteBinaryTree
+from .ring import LinearArray, Ring
+from .pancake import PancakeGraph, pancake_generators, prefix_reversal
+
+__all__ = [
+    "SimpleTopology",
+    "StarGraph",
+    "BubbleSortGraph",
+    "TranspositionNetwork",
+    "RotatorGraph",
+    "Hypercube",
+    "Mesh",
+    "CompleteBinaryTree",
+    "Ring",
+    "LinearArray",
+    "PancakeGraph",
+    "pancake_generators",
+    "prefix_reversal",
+]

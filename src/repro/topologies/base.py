@@ -1,0 +1,117 @@
+"""Light-weight explicit topologies (hypercubes, meshes, trees).
+
+The paper's guest graphs for the embedding results of Section 5 are not
+all Cayley graphs, so this module provides a minimal undirected-graph
+base class with the accessors the embedding framework needs:
+``nodes()``, ``edges()``, ``neighbors()``, plus degree/diameter helpers
+and networkx export.  Nodes may be any hashable objects.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+
+class SimpleTopology:
+    """An explicit undirected graph backed by an adjacency dict."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._adjacency: Dict[Hashable, List[Hashable]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add the undirected edge ``{u, v}`` (idempotent)."""
+        if u == v:
+            raise ValueError(f"self-loop at {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adjacency[u]:
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Each undirected edge once, in insertion order of the tail."""
+        seen = set()
+        for u, nbrs in self._adjacency.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield (u, v)
+
+    def neighbors(self, node: Hashable) -> List[Hashable]:
+        return list(self._adjacency[node])
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def degree(self, node: Hashable) -> int:
+        return len(self._adjacency[node])
+
+    def max_degree(self) -> int:
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def is_regular(self) -> bool:
+        degrees = {len(nbrs) for nbrs in self._adjacency.values()}
+        return len(degrees) == 1
+
+    # -- analysis ---------------------------------------------------------
+
+    def bfs_distances(self, source: Hashable) -> Dict[Hashable, int]:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._adjacency[node]:
+                if nbr not in dist:
+                    dist[nbr] = dist[node] + 1
+                    queue.append(nbr)
+        return dist
+
+    def diameter(self) -> int:
+        """Exact diameter by all-sources BFS (small graphs only)."""
+        best = 0
+        for source in self.nodes():
+            dist = self.bfs_distances(source)
+            if len(dist) != self.num_nodes:
+                raise ValueError(f"{self.name} is disconnected")
+            best = max(best, max(dist.values()))
+        return best
+
+    def is_connected(self) -> bool:
+        if not self._adjacency:
+            return True
+        source = next(iter(self._adjacency))
+        return len(self.bfs_distances(source)) == self.num_nodes
+
+    def to_networkx(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes())
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name}: nodes={self.num_nodes}, edges={self.num_edges}>"
+        )

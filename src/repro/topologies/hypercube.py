@@ -1,0 +1,40 @@
+"""The binary hypercube Q_d.
+
+Guest graph of Corollary 5.  Nodes are d-bit tuples; links flip one bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+from .base import SimpleTopology
+
+
+class Hypercube(SimpleTopology):
+    """The d-dimensional hypercube (``2^d`` nodes, degree ``d``)."""
+
+    def __init__(self, d: int):
+        if d < 0:
+            raise ValueError(f"dimension must be non-negative, got {d}")
+        super().__init__(name=f"Q{d}")
+        self.d = d
+        for bits in itertools.product((0, 1), repeat=d):
+            self.add_node(bits)
+        for bits in itertools.product((0, 1), repeat=d):
+            for i in range(d):
+                if bits[i] == 0:
+                    flipped = bits[:i] + (1,) + bits[i + 1:]
+                    self.add_edge(bits, flipped)
+
+    @staticmethod
+    def flip(bits: Tuple[int, ...], i: int) -> Tuple[int, ...]:
+        """``bits`` with coordinate ``i`` flipped."""
+        return bits[:i] + (1 - bits[i],) + bits[i + 1:]
+
+    def dimension_of_edge(self, u, v) -> int:
+        """The coordinate in which adjacent nodes ``u`` and ``v`` differ."""
+        diff = [i for i in range(self.d) if u[i] != v[i]]
+        if len(diff) != 1:
+            raise ValueError(f"{u} and {v} are not hypercube-adjacent")
+        return diff[0]

@@ -1,0 +1,44 @@
+"""Meshes: 2-D grids and the mixed-radix mesh 2 x 3 x ... x k.
+
+Guest graphs of Corollaries 6 and 7.  Nodes are coordinate tuples; links
+connect coordinates differing by one in a single dimension (no wraparound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence, Tuple
+
+from .base import SimpleTopology
+
+
+class Mesh(SimpleTopology):
+    """An n-dimensional mesh with the given side lengths.
+
+    ``Mesh([m1, m2])`` is the paper's ``m1 x m2`` mesh;
+    ``Mesh(range(2, k + 1))`` is the ``2 x 3 x ... x k`` mesh of
+    Corollary 7 (which has exactly ``k!`` nodes).
+    """
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(dims)
+        if not dims or any(m < 1 for m in dims):
+            raise ValueError(f"side lengths must be positive, got {dims}")
+        super().__init__(name="x".join(map(str, dims)) + " mesh")
+        self.dims = dims
+        for coord in itertools.product(*(range(m) for m in dims)):
+            self.add_node(coord)
+        for coord in itertools.product(*(range(m) for m in dims)):
+            for axis, side in enumerate(dims):
+                if coord[axis] + 1 < side:
+                    nbr = (
+                        coord[:axis] + (coord[axis] + 1,) + coord[axis + 1:]
+                    )
+                    self.add_edge(coord, nbr)
+
+    @staticmethod
+    def mixed_radix(k: int) -> "Mesh":
+        """The ``2 x 3 x ... x k`` mesh (``k!`` nodes) of Corollary 7."""
+        if k < 2:
+            raise ValueError(f"mixed-radix mesh needs k >= 2, got {k}")
+        return Mesh(range(2, k + 1))

@@ -1,0 +1,34 @@
+"""Rings (cycles) and linear arrays (paths).
+
+Guest graphs for the Hamiltonian embeddings: a Hamiltonian cycle word in
+a Cayley graph is exactly a dilation-1, load-1, expansion-1 ring
+embedding, and a Hamiltonian path word a linear-array embedding.
+"""
+
+from __future__ import annotations
+
+from .base import SimpleTopology
+
+
+class Ring(SimpleTopology):
+    """The cycle on ``m`` nodes (``0 .. m-1``)."""
+
+    def __init__(self, m: int):
+        if m < 3:
+            raise ValueError(f"a ring needs at least 3 nodes, got {m}")
+        super().__init__(name=f"ring({m})")
+        self.m = m
+        for i in range(m):
+            self.add_edge(i, (i + 1) % m)
+
+
+class LinearArray(SimpleTopology):
+    """The path on ``m`` nodes (``0 .. m-1``)."""
+
+    def __init__(self, m: int):
+        if m < 2:
+            raise ValueError(f"a path needs at least 2 nodes, got {m}")
+        super().__init__(name=f"path({m})")
+        self.m = m
+        for i in range(m - 1):
+            self.add_edge(i, i + 1)

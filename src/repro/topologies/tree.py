@@ -1,0 +1,37 @@
+"""Complete binary trees (guest graphs of Corollary 4).
+
+Nodes use heap indexing: root 1; node ``v`` has children ``2v`` and
+``2v + 1``.  The *height-h* complete binary tree has ``2^(h+1) - 1``
+nodes (a single root for ``h = 0``).
+"""
+
+from __future__ import annotations
+
+from .base import SimpleTopology
+
+
+class CompleteBinaryTree(SimpleTopology):
+    """The complete binary tree of the given height."""
+
+    def __init__(self, height: int):
+        if height < 0:
+            raise ValueError(f"height must be non-negative, got {height}")
+        super().__init__(name=f"binary-tree(h={height})")
+        self.height = height
+        last = 2 ** (height + 1) - 1
+        self.add_node(1)
+        for v in range(2, last + 1):
+            self.add_edge(v // 2, v)
+
+    @property
+    def root(self) -> int:
+        return 1
+
+    def leaves(self):
+        """The ``2^height`` leaf nodes."""
+        first = 2 ** self.height
+        return range(first, 2 ** (self.height + 1))
+
+    def level_of(self, v: int) -> int:
+        """Depth of ``v`` (root at level 0)."""
+        return v.bit_length() - 1

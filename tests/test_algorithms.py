@@ -1,0 +1,169 @@
+"""Tests for the algorithms layer: collectives and embedded-topology
+sorting."""
+
+import operator
+import random
+
+import pytest
+
+from repro.algorithms import (
+    allreduce,
+    broadcast_value,
+    gather_to_root,
+    odd_even_transposition_sort,
+    reduce_to_root,
+    shearsort_on_mesh,
+    snake_is_sorted,
+    sort_on_super_cayley,
+)
+from repro.core.permutations import Permutation
+from repro.networks import InsertionSelection, MacroStar
+from repro.topologies import StarGraph
+
+
+@pytest.fixture
+def star4():
+    return StarGraph(4)
+
+
+def node_values(graph, seed=0):
+    rng = random.Random(seed)
+    return {node: rng.randint(0, 999) for node in graph.nodes()}
+
+
+class TestReduce:
+    def test_sum_correct(self, star4):
+        values = node_values(star4)
+        total, rounds = reduce_to_root(star4, values, operator.add)
+        assert total == sum(values.values())
+        assert rounds == star4.diameter()  # BFS tree depth
+
+    def test_max_correct(self, star4):
+        values = node_values(star4, seed=3)
+        best, _rounds = reduce_to_root(star4, values, max)
+        assert best == max(values.values())
+
+    def test_non_identity_root(self, star4):
+        values = node_values(star4, seed=5)
+        root = Permutation([4, 3, 2, 1])
+        total, rounds = reduce_to_root(star4, values, operator.add, root)
+        assert total == sum(values.values())
+        assert rounds == star4.diameter()
+
+    def test_noncommutative_combine_is_consistent(self, star4):
+        """String concatenation (associative, non-commutative) still
+        contains every contribution exactly once."""
+        values = {node: f"[{node}]" for node in star4.nodes()}
+        blob, _ = reduce_to_root(star4, values, operator.add)
+        for node in star4.nodes():
+            assert blob.count(f"[{node}]") == 1
+
+
+class TestBroadcastValue:
+    def test_everyone_receives(self, star4):
+        result = broadcast_value(star4, "payload")
+        assert len(result.values) == 24
+        assert set(result.values.values()) == {"payload"}
+        assert result.rounds == star4.diameter()
+
+    def test_on_super_cayley(self):
+        net = MacroStar(2, 2)
+        result = broadcast_value(net, 42)
+        assert len(result.values) == 120
+        assert result.rounds == net.diameter()
+
+
+class TestAllreduce:
+    def test_global_sum_everywhere(self, star4):
+        values = node_values(star4, seed=7)
+        result = allreduce(star4, values, operator.add)
+        expected = sum(values.values())
+        assert all(v == expected for v in result.values.values())
+        assert result.rounds == 2 * star4.diameter()
+
+
+class TestGather:
+    def test_collects_everything(self, star4):
+        values = node_values(star4, seed=9)
+        collected, rounds = gather_to_root(star4, values)
+        assert sorted(collected) == sorted(values.values())
+        # One value per link per round; the heaviest root subtree
+        # bounds the time from below.
+        assert rounds >= (24 - 1) // star4.degree
+
+    def test_gather_on_is(self):
+        net = InsertionSelection(4)
+        values = node_values(net, seed=2)
+        collected, _rounds = gather_to_root(net, values)
+        assert len(collected) == 24
+
+
+class TestScatter:
+    def test_everyone_gets_their_payload(self, star4):
+        payloads = {node: f"for-{node}" for node in star4.nodes()}
+        delivered, rounds = __import__(
+            "repro.algorithms", fromlist=["scatter_from_root"]
+        ).scatter_from_root(star4, payloads)
+        assert delivered == payloads
+        assert rounds >= (24 - 1) // star4.degree
+
+    def test_scatter_gather_round_trip(self, star4):
+        from repro.algorithms import gather_to_root, scatter_from_root
+
+        payloads = {node: node.rank() for node in star4.nodes()}
+        delivered, _ = scatter_from_root(star4, payloads)
+        collected, _ = gather_to_root(star4, delivered)
+        assert sorted(collected) == sorted(payloads.values())
+
+    def test_scatter_non_identity_root(self, star4):
+        from repro.algorithms import scatter_from_root
+        from repro.core.permutations import Permutation
+
+        root = Permutation([4, 3, 2, 1])
+        payloads = {node: 1 for node in star4.nodes()}
+        delivered, rounds = scatter_from_root(star4, payloads, root)
+        assert len(delivered) == 24
+
+
+class TestOddEvenSort:
+    def test_sorts_on_star(self, star4):
+        rng = random.Random(31)
+        values = [rng.randint(0, 99) for _ in range(24)]
+        result, rounds = odd_even_transposition_sort(values, star4)
+        assert result == sorted(values)
+        assert rounds == 24  # dilation-1 array: one round per phase
+
+    def test_sorts_on_super_cayley(self):
+        net = MacroStar(2, 2)
+        rng = random.Random(37)
+        values = [rng.random() for _ in range(120)]
+        result, rounds = sort_on_super_cayley(values, net)
+        assert result == sorted(values)
+        assert rounds == 120
+
+    def test_wrong_count_rejected(self, star4):
+        with pytest.raises(ValueError):
+            odd_even_transposition_sort([1, 2, 3], star4)
+
+
+class TestShearsort:
+    def test_snake_sorted(self):
+        rng = random.Random(41)
+        values = [rng.randint(0, 999) for _ in range(5 * 24)]
+        grid, rounds = shearsort_on_mesh(values, rows=5, cols=24)
+        assert snake_is_sorted(grid)
+        assert rounds > 0
+
+    def test_dilation_scales_rounds(self):
+        values = list(range(20))[::-1]
+        _grid1, rounds1 = shearsort_on_mesh(values, 4, 5, dilation=1)
+        _grid5, rounds5 = shearsort_on_mesh(values, 4, 5, dilation=5)
+        assert rounds5 == 5 * rounds1
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            shearsort_on_mesh([1, 2, 3], 2, 2)
+
+    def test_snake_checker(self):
+        assert snake_is_sorted([[1, 2, 3], [6, 5, 4], [7, 8, 9]])
+        assert not snake_is_sorted([[1, 2, 3], [4, 5, 6], [7, 8, 9]])

@@ -1,0 +1,124 @@
+"""Tests for the ball-arrangement game (repro.core.bag)."""
+
+import pytest
+
+from repro.core.bag import (
+    BagConfiguration,
+    BallArrangementGame,
+    state_graph_matches_network,
+)
+from repro.core.permutations import Permutation
+from repro.networks import (
+    InsertionSelection,
+    MacroRotator,
+    MacroStar,
+    RotationStar,
+)
+
+
+class TestConfiguration:
+    def test_round_trip_through_permutation(self):
+        perm = Permutation([5, 3, 1, 2, 4])
+        config = BagConfiguration.from_permutation(perm, n=2)
+        assert config.outside == 5
+        assert config.boxes == ((3, 1), (2, 4))
+        assert config.to_permutation() == perm
+
+    def test_goal_is_identity(self):
+        goal = BagConfiguration.goal(l=3, n=2)
+        assert goal.is_solved()
+        assert goal.outside == 1
+        assert goal.boxes == ((2, 3), (4, 5), (6, 7))
+
+    def test_counts(self):
+        config = BagConfiguration.goal(l=2, n=3)
+        assert config.num_boxes == 2
+        assert config.box_size == 3
+        assert config.num_balls == 7
+
+    def test_rejects_bad_balls(self):
+        with pytest.raises(ValueError):
+            BagConfiguration(outside=1, boxes=((2, 2),))
+        with pytest.raises(ValueError):
+            BagConfiguration(outside=9, boxes=((2, 3),))
+
+    def test_rejects_uneven_boxes(self):
+        with pytest.raises(ValueError):
+            BagConfiguration(outside=1, boxes=((2, 3), (4,)))
+
+    def test_indivisible_k_rejected(self):
+        with pytest.raises(ValueError):
+            BagConfiguration.from_permutation(Permutation.identity(6), n=2)
+
+    def test_apply_move(self):
+        ms = MacroStar(2, 2)
+        config = BagConfiguration.goal(2, 2)
+        moved = config.apply(ms.generators["T2"])
+        assert moved.outside == 2
+        assert moved.boxes[0] == (1, 3)
+
+    def test_str_rendering(self):
+        config = BagConfiguration.goal(2, 2)
+        assert str(config) == "(1) [2 3] [4 5]"
+
+
+class TestGame:
+    def test_solve_reaches_goal(self):
+        ms = MacroStar(2, 2)
+        game = BallArrangementGame(ms)
+        start = game.initial(Permutation([3, 1, 5, 4, 2]))
+        moves = game.solve(start)
+        assert game.play(start, moves).is_solved()
+
+    def test_solution_is_shortest(self):
+        ms = MacroStar(2, 2)
+        game = BallArrangementGame(ms)
+        perm = Permutation([3, 1, 5, 4, 2])
+        assert game.solution_length(game.initial(perm)) == ms.distance(
+            perm, ms.identity
+        )
+
+    def test_solved_start_needs_no_moves(self):
+        game = BallArrangementGame(MacroStar(2, 2))
+        assert game.solve(BagConfiguration.goal(2, 2)) == []
+
+    def test_game_parameters_from_network(self):
+        game = BallArrangementGame(MacroStar(3, 2))
+        assert game.l == 3 and game.n == 2
+
+    def test_single_box_game(self):
+        game = BallArrangementGame(InsertionSelection(4))
+        assert game.l == 1 and game.n == 3
+
+    def test_hardest_instances_match_diameter(self):
+        ms = MacroStar(2, 2)
+        game = BallArrangementGame(ms)
+        depth, states = game.hardest_instances()
+        assert depth == ms.diameter()
+        assert states
+        assert all(game.solution_length(s) == depth for s in states[:3])
+
+    def test_hardest_instances_directed(self):
+        mr = MacroRotator(2, 2)
+        game = BallArrangementGame(mr)
+        depth, states = game.hardest_instances()
+        assert states
+        # Every hardest state indeed needs `depth` moves.
+        assert game.solution_length(states[0]) == depth
+
+    def test_legal_moves_are_network_generators(self):
+        ms = MacroStar(2, 2)
+        game = BallArrangementGame(ms)
+        assert [g.name for g in game.legal_moves()] == ms.generators.names()
+
+
+class TestCorrespondence:
+    """Paper, Section 2: the BAG state graph *is* the network."""
+
+    @pytest.mark.parametrize(
+        "network",
+        [MacroStar(2, 2), RotationStar(2, 2), InsertionSelection(4), MacroRotator(2, 2)],
+        ids=lambda net: net.name,
+    )
+    def test_state_graph_matches_network(self, network):
+        assert state_graph_matches_network(network)

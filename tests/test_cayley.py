@@ -1,0 +1,156 @@
+"""Tests for the Cayley graph engine (repro.core.cayley)."""
+
+import pytest
+
+from repro.core.cayley import CayleyGraph, relabel
+from repro.core.generators import (
+    star_generators,
+    bubble_sort_generators,
+    rotator_generators,
+)
+from repro.core.permutations import Permutation, factorial
+
+
+@pytest.fixture
+def star4():
+    return CayleyGraph(star_generators(4), name="star(4)")
+
+
+class TestBasics:
+    def test_counts(self, star4):
+        assert star4.k == 4
+        assert star4.num_nodes == 24
+        assert star4.degree == 3
+
+    def test_neighbors(self, star4):
+        u = Permutation([2, 1, 3, 4])
+        nbrs = dict((g.name, v) for g, v in star4.neighbors(u))
+        assert nbrs["T2"] == Permutation([1, 2, 3, 4])
+        assert nbrs["T4"] == Permutation([4, 1, 3, 2])
+
+    def test_neighbor_by_dimension(self, star4):
+        u = star4.identity
+        assert star4.neighbor(u, "T3") == Permutation([3, 2, 1, 4])
+
+    def test_edges_count(self, star4):
+        assert sum(1 for _ in star4.edges()) == 24 * 3
+
+    def test_undirectable(self, star4):
+        assert star4.is_undirectable()
+        rot = CayleyGraph(rotator_generators(4), name="rotator(4)")
+        assert not rot.is_undirectable()
+
+
+class TestBfs:
+    def test_layers_partition_graph(self, star4):
+        layers = star4.bfs_layers()
+        assert sum(len(layer) for layer in layers) == 24
+        seen = set()
+        for layer in layers:
+            for node in layer:
+                assert node not in seen
+                seen.add(node)
+
+    def test_max_depth_truncates(self, star4):
+        layers = star4.bfs_layers(max_depth=1)
+        assert len(layers) == 2
+        assert len(layers[1]) == 3
+
+    def test_star4_diameter_is_4(self, star4):
+        # Star graph diameter: floor(3(k-1)/2) = 4 for k = 4.
+        assert star4.diameter() == 4
+
+    def test_star5_diameter_is_6(self):
+        star5 = CayleyGraph(star_generators(5), name="star(5)")
+        assert star5.diameter() == 6
+
+    def test_bubble_sort_diameter(self):
+        # Bubble-sort graph diameter = k(k-1)/2.
+        bs = CayleyGraph(bubble_sort_generators(4), name="bs(4)")
+        assert bs.diameter() == 6
+
+    def test_distance_distribution_sums_to_nodes(self, star4):
+        assert sum(star4.distance_distribution()) == 24
+
+    def test_average_distance_positive(self, star4):
+        avg = star4.average_distance()
+        assert 0 < avg <= star4.diameter()
+
+    def test_connected(self, star4):
+        assert star4.is_connected()
+
+
+class TestPaths:
+    def test_distance_identity(self, star4):
+        assert star4.distance(star4.identity, star4.identity) == 0
+
+    def test_distance_one_hop(self, star4):
+        u = star4.identity
+        v = star4.neighbor(u, "T2")
+        assert star4.distance(u, v) == 1
+
+    def test_distance_symmetric_for_undirected(self, star4):
+        u = Permutation([2, 3, 4, 1])
+        v = Permutation([4, 3, 2, 1])
+        assert star4.distance(u, v) == star4.distance(v, u)
+
+    def test_shortest_path_valid_and_shortest(self, star4):
+        u = Permutation([2, 3, 4, 1])
+        v = Permutation([4, 3, 2, 1])
+        path = star4.shortest_path(u, v)
+        assert len(path) == star4.distance(u, v)
+        node = u
+        for dim, nxt in path:
+            node = star4.neighbor(node, dim)
+            assert node == nxt
+        assert node == v
+
+    def test_shortest_path_trivial(self, star4):
+        assert star4.shortest_path(star4.identity, star4.identity) == []
+
+    def test_path_nodes_walk(self, star4):
+        nodes = star4.path_nodes(star4.identity, ["T2", "T3", "T2"])
+        assert len(nodes) == 4
+        assert nodes[0] == star4.identity
+
+    def test_apply_word(self, star4):
+        # T2 T3 T2 conjugation = T(2,3) pair swap on the label
+        result = star4.apply_word(star4.identity, ["T2", "T3", "T2"])
+        assert result == Permutation([1, 3, 2, 4])
+
+
+class TestVertexSymmetry:
+    def test_distance_translation_invariant(self, star4):
+        """d(u, v) == d(w*u, w*v) for Cayley graphs (left translation)."""
+        u = Permutation([2, 3, 4, 1])
+        v = Permutation([4, 3, 2, 1])
+        w = Permutation([3, 1, 4, 2])
+        assert star4.distance(u, v) == star4.distance(w * u, w * v)
+
+    def test_eccentricity_same_from_every_source(self):
+        g = CayleyGraph(star_generators(4))
+        ecc = {
+            max(g.distances_from(src).values())
+            for src in list(g.nodes())[:6]
+        }
+        assert len(ecc) == 1
+
+
+class TestExport:
+    def test_to_networkx_undirected(self, star4):
+        nxg = star4.to_networkx()
+        assert nxg.number_of_nodes() == 24
+        assert nxg.number_of_edges() == 24 * 3 // 2
+        import networkx as nx
+
+        assert nx.is_connected(nxg)
+
+    def test_to_networkx_directed(self):
+        rot = CayleyGraph(rotator_generators(4), name="rotator(4)")
+        nxg = rot.to_networkx()
+        assert nxg.is_directed()
+        assert nxg.number_of_edges() == 24 * 3
+
+    def test_relabel(self, star4):
+        nxg = relabel(star4, str)
+        assert "1234" in nxg.nodes

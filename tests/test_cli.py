@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestFamilies:
+    def test_lists_all(self, capsys):
+        code, out = run(capsys, "families")
+        assert code == 0
+        for tag in ("MS", "complete-RS", "IS", "MIS"):
+            assert tag in out
+
+
+class TestProperties:
+    def test_ms(self, capsys):
+        code, out = run(capsys, "properties", "MS", "--l", "2", "--n", "2")
+        assert code == 0
+        assert "MS(2,2)" in out
+        assert "diameter" in out and ": 8" in out
+        assert "sdc_slowdown  : 3" in out
+
+    def test_is_by_k(self, capsys):
+        code, out = run(capsys, "properties", "IS", "--k", "4")
+        assert code == 0
+        assert "IS(4)" in out
+
+    def test_skips_diameter_when_large(self, capsys):
+        code, out = run(
+            capsys, "properties", "MS", "--l", "2", "--n", "2",
+            "--max-exact-nodes", "10",
+        )
+        assert code == 0
+        assert "diameter skipped" in out
+
+    def test_rotator_nucleus_reports_na(self, capsys):
+        code, out = run(capsys, "properties", "MR", "--l", "2", "--n", "2")
+        assert code == 0
+        assert "n/a" in out
+
+    def test_missing_params(self):
+        with pytest.raises(SystemExit):
+            main(["properties", "MS", "--l", "2"])
+        with pytest.raises(SystemExit):
+            main(["properties", "IS"])
+
+
+class TestRoute:
+    def test_route_to_identity(self, capsys):
+        code, out = run(
+            capsys, "route", "MS", "--l", "2", "--n", "2",
+            "--source", "34251",
+        )
+        assert code == 0
+        assert "route" in out
+
+    def test_route_with_trace_and_target(self, capsys):
+        code, out = run(
+            capsys, "route", "MS", "--l", "2", "--n", "2",
+            "--source", "21345", "--target", "12345", "--trace",
+        )
+        assert code == 0
+        assert "-->" in out
+
+    def test_comma_separated_permutation(self, capsys):
+        code, out = run(
+            capsys, "route", "MS", "--l", "2", "--n", "2",
+            "--source", "2,1,3,4,5",
+        )
+        assert code == 0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["route", "MS", "--l", "2", "--n", "2", "--source", "21"])
+
+    def test_rotator_family_route(self, capsys):
+        code, out = run(
+            capsys, "route", "MR", "--l", "2", "--n", "2",
+            "--source", "34251", "--trace",
+        )
+        assert code == 0
+        assert "route" in out
+
+
+class TestSchedule:
+    def test_figure1a(self, capsys):
+        code, out = run(capsys, "schedule", "MS", "--l", "4", "--n", "3")
+        assert code == 0
+        assert "makespan   : 6" in out
+        assert "j=13" in out
+
+
+class TestEmbed:
+    def test_star_guest(self, capsys):
+        code, out = run(capsys, "embed", "star", "MS", "--l", "2", "--n", "2")
+        assert code == 0
+        assert "dilation   : 3" in out
+
+    def test_tn_guest(self, capsys):
+        code, out = run(capsys, "embed", "tn", "IS", "--k", "4")
+        assert code == 0
+        assert "dilation" in out
+
+    def test_unknown_guest(self):
+        with pytest.raises(SystemExit):
+            main(["embed", "mesh", "MS", "--l", "2", "--n", "2"])
+
+
+class TestGame:
+    def test_solves(self, capsys):
+        code, out = run(
+            capsys, "game", "MS", "--l", "2", "--n", "2",
+            "--start", "31542",
+        )
+        assert code == 0
+        assert "solved in" in out
+
+
+class TestGirth:
+    def test_ms(self, capsys):
+        code, out = run(capsys, "girth", "MS", "--l", "2", "--n", "2")
+        assert code == 0
+        assert "girth    : 6" in out
+
+    def test_bipartite_reported(self, capsys):
+        code, out = run(capsys, "girth", "MS", "--l", "2", "--n", "3")
+        assert code == 0
+        assert "bipartite: True" in out
+
+
+class TestConnectivity:
+    def test_ms(self, capsys):
+        code, out = run(capsys, "connectivity", "MS", "--l", "2", "--n", "2")
+        assert code == 0
+        assert "vertex connectivity: 3" in out
+        assert "maximally fault-tolerant" in out
+
+
+class TestReport:
+    def test_report_passes(self, capsys):
+        code, out = run(capsys, "report")
+        assert code == 0
+        assert "checks passed" in out
+        assert "FAIL" not in out
+
+
+class TestMnb:
+    def test_star4(self, capsys):
+        code, out = run(capsys, "mnb", "star", "--k", "4")
+        assert code == 0
+        assert "23 rounds" in out
+
+    def test_non_star_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mnb", "MS", "--k", "4"])

@@ -1,0 +1,257 @@
+"""Tests for spanning trees, Hamiltonian words, MNB and TE
+(Section 3 and Corollaries 2-3)."""
+
+import pytest
+
+from repro.comm import (
+    bfs_spanning_tree,
+    hamiltonian_cycle_word,
+    hamiltonian_path_word,
+    mnb_allport_broadcast_trees,
+    mnb_allport_trees,
+    mnb_lower_bound_allport,
+    mnb_lower_bound_sdc,
+    mnb_sdc_emulated,
+    mnb_sdc_hamiltonian,
+    te_allport,
+    te_emulated,
+    te_lower_bound_allport,
+    te_star,
+    tree_depth,
+    tree_dimension_counts,
+    tree_path_to_root,
+    verify_hamiltonian_path_word,
+    verify_hamiltonian_word,
+)
+from repro.core.permutations import Permutation
+from repro.networks import InsertionSelection, MacroStar
+from repro.routing import star_route
+from repro.topologies import StarGraph
+
+
+class TestSpanningTrees:
+    def test_tree_covers_all_nodes(self):
+        star = StarGraph(4)
+        tree = bfs_spanning_tree(star)
+        assert len(tree) == star.num_nodes - 1
+        assert star.identity not in tree
+
+    def test_parent_links_are_edges(self):
+        star = StarGraph(4)
+        tree = bfs_spanning_tree(star)
+        for child, (parent, dim) in tree.items():
+            assert parent * star.generators[dim].perm == child
+
+    def test_path_to_root_reaches_node(self):
+        star = StarGraph(4)
+        tree = bfs_spanning_tree(star)
+        for node in list(star.nodes())[::5]:
+            path = tree_path_to_root(tree, node)
+            assert star.apply_word(star.identity, path) == node
+
+    def test_tree_depth_equals_eccentricity(self):
+        star = StarGraph(4)
+        tree = bfs_spanning_tree(star)
+        assert tree_depth(tree) == star.diameter()
+
+    def test_dimension_counts_sum(self):
+        star = StarGraph(4)
+        counts = tree_dimension_counts(bfs_spanning_tree(star))
+        assert sum(counts.values()) == star.num_nodes - 1
+
+    def test_dimension_counts_balanced(self):
+        """Balanced counts are what make the translated-tree MNB optimal."""
+        star = StarGraph(5)
+        counts = tree_dimension_counts(bfs_spanning_tree(star))
+        assert max(counts.values()) <= 3 * min(counts.values())
+
+
+class TestBalancedTrees:
+    def test_balanced_tree_is_a_spanning_tree(self):
+        from repro.comm import balanced_spanning_tree
+
+        star = StarGraph(4)
+        tree = balanced_spanning_tree(star)
+        assert len(tree) == star.num_nodes - 1
+        for child, (parent, dim) in tree.items():
+            assert parent * star.generators[dim].perm == child
+
+    def test_balanced_tree_keeps_bfs_depth(self):
+        from repro.comm import balanced_spanning_tree, tree_depth
+
+        star = StarGraph(5)
+        assert tree_depth(balanced_spanning_tree(star)) == star.diameter()
+
+    def test_balancing_tightens_max_count(self):
+        from repro.comm import balanced_spanning_tree
+
+        star = StarGraph(5)
+        plain = tree_dimension_counts(bfs_spanning_tree(star))
+        balanced = tree_dimension_counts(balanced_spanning_tree(star))
+        assert max(balanced.values()) <= max(plain.values())
+        # Near-perfect balance: spread of at most 1-2 edges.
+        assert max(balanced.values()) - min(balanced.values()) <= 2
+
+    def test_balanced_mnb_hits_lower_bound(self):
+        """The payoff: MNB over balanced trees meets ceil((N-1)/d)
+        exactly on these instances."""
+        from repro.comm import balanced_spanning_tree
+
+        star = StarGraph(5)
+        rounds = mnb_allport_broadcast_trees(
+            star, balanced_spanning_tree(star)
+        )
+        assert rounds == mnb_lower_bound_allport(120, 4)
+
+    def test_balanced_mnb_on_ms(self):
+        from repro.comm import balanced_spanning_tree
+
+        net = MacroStar(2, 2)
+        rounds = mnb_allport_broadcast_trees(
+            net, balanced_spanning_tree(net)
+        )
+        assert rounds == mnb_lower_bound_allport(120, 3)
+
+
+class TestRandomizedStarRouting:
+    def test_stays_optimal(self):
+        import random as _random
+
+        from repro.routing import (
+            star_distance,
+            star_route_to_identity_randomized,
+        )
+
+        star = StarGraph(5)
+        rng = _random.Random(17)
+        for _ in range(50):
+            p = Permutation.random(5, rng)
+            word = star_route_to_identity_randomized(p, rng)
+            assert star.apply_word(p, word).is_identity()
+            assert len(word) == star_distance(p)
+
+
+class TestHamiltonianWords:
+    def test_cycle_star4(self):
+        star = StarGraph(4)
+        word = hamiltonian_cycle_word(star)
+        assert len(word) == 24
+        assert verify_hamiltonian_word(star, word)
+
+    def test_path_star5(self):
+        star = StarGraph(5)
+        word = hamiltonian_path_word(star)
+        assert len(word) == 119
+        assert verify_hamiltonian_path_word(star, word)
+
+    def test_path_on_super_cayley(self):
+        net = MacroStar(2, 2)
+        word = hamiltonian_path_word(net)
+        assert verify_hamiltonian_path_word(net, word)
+
+    def test_verify_rejects_bad_words(self):
+        star = StarGraph(4)
+        assert not verify_hamiltonian_path_word(star, ["T2", "T2"])
+        assert not verify_hamiltonian_word(star, ["T2", "T2"])
+
+
+class TestSdcMnb:
+    """Mišić-Jovanović: MNB in exactly k! - 1 SDC rounds."""
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_exact_optimum(self, k):
+        star = StarGraph(k)
+        rounds, complete = mnb_sdc_hamiltonian(star)
+        assert complete
+        assert rounds == mnb_lower_bound_sdc(star.num_nodes)
+
+    def test_star5_exact(self):
+        star = StarGraph(5)
+        rounds, complete = mnb_sdc_hamiltonian(star)
+        assert complete and rounds == 119
+
+    def test_emulated_on_ms(self):
+        """Theorem 1 + Mišić-Jovanović: at most 3(k! - 1) rounds on MS."""
+        net = MacroStar(2, 2)
+        star = StarGraph(5)
+        word = hamiltonian_path_word(star)
+        rounds, complete = mnb_sdc_emulated(net, word)
+        assert complete
+        assert rounds <= 3 * 119
+        assert rounds >= 119  # can't beat the SDC lower bound
+
+    def test_emulated_on_is(self):
+        """Theorem 2: at most 2(k! - 1) rounds on IS(k)."""
+        net = InsertionSelection(4)
+        word = hamiltonian_path_word(StarGraph(4))
+        rounds, complete = mnb_sdc_emulated(net, word)
+        assert complete
+        assert rounds <= 2 * 23
+
+
+class TestAllPortMnb:
+    """Corollary 2: completion within a constant factor of ceil((N-1)/d)."""
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_star_within_constant_of_bound(self, k):
+        star = StarGraph(k)
+        rounds = mnb_allport_broadcast_trees(star)
+        bound = mnb_lower_bound_allport(star.num_nodes, star.degree)
+        assert bound <= rounds <= 3 * bound + star.diameter()
+
+    def test_star5_ratio(self):
+        star = StarGraph(5)
+        rounds = mnb_allport_broadcast_trees(star)
+        bound = mnb_lower_bound_allport(120, 4)
+        assert rounds / bound < 2.0
+
+    def test_ms_within_constant(self):
+        net = MacroStar(2, 2)
+        rounds = mnb_allport_broadcast_trees(net)
+        bound = mnb_lower_bound_allport(net.num_nodes, net.degree)
+        assert bound <= rounds <= 3 * bound + net.diameter()
+
+    def test_unicast_variant_completes(self):
+        star = StarGraph(4)
+        result = mnb_allport_trees(star)
+        assert result.delivered == 24 * 23
+        assert result.rounds >= mnb_lower_bound_allport(24, 3)
+
+    def test_unicast_traffic_roughly_uniform(self):
+        """Section 1: traffic uniform within a constant factor."""
+        result = mnb_allport_trees(StarGraph(4))
+        assert result.traffic_uniformity() <= 3.0
+
+
+class TestTotalExchange:
+    """Corollary 3: TE in Theta(N) on the star, emulated on SC networks."""
+
+    def test_star4_counts(self):
+        result = te_star(4)
+        assert result.delivered == 24 * 23
+        star = StarGraph(4)
+        bound = te_lower_bound_allport(24, 3, star.average_distance())
+        assert bound <= result.rounds <= 3 * bound
+
+    def test_star5_ratio(self):
+        star = StarGraph(5)
+        result = te_star(5)
+        bound = te_lower_bound_allport(120, 4, star.average_distance())
+        assert result.rounds / bound < 2.0
+
+    def test_emulated_on_ms(self):
+        net = MacroStar(2, 2)
+        result = te_emulated(net)
+        assert result.delivered == 120 * 119
+        bound = te_lower_bound_allport(120, 3, net.average_distance())
+        assert bound <= result.rounds <= 3 * bound
+
+    def test_partial_sources(self):
+        star = StarGraph(4)
+        sources = list(star.nodes())[:3]
+        result = te_allport(star, route_fn=star_route, sources=sources)
+        assert result.delivered == 3 * 23
+
+    def test_te_traffic_uniform(self):
+        result = te_star(4)
+        assert result.traffic_uniformity() <= 2.0

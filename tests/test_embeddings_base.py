@@ -1,0 +1,152 @@
+"""Tests for the embedding framework (metrics, validation, composition)."""
+
+import pytest
+
+from repro.core.permutations import Permutation
+from repro.embeddings import (
+    WordEmbedding,
+    compose_through_cayley,
+    embed_star,
+    embed_star_into_tn,
+)
+from repro.embeddings.base import FunctionEmbedding, iter_directed_guest_edges
+from repro.networks import InsertionSelection, MacroStar
+from repro.topologies import Mesh, StarGraph, TranspositionNetwork
+
+
+class TestWordEmbedding:
+    def test_missing_word_rejected(self):
+        star = StarGraph(4)
+        tn = TranspositionNetwork(4)
+        with pytest.raises(ValueError):
+            WordEmbedding(star, tn, {"T2": ["T(1,2)"]})
+
+    def test_identity_node_map(self):
+        emb = embed_star_into_tn(4)
+        p = Permutation([2, 1, 3, 4])
+        assert emb.map_node(p) == p
+
+    def test_edge_path_walks_words(self):
+        emb = embed_star(MacroStar(2, 2))
+        u = Permutation.identity(5)
+        v = u * StarGraph(5).generators["T4"].perm
+        path = emb.edge_path(u, v, "T4")
+        assert path[0] == u and path[-1] == v
+        assert len(path) == 4  # dilation-3 word
+
+    def test_dilation_is_max_word_length(self):
+        emb = embed_star(MacroStar(2, 2))
+        assert emb.dilation() == 3
+
+    def test_subgraph_embedding_metrics(self):
+        emb = embed_star_into_tn(4)
+        emb.validate()
+        assert emb.dilation() == 1
+        assert emb.load() == 1
+        assert emb.expansion() == 1.0
+        assert emb.congestion() == 1
+
+    def test_compose_word_embeddings(self):
+        star_to_is = embed_star(InsertionSelection(4))
+        tn_to_star = embed_star_into_tn(4)
+        # star c TN has words into TN; compose star->IS after? Build
+        # TN->... wrong direction; instead compose star->star... use
+        # words composition API directly:
+        composed = tn_to_star.compose(
+            WordEmbedding(
+                TranspositionNetwork(4),
+                TranspositionNetwork(4),
+                {g.name: [g.name] for g in TranspositionNetwork(4).generators},
+            )
+        )
+        composed.validate()
+        assert composed.dilation() == 1
+
+    def test_dimension_congestion(self):
+        emb = embed_star(MacroStar(2, 2))
+        # inner-box dims ride their own links: congestion 1
+        assert emb.dimension_congestion("T2") == 1
+        assert emb.dimension_congestion("T3") == 1
+        # outer-box dims share swap links: congestion 2 (paper, Sec. 3)
+        assert emb.dimension_congestion("T4") == 2
+        assert emb.dimension_congestion("T5") == 2
+
+
+class TestFunctionEmbedding:
+    def test_validate_catches_bad_path(self):
+        star = StarGraph(4)
+        mesh = Mesh([2, 2])
+
+        def node_map(coord):
+            return Permutation.identity(4)
+
+        def path_fn(tail, head, label=""):
+            return [Permutation.identity(4), Permutation([4, 3, 2, 1])]
+
+        emb = FunctionEmbedding(mesh, star, node_map, path_fn)
+        with pytest.raises(AssertionError):
+            emb.validate()
+
+    def test_validate_catches_wrong_endpoint(self):
+        star = StarGraph(4)
+        mesh = Mesh([2, 2])
+        other = Permutation([2, 1, 3, 4])
+
+        def node_map(coord):
+            return Permutation.identity(4) if coord == (0, 0) else other
+
+        def path_fn(tail, head, label=""):
+            return [node_map(tail), node_map(tail)]  # never reaches head
+
+        emb = FunctionEmbedding(mesh, star, node_map, path_fn)
+        with pytest.raises(AssertionError):
+            emb.validate()
+
+    def test_load_counts_collisions(self):
+        star = StarGraph(4)
+        mesh = Mesh([3])
+
+        def node_map(coord):
+            return Permutation.identity(4)  # everything collides
+
+        def path_fn(tail, head, label=""):
+            return [Permutation.identity(4)]
+
+        emb = FunctionEmbedding(mesh, star, node_map, path_fn)
+        assert emb.load() == 3
+        assert not emb.is_one_to_one()
+
+
+class TestGuestEdgeIteration:
+    def test_cayley_guest_directed_edges(self):
+        star = StarGraph(3)
+        edges = list(iter_directed_guest_edges(star))
+        assert len(edges) == 6 * 2  # k! * (k-1) directed links
+
+    def test_simple_guest_both_orientations(self):
+        mesh = Mesh([2, 2])
+        edges = list(iter_directed_guest_edges(mesh))
+        assert len(edges) == 4 * 2
+
+    def test_unsupported_guest(self):
+        with pytest.raises(TypeError):
+            list(iter_directed_guest_edges(42))
+
+
+class TestCompose:
+    def test_compose_mismatch_rejected(self):
+        from repro.embeddings import embed_mesh_into_tn
+
+        inner = embed_mesh_into_tn(4)  # host TN(4)
+        outer = embed_star(MacroStar(2, 2))  # guest star(5)
+        with pytest.raises(ValueError):
+            compose_through_cayley(inner, outer)
+
+    def test_composition_dilation_bounded_by_product(self):
+        from repro.embeddings import embed_mesh_into_tn, embed_transposition_network
+
+        inner = embed_mesh_into_tn(5)
+        outer = embed_transposition_network(MacroStar(2, 2))
+        comp = compose_through_cayley(inner, outer)
+        comp.validate()
+        assert comp.dilation() <= inner.dilation() * outer.dilation()

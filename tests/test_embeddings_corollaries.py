@@ -1,0 +1,213 @@
+"""Verification of the Section 5 corollaries: trees (C4), hypercubes
+(C5, substitution S1), meshes (C6), and the mixed-radix mesh (C7)."""
+
+import pytest
+
+from repro.core.permutations import Permutation, factorial
+from repro.embeddings import (
+    TreeSearchError,
+    adjacent_swap_position,
+    corollary4_tree_height,
+    cube_node_image,
+    embed_bubble_sort_into_sc,
+    embed_bubble_sort_into_tn,
+    embed_hypercube_into_sc,
+    embed_hypercube_into_star,
+    embed_hypercube_into_tn,
+    embed_mesh_into_sc,
+    embed_mesh_into_star,
+    embed_mesh_into_tn,
+    embed_mixed_mesh_into_sc,
+    embed_mixed_mesh_into_star,
+    embed_mixed_mesh_into_tn,
+    embed_tree_into_sc,
+    embed_tree_into_star,
+    find_tree_in_star,
+    insertion_coords_from_perm,
+    max_cube_dimension,
+    perm_from_insertion_coords,
+    sjt_sequence,
+)
+from repro.networks import InsertionSelection, MacroIS, MacroStar
+from repro.topologies import CompleteBinaryTree, StarGraph
+
+
+class TestSjt:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5])
+    def test_enumerates_all_permutations(self, m):
+        seq = sjt_sequence(m)
+        assert len(seq) == factorial(m)
+        assert len(set(seq)) == factorial(m)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_consecutive_differ_by_adjacent_swap(self, m):
+        seq = sjt_sequence(m)
+        for before, after in zip(seq, seq[1:]):
+            p = adjacent_swap_position(before, after)
+            assert before[p] == after[p + 1] and before[p + 1] == after[p]
+
+    def test_adjacent_swap_position_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            adjacent_swap_position((1, 2, 3), (3, 2, 1))
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sjt_sequence(0)
+
+
+class TestCorollary4Trees:
+    def test_dilation1_tree_in_star5(self):
+        emb = embed_tree_into_star(5, 5)
+        emb.validate()
+        assert emb.dilation() == 1
+        assert emb.load() == 1
+
+    def test_mapping_is_injective(self):
+        mapping = find_tree_in_star(5, 5)
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_tree_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            find_tree_in_star(7, 5)  # 255 nodes > 120
+
+    def test_corollary_heights(self):
+        assert corollary4_tree_height(5) == 5
+        assert corollary4_tree_height(6) == 7
+        assert corollary4_tree_height(7) == 9
+        with pytest.raises(ValueError):
+            corollary4_tree_height(4)
+
+    def test_tree_into_is_dilation_2(self):
+        emb = embed_tree_into_sc(5, InsertionSelection(5))
+        emb.validate()
+        assert emb.dilation() <= 2
+
+    def test_tree_into_ms_dilation_3(self):
+        emb = embed_tree_into_sc(5, MacroStar(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 3
+
+    def test_tree_into_mis_dilation_4(self):
+        emb = embed_tree_into_sc(5, MacroIS(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 4
+
+    def test_height_7_tree_in_star6(self):
+        emb = embed_tree_into_star(7, 6)
+        emb.validate()
+        assert emb.dilation() == 1
+
+
+class TestCorollary5Hypercubes:
+    def test_cube_node_image_toggles_commute(self):
+        k = 6
+        assert cube_node_image((0, 0, 0), k) == Permutation.identity(k)
+        assert cube_node_image((1, 0, 0), k) == Permutation([2, 1, 3, 4, 5, 6])
+        assert cube_node_image((1, 1, 0), k) == Permutation([2, 1, 4, 3, 5, 6])
+
+    def test_max_dimension(self):
+        assert max_cube_dimension(5) == 2
+        assert max_cube_dimension(8) == 4
+
+    def test_into_tn_dilation_1(self):
+        emb = embed_hypercube_into_tn(2, 5)
+        emb.validate()
+        assert emb.dilation() == 1
+        assert emb.load() == 1
+        assert emb.congestion() == 1
+
+    def test_into_star_dilation_3(self):
+        emb = embed_hypercube_into_star(3, 6)
+        emb.validate()
+        assert emb.dilation() == 3
+        assert emb.load() == 1
+
+    def test_into_sc_dilation_constant(self):
+        emb = embed_hypercube_into_sc(2, MacroStar(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 5  # TN dilation for l = 2
+
+    def test_dimension_cap_enforced(self):
+        with pytest.raises(ValueError):
+            embed_hypercube_into_tn(3, 5)
+        with pytest.raises(ValueError):
+            embed_hypercube_into_star(4, 6)
+
+
+class TestCorollary6Meshes:
+    def test_mesh_into_tn_perfect(self):
+        emb = embed_mesh_into_tn(5)
+        emb.validate()
+        assert emb.metrics() == {
+            "load": 1, "expansion": 1.0, "dilation": 1, "congestion": 1,
+        }
+
+    def test_mesh_shape_is_k_by_k_minus_1_factorial(self):
+        emb = embed_mesh_into_tn(5)
+        assert emb.guest.dims == (5, 24)
+        assert emb.guest.num_nodes == factorial(5)
+
+    def test_mesh_into_star_dilation_3(self):
+        emb = embed_mesh_into_star(5)
+        emb.validate()
+        assert emb.dilation() <= 3
+        assert emb.load() == 1
+
+    def test_mesh_into_ms22_dilation_5(self):
+        """Corollary 6: dilation 5 into MS(2, n)."""
+        emb = embed_mesh_into_sc(MacroStar(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 5
+        assert emb.load() == 1
+
+    def test_mesh_into_mis_dilation_constant(self):
+        emb = embed_mesh_into_sc(MacroIS(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 10
+
+
+class TestCorollary7MixedMesh:
+    def test_insertion_coords_roundtrip(self):
+        for p in Permutation.all_permutations(5):
+            coords = insertion_coords_from_perm(p)
+            assert perm_from_insertion_coords(coords) == p
+            for i, d in enumerate(coords, start=2):
+                assert 1 <= d <= i
+
+    def test_coords_validation(self):
+        with pytest.raises(ValueError):
+            perm_from_insertion_coords((3,))  # d_2 must be <= 2
+
+    def test_into_tn_perfect(self):
+        emb = embed_mixed_mesh_into_tn(5)
+        emb.validate()
+        assert emb.metrics() == {
+            "load": 1, "expansion": 1.0, "dilation": 1, "congestion": 1,
+        }
+
+    def test_into_star_matches_jwo(self):
+        """Jwo et al.: load 1, expansion 1, dilation 3."""
+        emb = embed_mixed_mesh_into_star(5)
+        emb.validate()
+        assert emb.load() == 1
+        assert emb.expansion() == 1.0
+        assert emb.dilation() == 3
+
+    def test_into_sc_constant_dilation(self):
+        for net in (MacroStar(2, 2), InsertionSelection(5)):
+            emb = embed_mixed_mesh_into_sc(net)
+            emb.validate()
+            assert emb.load() == 1
+            assert emb.dilation() <= 3 * net.star_emulation_dilation()
+
+
+class TestBubbleSortEmbeddings:
+    def test_subgraph_of_tn(self):
+        emb = embed_bubble_sort_into_tn(4)
+        emb.validate()
+        assert emb.dilation() == 1
+
+    def test_into_ms_constant(self):
+        emb = embed_bubble_sort_into_sc(MacroStar(2, 2))
+        emb.validate()
+        assert emb.dilation() <= 5

@@ -1,0 +1,180 @@
+"""Exhaustive verification of the embedding theorems (Theorems 1-3 star
+embeddings, Theorems 6-7 transposition-network embeddings) on small
+instances."""
+
+import pytest
+
+from repro.core.generators import pair_transposition, transposition
+from repro.embeddings import (
+    embed_star,
+    embed_tn_into_star,
+    embed_transposition_network,
+    star_swap_word,
+    theoretical_star_congestion,
+    theoretical_star_dilation,
+    theoretical_tn_dilation,
+    tn_dimension_word,
+)
+from repro.networks import (
+    CompleteRotationIS,
+    CompleteRotationStar,
+    InsertionSelection,
+    MacroIS,
+    MacroStar,
+    RotationIS,
+    RotationStar,
+)
+from repro.topologies import StarGraph
+
+
+STAR_HOSTS = [
+    MacroStar(2, 2),
+    CompleteRotationStar(2, 2),
+    InsertionSelection(5),
+    MacroIS(2, 2),
+    CompleteRotationIS(2, 2),
+]
+
+
+class TestStarEmbeddings:
+    """Theorems 1, 2, 3: dilation 3 / 2 / 4, identity node map."""
+
+    @pytest.mark.parametrize("net", STAR_HOSTS, ids=lambda n: n.name)
+    def test_valid_and_constants(self, net):
+        emb = embed_star(net)
+        emb.validate()
+        assert emb.load() == 1
+        assert emb.expansion() == 1.0
+        assert emb.dilation() == theoretical_star_dilation(net.family)
+
+    @pytest.mark.parametrize(
+        "net", [MacroStar(3, 2), CompleteRotationStar(3, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_congestion_max_2n_l(self, net):
+        emb = embed_star(net)
+        assert emb.congestion() == theoretical_star_congestion(net)
+
+    def test_congestion_ms_23(self):
+        net = MacroStar(2, 3)
+        assert embed_star(net).congestion() == max(2 * 3, 2)
+
+    def test_per_dimension_congestion_bounds(self):
+        """Section 3: per-dimension congestion is 2 for j > n+1, else 1."""
+        for net in (MacroStar(2, 2), MacroStar(3, 2), CompleteRotationStar(3, 2)):
+            emb = embed_star(net)
+            for j in range(2, net.k + 1):
+                bound = 2 if j > net.n + 1 else 1
+                assert emb.dimension_congestion(f"T{j}") <= bound, (net.name, j)
+
+    def test_is_per_dimension_congestion_is_1(self):
+        """Theorem 2's conflict-freedom: every star dimension emulates on
+        the IS network without link sharing."""
+        emb = embed_star(InsertionSelection(5))
+        for j in range(2, 6):
+            assert emb.dimension_congestion(f"T{j}") == 1
+
+
+class TestTnWords:
+    """The Theorem 6 case table realises ``T_{i,j}`` algebraically."""
+
+    @pytest.mark.parametrize(
+        "net",
+        [MacroStar(3, 2), MacroStar(2, 3), CompleteRotationStar(3, 2),
+         CompleteRotationStar(4, 2), MacroIS(3, 2), CompleteRotationIS(3, 2),
+         InsertionSelection(5), RotationStar(4, 2), RotationIS(3, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_words_realise_pair_transpositions(self, net):
+        k = net.k
+        for i in range(1, k + 1):
+            for j in range(i + 1, k + 1):
+                word = tn_dimension_word(net, i, j)
+                got = net.apply_word(net.identity, word)
+                want = net.identity * pair_transposition(k, i, j).perm
+                assert got == want, (net.name, i, j, word)
+
+    def test_rejects_bad_indices(self):
+        net = MacroStar(2, 2)
+        with pytest.raises(ValueError):
+            tn_dimension_word(net, 3, 3)
+        with pytest.raises(ValueError):
+            tn_dimension_word(net, 0, 2)
+        with pytest.raises(ValueError):
+            tn_dimension_word(net, 2, 99)
+
+
+class TestTheorem6:
+    """k-TN into MS / complete-RS: load 1, expansion 1, dilation 5 or 7."""
+
+    @pytest.mark.parametrize(
+        "net,expected",
+        [
+            (MacroStar(2, 2), 5),
+            (MacroStar(2, 3), 5),
+            (CompleteRotationStar(2, 2), 5),
+            (MacroStar(3, 2), 7),
+            (CompleteRotationStar(3, 2), 7),
+        ],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_dilation(self, net, expected):
+        emb = embed_transposition_network(net)
+        emb.validate()
+        assert emb.load() == 1
+        assert emb.expansion() == 1.0
+        assert emb.dilation() == expected
+        assert theoretical_tn_dilation(net) == expected
+
+
+class TestTheorem7:
+    """k-TN into k-IS with dilation 6; into MIS/complete-RIS with O(1)."""
+
+    def test_is_dilation_6(self):
+        emb = embed_transposition_network(InsertionSelection(5))
+        emb.validate()
+        assert emb.dilation() == 6
+        assert theoretical_tn_dilation(InsertionSelection(5)) == 6
+
+    @pytest.mark.parametrize(
+        "net", [MacroIS(2, 2), CompleteRotationIS(2, 2), MacroIS(3, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_mis_dilation_constant(self, net):
+        emb = embed_transposition_network(net)
+        emb.validate()
+        assert emb.load() == 1
+        # O(1): bounded by 4 box moves + 3 nucleus words of length <= 2.
+        assert emb.dilation() <= 10
+
+    def test_no_exact_constant_for_mis(self):
+        with pytest.raises(ValueError):
+            theoretical_tn_dilation(MacroIS(2, 2))
+
+    def test_tn_into_star_dilation_3(self):
+        emb = embed_tn_into_star(5)
+        emb.validate()
+        assert emb.dilation() == 3
+        assert emb.load() == 1
+
+
+class TestStarSwapWord:
+    def test_first_position(self):
+        assert star_swap_word(1, 4) == ["T4"]
+
+    def test_general(self):
+        assert star_swap_word(2, 5) == ["T2", "T5", "T2"]
+
+    def test_realises_swap(self):
+        star = StarGraph(6)
+        for a in range(1, 6):
+            for b in range(a + 1, 7):
+                got = star.apply_word(star.identity, star_swap_word(a, b))
+                want = star.identity * pair_transposition(6, a, b).perm
+                assert got == want
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            star_swap_word(3, 3)
+        with pytest.raises(ValueError):
+            star_swap_word(0, 2)

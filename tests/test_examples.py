@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example asserts its own claims internally (they use ``assert`` for
+verification), so a clean exit is a meaningful check, not just an import
+test."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_inventory():
+    """The README's promised examples exist."""
+    assert {
+        "quickstart.py",
+        "bag_game.py",
+        "star_emulation.py",
+        "broadcast_simulation.py",
+        "embeddings_tour.py",
+        "fault_tolerance.py",
+        "parallel_algorithms.py",
+    } <= set(ALL_EXAMPLES)
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

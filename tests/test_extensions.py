@@ -1,0 +1,227 @@
+"""Tests for the extension modules: ring/path embeddings, single-node
+broadcast, Cayley coset graphs, and the pancake baseline."""
+
+import pytest
+
+from repro.comm import (
+    broadcast_allport,
+    broadcast_lower_bound_allport,
+    broadcast_lower_bound_single_port,
+    broadcast_single_port,
+)
+from repro.core.coset import CayleyCosetGraph, subgroup_closure
+from repro.core.generators import star_generators, swap
+from repro.core.permutations import Permutation, factorial
+from repro.embeddings import (
+    embed_even_ring_in_star_like,
+    embed_linear_array,
+    embed_ring,
+)
+from repro.networks import MacroStar
+from repro.topologies import (
+    LinearArray,
+    PancakeGraph,
+    Ring,
+    StarGraph,
+    prefix_reversal,
+)
+
+
+class TestRingTopologies:
+    def test_ring(self):
+        ring = Ring(6)
+        assert ring.num_nodes == 6 and ring.num_edges == 6
+        assert ring.is_regular()
+        assert ring.diameter() == 3
+
+    def test_linear_array(self):
+        path = LinearArray(5)
+        assert path.num_edges == 4
+        assert path.diameter() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ring(2)
+        with pytest.raises(ValueError):
+            LinearArray(1)
+
+
+class TestCycleEmbeddings:
+    def test_full_ring_in_star4(self):
+        star = StarGraph(4)
+        emb = embed_ring(star)
+        emb.validate()
+        assert emb.metrics() == {
+            "load": 1, "expansion": 1.0, "dilation": 1, "congestion": 1,
+        }
+
+    def test_linear_array_in_star5(self):
+        star = StarGraph(5)
+        emb = embed_linear_array(star)
+        emb.validate()
+        assert emb.dilation() == 1
+        assert emb.guest.num_nodes == 120
+
+    def test_linear_array_in_super_cayley(self):
+        net = MacroStar(2, 2)
+        emb = embed_linear_array(net)
+        emb.validate()
+        assert emb.dilation() == 1
+
+    def test_partial_even_ring(self):
+        star = StarGraph(4)
+        emb = embed_even_ring_in_star_like(star, 6)
+        emb.validate()
+        assert emb.guest.num_nodes == 6
+        assert emb.dilation() == 1
+
+    def test_odd_ring_rejected(self):
+        with pytest.raises(ValueError):
+            embed_even_ring_in_star_like(StarGraph(4), 7)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            embed_even_ring_in_star_like(StarGraph(4), 4)
+
+    def test_bad_word_rejected(self):
+        star = StarGraph(4)
+        with pytest.raises(ValueError):
+            embed_ring(star, ["T2", "T2"])
+        with pytest.raises(ValueError):
+            embed_linear_array(star, ["T2", "T2"])
+
+
+class TestSingleNodeBroadcast:
+    def test_allport_equals_diameter(self):
+        star = StarGraph(4)
+        assert broadcast_allport(star) == star.diameter()
+
+    def test_allport_bound_respected(self):
+        star = StarGraph(4)
+        rounds = broadcast_allport(star)
+        assert rounds >= broadcast_lower_bound_allport(24, 3)
+
+    def test_single_port_close_to_log(self):
+        star = StarGraph(4)
+        rounds = broadcast_single_port(star)
+        bound = broadcast_lower_bound_single_port(24)
+        assert bound <= rounds <= 2 * bound + 3
+
+    def test_super_cayley(self):
+        net = MacroStar(2, 2)
+        assert broadcast_allport(net) == net.diameter()
+        rounds = broadcast_single_port(net)
+        assert rounds >= broadcast_lower_bound_single_port(120)
+
+    def test_bounds_trivial(self):
+        assert broadcast_lower_bound_allport(1, 3) == 0
+        assert broadcast_lower_bound_single_port(1) == 0
+
+
+class TestSubgroupClosure:
+    def test_trivial(self):
+        assert subgroup_closure(4, []) == frozenset(
+            {Permutation.identity(4)}
+        )
+
+    def test_single_transposition(self):
+        t = Permutation([2, 1, 3])
+        closure = subgroup_closure(3, [t])
+        assert len(closure) == 2
+
+    def test_full_group(self):
+        gens = [g.perm for g in star_generators(4)]
+        assert len(subgroup_closure(4, gens)) == 24
+
+    def test_alternating_group(self):
+        # 3-cycles generate A_4 (order 12).
+        c = Permutation([2, 3, 1, 4])
+        d = Permutation([1, 3, 4, 2])
+        assert len(subgroup_closure(4, [c, d])) == 12
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            subgroup_closure(4, [Permutation([2, 1, 3])])
+
+
+class TestCosetGraph:
+    def test_trivial_subgroup_is_cayley_graph(self):
+        coset = CayleyCosetGraph(star_generators(4))
+        assert coset.num_nodes == 24
+        assert coset.diameter() == StarGraph(4).diameter()
+
+    def test_full_subgroup_collapses(self):
+        gens = [g.perm for g in star_generators(4)]
+        coset = CayleyCosetGraph(star_generators(4), gens)
+        assert coset.num_nodes == 1
+
+    def test_alternating_quotient_has_two_nodes(self):
+        c = Permutation([2, 3, 1, 4])
+        d = Permutation([1, 3, 4, 2])
+        coset = CayleyCosetGraph(star_generators(4), [c, d])
+        assert coset.num_nodes == 2
+        # Every star generator is odd, so each links the two cosets.
+        node = coset.identity_coset
+        assert all(nbr != node for _dim, nbr in coset.neighbors(node))
+        assert coset.diameter() == 1
+
+    def test_nontrivial_quotient(self):
+        # Subgroup generated by the swap of boxes in MS(2,2)-land:
+        # S(2,2) has order 2 -> 60 cosets of 5! = 120.
+        sub = [swap(2, 2, 2).perm]
+        coset = CayleyCosetGraph(star_generators(5), sub, name="star5/S")
+        assert coset.num_nodes == 60
+        assert coset.is_connected()
+
+    def test_neighbors_well_defined(self):
+        c = Permutation([2, 3, 1, 4])
+        d = Permutation([1, 3, 4, 2])
+        coset = CayleyCosetGraph(star_generators(4), [c, d])
+        node = coset.identity_coset
+        # Going out and back along a self-inverse generator returns.
+        out = coset.neighbor(node, "T2")
+        assert coset.neighbor(out, "T2") == node
+
+    def test_repr(self):
+        coset = CayleyCosetGraph(star_generators(3))
+        assert "nodes=6" in repr(coset)
+
+
+class TestPancake:
+    def test_prefix_reversal_action(self):
+        u = Permutation([4, 7, 1, 3, 6, 2, 5])
+        v = prefix_reversal(7, 4).apply(u)
+        assert v.symbols == (3, 1, 7, 4, 6, 2, 5)
+
+    def test_self_inverse(self):
+        g = prefix_reversal(5, 4)
+        u = Permutation([3, 1, 4, 2, 5])
+        assert g.apply(g.apply(u)) == u
+
+    def test_counts(self):
+        p = PancakeGraph(4)
+        assert p.num_nodes == 24 and p.degree == 3
+        assert p.is_undirectable()
+        assert p.is_connected()
+
+    def test_known_diameters(self):
+        # Pancake-sorting diameters: P3 = 3, P4 = 4.
+        assert PancakeGraph(3).diameter() == 3
+        assert PancakeGraph(4).diameter() == 4
+
+    def test_greedy_route_valid(self):
+        import random
+
+        p = PancakeGraph(5)
+        rng = random.Random(13)
+        for _ in range(10):
+            u = Permutation.random(5, rng)
+            word = p.greedy_route(u)
+            assert p.apply_word(u, word).is_identity()
+            assert len(word) <= 2 * 4
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            prefix_reversal(4, 1)
+        with pytest.raises(ValueError):
+            PancakeGraph(1)

@@ -1,0 +1,157 @@
+"""Tests for fault-tolerant routing, Valiant routing, disjoint paths,
+and connectivity."""
+
+import random
+
+import pytest
+
+from repro.core.permutations import Permutation
+from repro.networks import InsertionSelection, MacroStar
+from repro.routing import (
+    FaultSet,
+    RoutingError,
+    disjoint_paths,
+    fault_tolerant_route,
+    node_connectivity,
+    route_is_fault_free,
+    survives_faults,
+    valiant_route,
+)
+from repro.topologies import StarGraph
+
+
+@pytest.fixture
+def star4():
+    return StarGraph(4)
+
+
+class TestFaultSet:
+    def test_empty(self):
+        faults = FaultSet()
+        assert len(faults) == 0
+        assert not faults.blocks_node(Permutation.identity(4))
+
+    def test_of_constructor(self):
+        p = Permutation([2, 1, 3, 4])
+        faults = FaultSet.of(nodes=[p], links=[(p, "T2")])
+        assert faults.blocks_node(p)
+        assert faults.blocks_link(p, "T2")
+        assert not faults.blocks_link(p, "T3")
+        assert len(faults) == 2
+
+
+class TestFaultTolerantRoute:
+    def test_no_faults_is_shortest(self, star4):
+        rng = random.Random(3)
+        for _ in range(10):
+            u = Permutation.random(4, rng)
+            v = Permutation.random(4, rng)
+            word = fault_tolerant_route(star4, u, v, FaultSet())
+            assert len(word) == star4.distance(u, v)
+            assert star4.apply_word(u, word) == v
+
+    def test_detour_around_failed_node(self, star4):
+        u = star4.identity
+        v = star4.neighbor(u, "T2")
+        w = star4.neighbor(v, "T3")
+        # Fail v: route u -> w must avoid it and still arrive.
+        faults = FaultSet.of(nodes=[v])
+        word = fault_tolerant_route(star4, u, w, faults)
+        assert star4.apply_word(u, word) == w
+        assert route_is_fault_free(star4, u, word, faults)
+        assert len(word) > star4.distance(u, w) - 1  # can't be shorter
+
+    def test_detour_around_failed_link(self, star4):
+        u = star4.identity
+        v = star4.neighbor(u, "T2")
+        faults = FaultSet.of(links=[(u, "T2")])
+        word = fault_tolerant_route(star4, u, v, faults)
+        assert star4.apply_word(u, word) == v
+        assert word[0] != "T2"
+
+    def test_failed_endpoint_rejected(self, star4):
+        u = star4.identity
+        with pytest.raises(RoutingError):
+            fault_tolerant_route(star4, u, u, FaultSet.of(nodes=[u]))
+
+    def test_unroutable_when_disconnected(self, star4):
+        u = star4.identity
+        v = star4.neighbor(u, "T2")
+        # Fail every link out of u.
+        faults = FaultSet.of(links=[(u, f"T{j}") for j in (2, 3, 4)])
+        with pytest.raises(RoutingError):
+            fault_tolerant_route(star4, u, v, faults)
+
+    def test_degree_minus_one_faults_survivable(self, star4):
+        """k-star connectivity is k-1: any k-2 failed nodes leave it
+        connected."""
+        rng = random.Random(9)
+        others = [p for p in star4.nodes() if p != star4.identity]
+        failed = rng.sample(others, 2)
+        faults = FaultSet.of(nodes=failed)
+        assert survives_faults(star4, faults, samples=15)
+
+
+class TestValiant:
+    def test_reaches_target(self, star4):
+        rng = random.Random(5)
+        for _ in range(5):
+            u = Permutation.random(4, rng)
+            v = Permutation.random(4, rng)
+            word = valiant_route(star4, u, v, rng=rng)
+            assert star4.apply_word(u, word) == v
+
+    def test_with_faults(self, star4):
+        u = star4.identity
+        v = Permutation([4, 3, 2, 1])
+        failed = [star4.neighbor(u, "T2")]
+        faults = FaultSet.of(nodes=failed)
+        word = valiant_route(star4, u, v, faults, rng=random.Random(1))
+        assert star4.apply_word(u, word) == v
+        assert route_is_fault_free(star4, u, word, faults)
+
+    def test_trivial(self, star4):
+        assert valiant_route(star4, star4.identity, star4.identity) == []
+
+
+class TestDisjointPaths:
+    def test_full_fan_between_far_nodes(self, star4):
+        u = star4.identity
+        v = Permutation([4, 3, 2, 1])
+        paths = disjoint_paths(star4, u, v)
+        # Star graph connectivity = k - 1 = 3.
+        assert len(paths) == 3
+        seen_interior = set()
+        for word in paths:
+            nodes = star4.path_nodes(u, word)
+            assert nodes[-1] == v
+            interior = set(nodes[1:-1])
+            assert not interior & seen_interior
+            seen_interior |= interior
+
+    def test_adjacent_nodes(self, star4):
+        u = star4.identity
+        v = star4.neighbor(u, "T2")
+        paths = disjoint_paths(star4, u, v)
+        assert len(paths) == 3
+        assert min(len(p) for p in paths) == 1
+
+    def test_same_node(self, star4):
+        assert disjoint_paths(star4, star4.identity, star4.identity) == []
+
+    def test_super_cayley_fan(self):
+        net = MacroStar(2, 2)
+        u = net.identity
+        v = Permutation([5, 4, 3, 2, 1])
+        paths = disjoint_paths(net, u, v)
+        assert len(paths) == net.degree  # connectivity = degree
+
+
+class TestConnectivity:
+    def test_star4_connectivity(self, star4):
+        assert node_connectivity(star4) == 3
+
+    def test_is4_connectivity(self):
+        net = InsertionSelection(4)
+        # IS(4) merged-undirected degree: I2 = I2^-1 collapses one pair.
+        assert node_connectivity(net) >= net.k - 1

@@ -1,0 +1,236 @@
+"""Tests for the generator families of repro.core.generators.
+
+These validate the algebra against the paper's Definitions 1-3 and the
+worked identities used throughout (e.g. ``T_j = I_{j-1}^{-1} . I_j``).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.generators import (
+    GeneratorSet,
+    bubble_sort_generators,
+    insertion,
+    pair_transposition,
+    rotation,
+    rotation_inverse,
+    rotator_generators,
+    selection,
+    star_generators,
+    swap,
+    transposition,
+    transposition_network_generators,
+)
+from repro.core.permutations import Permutation
+
+
+U = Permutation([4, 7, 1, 3, 6, 2, 5])  # a scratch k=7 label
+
+
+class TestTransposition:
+    def test_swaps_first_and_ith(self):
+        v = transposition(7, 4).apply(U)
+        assert v.symbols == (3, 7, 1, 4, 6, 2, 5)
+
+    def test_self_inverse(self):
+        g = transposition(5, 3)
+        assert g.inverse() is g
+        assert g.apply(g.apply(U_small())) == U_small()
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            transposition(4, 1)
+        with pytest.raises(ValueError):
+            transposition(4, 5)
+
+    def test_metadata(self):
+        g = transposition(6, 4)
+        assert g.name == "T4" and g.kind == "transposition"
+        assert g.is_nucleus and g.index == (4,)
+
+
+def U_small():
+    return Permutation([3, 1, 4, 2, 5])
+
+
+class TestPairTransposition:
+    def test_swaps_positions(self):
+        v = pair_transposition(7, 2, 5).apply(U)
+        assert v.symbols == (4, 6, 1, 3, 7, 2, 5)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            pair_transposition(4, 3, 3)
+        with pytest.raises(ValueError):
+            pair_transposition(4, 0, 2)
+        with pytest.raises(ValueError):
+            pair_transposition(4, 2, 5)
+
+    def test_t1j_equals_star_tj(self):
+        assert pair_transposition(6, 1, 4).perm == transposition(6, 4).perm
+
+
+class TestInsertionSelection:
+    def test_insertion_definition_1(self):
+        # I_i(U) = u_{2:i} u_1 u_{i+1:k}
+        v = insertion(7, 4).apply(U)
+        assert v.symbols == (7, 1, 3, 4, 6, 2, 5)
+
+    def test_selection_definition_2(self):
+        # I_i^{-1}(U) = u_i u_{1:i-1} u_{i+1:k}
+        v = selection(7, 4).apply(U)
+        assert v.symbols == (3, 4, 7, 1, 6, 2, 5)
+
+    def test_selection_inverts_insertion(self):
+        for i in range(2, 8):
+            assert selection(7, i).apply(insertion(7, i).apply(U)) == U
+            assert insertion(7, i).apply(selection(7, i).apply(U)) == U
+
+    def test_symbolic_inverse_round_trip(self):
+        g = insertion(6, 5)
+        inv = g.inverse()
+        assert inv.kind == "selection" and inv.name == "I5^-1"
+        assert inv.perm == g.perm.inverse()
+        back = inv.inverse()
+        assert back.kind == "insertion" and back.perm == g.perm
+
+    def test_i2_is_t2(self):
+        assert insertion(5, 2).perm == transposition(5, 2).perm
+
+    def test_transposition_decomposes_into_insertion_selection(self):
+        # Theorem 2's identity: T_j = I_{j-1}^{-1} after I_j  (j >= 3)
+        for j in range(3, 8):
+            via_is = selection(7, j - 1).apply(insertion(7, j).apply(U))
+            assert via_is == transposition(7, j).apply(U), j
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            insertion(5, 1)
+        with pytest.raises(ValueError):
+            selection(5, 6)
+
+
+class TestSwap:
+    def test_swaps_boxes(self):
+        # l = 3, n = 2, k = 7: boxes at positions 2-3, 4-5, 6-7.
+        v = swap(3, 2, 3).apply(U)
+        assert v.symbols == (4, 2, 5, 3, 6, 7, 1)
+
+    def test_self_inverse(self):
+        g = swap(3, 2, 2)
+        assert g.inverse() is g
+        assert g.apply(g.apply(U)) == U
+
+    def test_outside_ball_fixed(self):
+        assert swap(2, 3, 2).apply(Permutation.identity(7))(1) == 1
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            swap(3, 2, 1)
+        with pytest.raises(ValueError):
+            swap(3, 2, 4)
+
+    def test_metadata(self):
+        g = swap(4, 2, 3)
+        assert g.name == "S(2,3)" and not g.is_nucleus
+
+
+class TestRotation:
+    def test_definition_3(self):
+        # R(u) shifts the rightmost k-1 symbols right by n; l=3, n=2, k=7.
+        v = rotation(3, 2, 1).apply(U)
+        assert v.symbols == (4, 2, 5, 7, 1, 3, 6)
+
+    def test_power_composition(self):
+        r = rotation(4, 2, 1)
+        r2 = rotation(4, 2, 2)
+        assert (r.perm * r.perm) == r2.perm
+
+    def test_inverse_pairs(self):
+        for i in (1, 2):
+            f = rotation(3, 2, i)
+            b = rotation_inverse(3, 2, i)
+            assert (f.perm * b.perm).is_identity()
+
+    def test_exponent_mod_l(self):
+        assert rotation(3, 2, 4).perm == rotation(3, 2, 1).perm
+
+    def test_r0_rejected(self):
+        with pytest.raises(ValueError):
+            rotation(3, 2, 0)
+        with pytest.raises(ValueError):
+            rotation(3, 2, 3)
+
+    def test_symbolic_inverse(self):
+        g = rotation(4, 2, 1)
+        inv = g.inverse()
+        assert inv.perm == g.perm.inverse()
+        assert inv.kind == "rotation"
+
+    def test_outside_ball_fixed(self):
+        assert rotation(3, 2, 2).apply(U)(1) == U(1)
+
+    def test_boxes_move_intact(self):
+        # Rotating must move box contents without reordering inside boxes.
+        v = rotation(3, 2, 1).apply(U)
+        assert v.super_symbols(2) == [(2, 5), (7, 1), (3, 6)]
+
+
+class TestGeneratorSet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GeneratorSet([])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            GeneratorSet([transposition(4, 2), transposition(5, 2)])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            GeneratorSet([transposition(4, 2), transposition(4, 2)])
+
+    def test_lookup_and_contains(self):
+        gens = star_generators(5)
+        assert "T3" in gens
+        assert gens["T3"].index == (3,)
+        assert "T9" not in gens
+
+    def test_star_generators(self):
+        gens = star_generators(6)
+        assert len(gens) == 5
+        assert gens.is_inverse_closed()
+        assert all(g.is_nucleus for g in gens)
+
+    def test_bubble_sort_generators(self):
+        gens = bubble_sort_generators(5)
+        assert len(gens) == 4
+        assert gens.is_inverse_closed()
+
+    def test_tn_generators_count(self):
+        gens = transposition_network_generators(6)
+        assert len(gens) == 15  # k(k-1)/2
+
+    def test_rotator_generators_not_inverse_closed(self):
+        assert not rotator_generators(4).is_inverse_closed()
+
+    def test_nucleus_supers_split(self):
+        gens = GeneratorSet(
+            [transposition(5, 2), transposition(5, 3), swap(2, 2, 2)]
+        )
+        assert [g.name for g in gens.nucleus()] == ["T2", "T3"]
+        assert [g.name for g in gens.supers()] == ["S(2,2)"]
+
+    def test_find_by_perm(self):
+        gens = star_generators(4)
+        assert gens.find_by_perm(transposition(4, 3).perm).name == "T3"
+        assert gens.find_by_perm(Permutation.identity(4)) is None
+
+    @given(st.integers(2, 6), st.integers(0, 1000))
+    def test_generator_application_matches_mul(self, k, seed):
+        import random
+
+        rng = random.Random(seed)
+        u = Permutation.random(k, rng)
+        for g in star_generators(k):
+            assert g(u) == u * g.perm

@@ -1,0 +1,92 @@
+"""Tests for the generic all-port emulation scheduler."""
+
+import pytest
+
+from repro.emulation import (
+    allport_schedule,
+    bubble_sort_emulation_jobs,
+    emulation_makespan,
+    generic_allport_schedule,
+    makespan_lower_bound,
+    star_emulation_jobs,
+    theorem4_slowdown,
+    tn_emulation_jobs,
+    validate_generic_schedule,
+)
+from repro.networks import InsertionSelection, MacroStar, make_network
+
+
+class TestGreedyScheduler:
+    def test_single_job(self):
+        net = MacroStar(2, 2)
+        jobs = {0: ["T2", "T3"]}
+        entries = generic_allport_schedule(net, jobs)
+        validate_generic_schedule(net, jobs, entries)
+        assert max(e.time for e in entries) == 2
+
+    def test_conflicting_jobs_serialize(self):
+        net = MacroStar(2, 2)
+        jobs = {0: ["T2"], 1: ["T2"], 2: ["T2"]}
+        entries = generic_allport_schedule(net, jobs)
+        validate_generic_schedule(net, jobs, entries)
+        assert max(e.time for e in entries) == 3
+
+    def test_disjoint_jobs_parallelize(self):
+        net = MacroStar(2, 2)
+        jobs = {0: ["T2"], 1: ["T3"], 2: ["S(2,2)"]}
+        entries = generic_allport_schedule(net, jobs)
+        validate_generic_schedule(net, jobs, entries)
+        assert max(e.time for e in entries) == 1
+
+    def test_empty_jobs(self):
+        net = MacroStar(2, 2)
+        assert emulation_makespan(net, {}) == 0
+        assert emulation_makespan(net, {0: []}) == 0
+
+    def test_lower_bound(self):
+        assert makespan_lower_bound({}) == 0
+        assert makespan_lower_bound({0: ["a", "b"], 1: ["a"]}) == 2
+        assert makespan_lower_bound({0: ["a"], 1: ["a"], 2: ["a"]}) == 3
+
+
+class TestStarJobs:
+    @pytest.mark.parametrize("l,n", [(2, 2), (3, 2), (4, 3)])
+    def test_greedy_close_to_diagonal_schedule(self, l, n):
+        """Greedy on the Theorem 4 job set lands within one step of the
+        closed-form diagonal schedule."""
+        net = make_network("MS", l=l, n=n)
+        jobs = star_emulation_jobs(net)
+        greedy = emulation_makespan(net, jobs)
+        diagonal = allport_schedule(net).makespan
+        lower = makespan_lower_bound(jobs)
+        assert lower <= greedy
+        assert greedy <= diagonal + 2
+        assert diagonal == theorem4_slowdown(l, n)
+
+    def test_is_network(self):
+        net = InsertionSelection(5)
+        jobs = star_emulation_jobs(net)
+        assert emulation_makespan(net, jobs) == 2
+
+
+class TestTnJobs:
+    def test_tn_emulation_on_ms(self):
+        """All-port emulation of a full k-TN step on MS(2,2): validated,
+        and within a small factor of the resource lower bound."""
+        net = MacroStar(2, 2)
+        jobs = tn_emulation_jobs(net)
+        assert len(jobs) == 10  # k(k-1)/2 TN dimensions
+        entries = generic_allport_schedule(net, jobs)
+        validate_generic_schedule(net, jobs, entries)
+        makespan = max(e.time for e in entries)
+        lower = makespan_lower_bound(jobs)
+        assert lower <= makespan <= 2 * lower
+
+    def test_bubble_sort_emulation_on_ms(self):
+        net = MacroStar(2, 2)
+        jobs = bubble_sort_emulation_jobs(net)
+        assert len(jobs) == net.k - 1
+        entries = generic_allport_schedule(net, jobs)
+        validate_generic_schedule(net, jobs, entries)
+        makespan = max(e.time for e in entries)
+        assert makespan <= 2 * makespan_lower_bound(jobs)

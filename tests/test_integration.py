@@ -1,0 +1,133 @@
+"""Cross-module integration tests: the full pipelines a user runs.
+
+Each test chains at least three subsystems (networks -> routing ->
+simulation, game -> routing -> embedding, etc.).
+"""
+
+import random
+
+import pytest
+
+from repro.core.bag import BallArrangementGame
+from repro.core.permutations import Permutation
+from repro.comm import PacketSimulator, te_emulated
+from repro.embeddings import (
+    compose_through_cayley,
+    embed_mixed_mesh_into_star,
+    embed_star,
+    embed_transposition_network,
+)
+from repro.emulation import CommModel, allport_schedule, sdc_emulation_cost
+from repro.networks import InsertionSelection, MacroStar, make_network
+from repro.routing import sc_route, star_route, star_route_to_identity
+from repro.topologies import StarGraph
+
+
+class TestGameRoutingAgree:
+    """Solving the game, BFS routing, and emulated routing all agree on
+    reachability and respect each other's bounds."""
+
+    def test_game_solution_vs_emulated_route(self):
+        net = MacroStar(2, 2)
+        game = BallArrangementGame(net)
+        rng = random.Random(19)
+        for _ in range(5):
+            p = Permutation.random(5, rng)
+            optimal = game.solution_length(game.initial(p))
+            emulated = len(sc_route(net, p, net.identity))
+            assert optimal <= emulated <= 3 * optimal + 2
+
+
+class TestScheduleDrivesSimulator:
+    """Feed the Theorem 4 schedule into the packet simulator and verify
+    every node receives all k-1 packets in makespan rounds."""
+
+    @pytest.mark.parametrize("family,l,n", [("MS", 2, 2), ("MIS", 2, 2)])
+    def test_allport_schedule_delivery(self, family, l, n):
+        net = make_network(family, l=l, n=n)
+        sched = allport_schedule(net)
+        sched.validate()
+        # Drive one emulated star step from a sample of source nodes:
+        # each source sends one packet per star dimension along the
+        # scheduled word; the simulator's all-port constraint must allow
+        # the whole batch to finish in exactly `makespan` rounds when
+        # all nodes participate (vertex symmetry -> no contention).
+        sim = PacketSimulator(net, CommModel.ALL_PORT)
+        for source in net.nodes():
+            for j in range(2, net.k + 1):
+                sim.submit(source, sched.word_for(j))
+        result = sim.run()
+        assert result.delivered == net.num_nodes * (net.k - 1)
+        # Conflict-free schedule => no queueing beyond firing offsets:
+        # every link carries at most one packet per round, so the
+        # simulated duration can't beat the makespan, and contention-
+        # freedom keeps it within it... the simulator fires greedily
+        # rather than time-tabled, so allow a small slack.
+        assert result.rounds <= 2 * sched.makespan
+        assert result.max_queue <= net.k
+
+    def test_star_sdc_algorithm_cost_matches_simulation(self):
+        """Emulating a 3-step star SDC algorithm on IS(4): predicted cost
+        equals simulated rounds under per-step dimension sequencing."""
+        net = InsertionSelection(4)
+        star_steps = [2, 4, 3]
+        predicted = sdc_emulation_cost(net, star_steps)
+        # Expand and simulate one packet following the whole program.
+        word = [
+            dim
+            for j in star_steps
+            for dim in net.star_dimension_word(j)
+        ]
+        sim = PacketSimulator(net, CommModel.SDC, sdc_sequence=word)
+        sim.submit(net.identity, word)
+        result = sim.run()
+        assert result.rounds == predicted == len(word)
+
+
+class TestEmbeddingPipelines:
+    def test_mesh_to_sc_through_two_layers(self):
+        """mixed mesh -> star -> MS: the three-layer composition stays
+        valid and multiplies dilations."""
+        net = MacroStar(2, 2)
+        inner = embed_mixed_mesh_into_star(5)
+        outer = embed_star(net)
+        comp = compose_through_cayley(inner, outer)
+        comp.validate()
+        assert comp.dilation() <= inner.dilation() * outer.dilation()
+
+    def test_tn_embedding_backs_routing(self):
+        """Every TN word is a legal route: walking T_{i,j}'s image from
+        any node lands on the transposed label."""
+        net = make_network("complete-RS", l=3, n=2)
+        emb = embed_transposition_network(net)
+        rng = random.Random(23)
+        for _ in range(10):
+            u = Permutation.random(7, rng)
+            i, j = sorted(rng.sample(range(1, 8), 2))
+            path = emb.edge_path(u, None, f"T({i},{j})")
+            expected = list(u)
+            expected[i - 1], expected[j - 1] = expected[j - 1], expected[i - 1]
+            assert path[-1] == Permutation(expected)
+
+
+class TestEndToEndCommunication:
+    def test_te_on_emulated_network_uniform_traffic(self):
+        """TE through emulated routes keeps traffic uniform (Section 1)
+        and respects the routing dilation globally."""
+        net = MacroStar(2, 2)
+        result = te_emulated(net)
+        assert result.delivered == 120 * 119
+        assert result.traffic_uniformity() <= 2.0
+
+    def test_star_routing_feeds_simulator(self):
+        star = StarGraph(4)
+        sim = PacketSimulator(star, CommModel.ALL_PORT)
+        rng = random.Random(7)
+        pairs = [
+            (Permutation.random(4, rng), Permutation.random(4, rng))
+            for _ in range(50)
+        ]
+        for u, v in pairs:
+            sim.submit(u, star_route(u, v))
+        result = sim.run()
+        assert result.delivered == 50

@@ -1,0 +1,88 @@
+"""Coverage for remaining helpers: coset export, simulator stats,
+schedule accessors, bound edge cases."""
+
+import pytest
+
+from repro.analysis import mean_distance_lower_bound
+from repro.comm import PacketSimulator
+from repro.core.coset import CayleyCosetGraph
+from repro.core.generators import star_generators
+from repro.core.permutations import Permutation
+from repro.emulation import CommModel, allport_schedule
+from repro.networks import MacroStar
+from repro.topologies import StarGraph
+
+
+class TestCosetExport:
+    def test_to_networkx_multigraph(self):
+        c = Permutation([2, 3, 1, 4])
+        d = Permutation([1, 3, 4, 2])
+        coset = CayleyCosetGraph(star_generators(4), [c, d])
+        nxg = coset.to_networkx()
+        assert nxg.number_of_nodes() == 2
+        # 3 generators from each of 2 cosets: 6 directed multi-edges.
+        assert nxg.number_of_edges() == 6
+
+    def test_bfs_from_explicit_source(self):
+        coset = CayleyCosetGraph(star_generators(3))
+        nodes = list(coset.nodes())
+        dist = coset.bfs_distances(nodes[-1])
+        assert len(dist) == 6
+
+
+class TestScheduleAccessors:
+    def test_times_and_rows(self):
+        sched = allport_schedule(MacroStar(2, 2))
+        times = sched.times_for(4)
+        assert times == sorted(times) and len(times) == 3
+        row1 = sched.row(1)
+        assert row1[2] == "T2" and row1[3] == "T3"
+
+    def test_repr(self):
+        sched = allport_schedule(MacroStar(2, 2))
+        assert "transmissions" in repr(sched)
+
+    def test_generator_usage_totals(self):
+        sched = allport_schedule(MacroStar(2, 2))
+        usage = sched.generator_usage()
+        assert sum(usage.values()) == len(sched.entries)
+        # Each super generator: 2 brings + 2 returns.
+        assert usage["S(2,2)"] == 4
+
+
+class TestSimulatorStats:
+    def test_empty_traffic_stats(self):
+        result = PacketSimulator(StarGraph(4)).run()
+        assert result.max_link_traffic() == 0
+        assert result.min_link_traffic() == 0
+        assert result.traffic_uniformity() == float("inf")
+
+    def test_packet_fields(self):
+        star = StarGraph(4)
+        sim = PacketSimulator(star, CommModel.ALL_PORT)
+        sim.submit(star.identity, ["T2"])
+        sim.run()
+        packet = sim.packets[0]
+        assert packet.delivered
+        assert packet.source == star.identity
+        assert sim.current_round == 1
+
+
+class TestBoundEdges:
+    def test_mean_distance_lb_small(self):
+        # 2 nodes, any degree: the other node is at distance 1.
+        assert mean_distance_lower_bound(3, 2) == 1.0
+
+    def test_mean_distance_lb_grows(self):
+        assert mean_distance_lower_bound(2, 100) > mean_distance_lower_bound(
+            5, 100
+        )
+
+
+class TestRelabel:
+    def test_relabel_by_rank(self):
+        from repro.core.cayley import relabel
+
+        star = StarGraph(3)
+        nxg = relabel(star, lambda p: p.rank())
+        assert set(nxg.nodes) == set(range(6))

@@ -1,0 +1,235 @@
+"""Tests for the ten super Cayley network families.
+
+Checks degree formulas, directedness, star-dimension emulation words
+(Theorems 1-3), box-bring words, and vertex symmetry on small instances.
+"""
+
+import pytest
+
+from repro.core.generators import transposition
+from repro.core.permutations import Permutation, factorial
+from repro.core.super_cayley import split_star_dimension
+from repro.networks import (
+    CompleteRotationIS,
+    CompleteRotationRotator,
+    CompleteRotationStar,
+    InsertionSelection,
+    MacroIS,
+    MacroRotator,
+    MacroStar,
+    RotationIS,
+    RotationRotator,
+    RotationStar,
+    make_network,
+)
+from repro.networks.registry import FAMILIES, STAR_EMULATING_FAMILIES
+
+
+ALL_SMALL = [
+    MacroStar(2, 2),
+    RotationStar(2, 2),
+    CompleteRotationStar(3, 1),
+    MacroRotator(2, 2),
+    RotationRotator(2, 2),
+    CompleteRotationRotator(3, 1),
+    InsertionSelection(4),
+    MacroIS(2, 2),
+    RotationIS(2, 2),
+    CompleteRotationIS(3, 1),
+]
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        for net in ALL_SMALL:
+            assert net.num_nodes == factorial(net.k)
+
+    def test_split_indices(self):
+        assert split_star_dimension(2, 3) == (0, 0)
+        assert split_star_dimension(4, 3) == (2, 0)
+        assert split_star_dimension(5, 3) == (0, 1)
+        assert split_star_dimension(13, 3) == (2, 3)
+        with pytest.raises(ValueError):
+            split_star_dimension(1, 3)
+
+    def test_ms_degree(self):
+        # MS(l, n) degree = n + l - 1
+        assert MacroStar(2, 3).degree == 4
+        assert MacroStar(4, 3).degree == 6
+
+    def test_rs_degree(self):
+        # RS: n transpositions + R, R^-1 (merged when l = 2)
+        assert RotationStar(2, 3).degree == 4
+        assert RotationStar(3, 2).degree == 4
+
+    def test_complete_rs_degree_matches_ms(self):
+        assert CompleteRotationStar(4, 3).degree == MacroStar(4, 3).degree
+
+    def test_is_degree(self):
+        # IS(k): 2(k-1) generators
+        assert InsertionSelection(5).degree == 8
+
+    def test_mis_degree(self):
+        # MIS(l, n): 2n nucleus + l - 1 swaps
+        assert MacroIS(3, 2).degree == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MacroStar(0, 2)
+        with pytest.raises(ValueError):
+            RotationStar(1, 2)
+        with pytest.raises(ValueError):
+            InsertionSelection(1)
+
+    def test_registry_constructs_all(self):
+        for family in FAMILIES:
+            net = make_network(family, l=2, n=2)
+            assert net.family == family
+        assert make_network("IS", k=4).family == "IS"
+        assert make_network("IS", l=2, n=2).k == 5
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_network("hypercube", l=2, n=2)
+        with pytest.raises(ValueError):
+            make_network("MS", l=2)
+
+
+class TestDirectedness:
+    def test_undirected_families(self):
+        for net in ALL_SMALL:
+            if net.family in ("MS", "RS", "complete-RS", "IS", "MIS", "RIS",
+                              "complete-RIS"):
+                assert net.is_undirectable(), net.name
+
+    def test_directed_families(self):
+        for net in (MacroRotator(2, 2), RotationRotator(2, 3),
+                    CompleteRotationRotator(3, 2)):
+            assert not net.is_undirectable(), net.name
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("net", ALL_SMALL, ids=lambda n: n.name)
+    def test_generators_generate_sym_k(self, net):
+        assert net.is_connected()
+
+
+class TestBoxBringWords:
+    @pytest.mark.parametrize(
+        "net",
+        [MacroStar(3, 2), CompleteRotationStar(4, 2), RotationStar(4, 2),
+         MacroIS(3, 2), RotationIS(3, 2), CompleteRotationIS(4, 2),
+         MacroRotator(3, 2), RotationRotator(4, 2),
+         CompleteRotationRotator(4, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_bring_then_return_is_identity(self, net):
+        for i in range(1, net.l + 1):
+            word = net.bring_box_word(i) + net.return_box_word(i)
+            assert net.apply_word(net.identity, word) == net.identity, (net.name, i)
+
+    @pytest.mark.parametrize(
+        "net",
+        [MacroStar(3, 2), CompleteRotationStar(4, 2), RotationStar(4, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_bring_box_moves_box_to_front(self, net):
+        for i in range(1, net.l + 1):
+            u = net.apply_word(net.identity, net.bring_box_word(i))
+            target_box = net.identity.super_symbol(i, net.n)
+            assert u.super_symbol(1, net.n) == target_box, (net.name, i)
+
+    def test_rs_uses_shorter_direction(self):
+        net = RotationStar(5, 2)
+        # box 5 is one backward rotation away: R (which advances boxes)
+        assert len(net.bring_box_word(5)) <= 2
+
+    def test_bounds(self):
+        net = MacroStar(3, 2)
+        with pytest.raises(ValueError):
+            net.bring_box_word(0)
+        with pytest.raises(ValueError):
+            net.return_box_word(4)
+
+
+class TestStarDimensionWords:
+    """Theorems 1, 2, 3: the star-emulation words and their dilations."""
+
+    @pytest.mark.parametrize("family", STAR_EMULATING_FAMILIES)
+    @pytest.mark.parametrize("l,n", [(2, 2), (3, 2), (2, 3)])
+    def test_words_realise_star_links(self, family, l, n):
+        net = (make_network("IS", k=l * n + 1) if family == "IS"
+               else make_network(family, l=l, n=n))
+        for j in range(2, net.k + 1):
+            word = net.star_dimension_word(j)
+            got = net.apply_word(net.identity, word)
+            want = net.identity * transposition(net.k, j).perm
+            assert got == want, (net.name, j, word)
+
+    def test_theorem1_dilation_3(self):
+        assert MacroStar(2, 2).star_emulation_dilation() == 3
+        assert MacroStar(3, 2).star_emulation_dilation() == 3
+        assert CompleteRotationStar(3, 2).star_emulation_dilation() == 3
+
+    def test_theorem2_dilation_2(self):
+        assert InsertionSelection(5).star_emulation_dilation() == 2
+        assert InsertionSelection(7).star_emulation_dilation() == 2
+
+    def test_theorem3_dilation_4(self):
+        assert MacroIS(2, 2).star_emulation_dilation() == 4
+        assert CompleteRotationIS(3, 2).star_emulation_dilation() == 4
+
+    def test_inner_box_dimensions_cost_one_nucleus_word(self):
+        net = MacroStar(3, 2)
+        for j in (2, 3):
+            assert net.star_dimension_word(j) == [f"T{j}"]
+
+    def test_pure_rotator_families_cannot_emulate(self):
+        with pytest.raises(NotImplementedError):
+            MacroRotator(2, 2).star_dimension_word(3)
+
+    def test_bad_dimension_rejected(self):
+        net = MacroStar(2, 2)
+        with pytest.raises(ValueError):
+            net.star_dimension_word(1)
+        with pytest.raises(ValueError):
+            net.star_dimension_word(net.k + 1)
+
+
+class TestVertexSymmetry:
+    """Cayley graphs are vertex-transitive; check distance invariance."""
+
+    @pytest.mark.parametrize(
+        "net", [MacroStar(2, 2), InsertionSelection(4), MacroRotator(2, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_translation_preserves_distance(self, net):
+        import random
+
+        rng = random.Random(11)
+        for _ in range(5):
+            u = Permutation.random(net.k, rng)
+            v = Permutation.random(net.k, rng)
+            w = Permutation.random(net.k, rng)
+            assert net.distance(u, v) == net.distance(w * u, w * v)
+
+
+class TestDiameters:
+    """Spot-check exact diameters on the smallest members; these values
+    are regression anchors (computed by exhaustive BFS, stable)."""
+
+    def test_ms_2_2(self):
+        assert MacroStar(2, 2).diameter() == 8
+
+    def test_is_4(self):
+        # IS(k) emulates the star with slowdown 2, so its diameter is at
+        # most twice the star diameter floor(3(k-1)/2).
+        d = InsertionSelection(4).diameter()
+        assert d <= 2 * 4
+        assert d >= 3  # must at least sort 4 symbols with prefix cycles
+
+    def test_super_cayley_diameter_at_most_emulated_star(self):
+        # Dilation-3 embedding bounds MS diameter by 3x star diameter.
+        ms = MacroStar(2, 2)
+        star_diam = 6  # 5-star diameter = floor(3*4/2)
+        assert ms.diameter() <= 3 * star_diam

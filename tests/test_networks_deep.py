@@ -1,0 +1,141 @@
+"""Deep per-family regression tests: exact diameters, distance
+distributions, and adjacency spot checks straight from the paper's
+definitions.  These values were computed by exhaustive BFS and act as
+anchors against algebraic regressions."""
+
+import pytest
+
+from repro.core.permutations import Permutation
+from repro.networks import (
+    CompleteRotationIS,
+    CompleteRotationRotator,
+    CompleteRotationStar,
+    InsertionSelection,
+    MacroIS,
+    MacroRotator,
+    MacroStar,
+    RotationIS,
+    RotationRotator,
+    RotationStar,
+)
+
+
+class TestExactDiameters:
+    """BFS diameters of the smallest nontrivial members (regression
+    anchors — any generator-algebra change that shifts these is a bug)."""
+
+    @pytest.mark.parametrize(
+        "net,expected",
+        [
+            (MacroStar(2, 2), 8),
+            (RotationStar(2, 2), 8),        # isomorphic to MS(2,2)
+            (MacroRotator(2, 2), 6),
+            (RotationRotator(2, 2), 6),
+            (InsertionSelection(4), 3),
+            (InsertionSelection(5), 4),
+            (MacroIS(2, 2), 6),
+            (RotationIS(2, 2), 6),
+        ],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_diameter(self, net, expected):
+        assert net.diameter() == expected
+
+    @pytest.mark.parametrize(
+        "net,expected",
+        [
+            (CompleteRotationStar(3, 1), 6),
+            (CompleteRotationRotator(3, 1), 6),
+            (CompleteRotationIS(3, 1), 6),
+        ],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_diameter_k4_members(self, net, expected):
+        assert net.diameter() == expected
+
+
+class TestDistanceDistributions:
+    def test_ms22_distribution(self):
+        # Layer sizes from the identity (sums to 120).
+        dist = MacroStar(2, 2).distance_distribution()
+        assert sum(dist) == 120
+        assert dist[0] == 1 and dist[1] == 3
+        assert len(dist) == 9  # diameter 8
+
+    def test_is4_distribution(self):
+        dist = InsertionSelection(4).distance_distribution()
+        assert sum(dist) == 24
+        # Degree 6, but I2 and I2^-1 share their action, so only 5
+        # distinct neighbours; layers are 1, 5, 13, 5.
+        assert dist == [1, 5, 13, 5]
+        star_of_identity = {
+            InsertionSelection(4).identity * g.perm
+            for g in InsertionSelection(4).generators
+        }
+        assert len(star_of_identity) == 5
+
+    def test_average_distances_ordered_by_degree(self):
+        """More links, shorter average distance (at 120 nodes)."""
+        ms = MacroStar(2, 2)        # degree 3
+        mis = MacroIS(2, 2)         # degree 5
+        is5 = InsertionSelection(5)  # degree 8
+        assert ms.average_distance() > mis.average_distance()
+        assert mis.average_distance() > is5.average_distance()
+
+
+class TestAdjacencyFromDefinitions:
+    """Spot checks computed by hand from Section 2's definitions."""
+
+    def test_ms_neighbours_of_identity(self):
+        net = MacroStar(2, 2)
+        nbrs = {g.name: net.identity * g.perm for g in net.generators}
+        assert nbrs["T2"] == Permutation([2, 1, 3, 4, 5])
+        assert nbrs["T3"] == Permutation([3, 2, 1, 4, 5])
+        assert nbrs["S(2,2)"] == Permutation([1, 4, 5, 2, 3])
+
+    def test_complete_rs_neighbours(self):
+        net = CompleteRotationStar(3, 2)
+        nbrs = {g.name: net.identity * g.perm for g in net.generators}
+        # R shifts boxes right by one: (23)(45)(67) -> (67)(23)(45).
+        assert nbrs["R"] == Permutation([1, 6, 7, 2, 3, 4, 5])
+        assert nbrs["R^2"] == Permutation([1, 4, 5, 6, 7, 2, 3])
+
+    def test_is_neighbours(self):
+        net = InsertionSelection(4)
+        nbrs = {g.name: net.identity * g.perm for g in net.generators}
+        assert nbrs["I3"] == Permutation([2, 3, 1, 4])
+        assert nbrs["I3^-1"] == Permutation([3, 1, 2, 4])
+        assert nbrs["I4"] == Permutation([2, 3, 4, 1])
+
+    def test_mr_neighbours(self):
+        net = MacroRotator(2, 2)
+        nbrs = {g.name: net.identity * g.perm for g in net.generators}
+        assert nbrs["I2"] == Permutation([2, 1, 3, 4, 5])
+        assert nbrs["I3"] == Permutation([2, 3, 1, 4, 5])
+        assert nbrs["S(2,2)"] == Permutation([1, 4, 5, 2, 3])
+
+    def test_rotation_star_l2_single_rotation(self):
+        net = RotationStar(2, 3)
+        rotations = [g for g in net.generators if g.kind == "rotation"]
+        assert len(rotations) == 1  # R = R^-1 when l = 2
+
+    def test_rotation_star_l4_two_rotations(self):
+        net = RotationStar(4, 2)
+        rotations = [g for g in net.generators if g.kind == "rotation"]
+        assert len(rotations) == 2  # R and R^3 (= R^-1)
+
+
+class TestGrowthSanity:
+    def test_node_counts_grow_factorially(self):
+        sizes = [MacroStar(l, 2).num_nodes for l in (2, 3, 4)]
+        assert sizes == [120, 5040, 362880]
+
+    def test_degree_grows_linearly_in_l(self):
+        degrees = [MacroStar(l, 2).degree for l in (2, 3, 4, 5)]
+        assert degrees == [3, 4, 5, 6]
+
+    def test_emulation_words_stay_constant_length(self):
+        """Dilation 3 regardless of scale — the paper's selling point."""
+        for l, n in ((2, 2), (4, 3), (6, 5), (8, 8)):
+            net = MacroStar(l, n)
+            assert net.star_emulation_dilation() == 3

@@ -1,0 +1,221 @@
+"""Unit and property-based tests for repro.core.permutations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutations import Permutation, factorial
+
+
+def permutations_st(min_k=1, max_k=8):
+    """Hypothesis strategy producing random Permutation objects."""
+    return st.integers(min_k, max_k).flatmap(
+        lambda k: st.permutations(list(range(1, k + 1)))
+    ).map(Permutation)
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Permutation.identity(4)
+        assert p.symbols == (1, 2, 3, 4)
+        assert p.is_identity()
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([1, 1, 2])
+        with pytest.raises(ValueError):
+            Permutation([0, 1, 2])
+        with pytest.raises(ValueError):
+            Permutation([2, 3, 4])
+
+    def test_rejects_empty_identity(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(0)
+
+    def test_immutability(self):
+        p = Permutation([2, 1])
+        with pytest.raises(AttributeError):
+            p.symbols = (1, 2)
+
+    def test_from_cycles_transposition(self):
+        assert Permutation.from_cycles(4, [(1, 2)]) == Permutation([2, 1, 3, 4])
+
+    def test_from_cycles_three_cycle(self):
+        p = Permutation.from_cycles(3, [(1, 2, 3)])
+        # symbol at position 1 goes to position 2, etc.
+        assert p == Permutation([3, 1, 2])
+
+    def test_from_cycles_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(4, [(1, 2), (2, 3)])
+
+    def test_from_cycles_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(3, [(1, 4)])
+
+    def test_random_is_valid(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            p = Permutation.random(6, rng)
+            assert sorted(p.symbols) == [1, 2, 3, 4, 5, 6]
+
+
+class TestProtocol:
+    def test_call_and_getitem_are_one_based(self):
+        p = Permutation([3, 1, 2])
+        assert p(1) == 3 and p[1] == 3
+        assert p(3) == 2
+
+    def test_iteration_and_len(self):
+        p = Permutation([2, 3, 1])
+        assert list(p) == [2, 3, 1]
+        assert len(p) == 3
+
+    def test_equality_and_hash(self):
+        assert Permutation([1, 2]) == Permutation([1, 2])
+        assert Permutation([1, 2]) != Permutation([2, 1])
+        assert hash(Permutation([2, 1])) == hash(Permutation([2, 1]))
+
+    def test_ordering_is_lexicographic(self):
+        assert Permutation([1, 2, 3]) < Permutation([1, 3, 2])
+
+    def test_str_compact_for_small_k(self):
+        assert str(Permutation([2, 1, 3])) == "213"
+
+
+class TestGroupOperations:
+    def test_composition_semantics(self):
+        # (p * q)(i) == p(q(i))
+        p = Permutation([3, 1, 2])
+        q = Permutation([2, 3, 1])
+        r = p * q
+        for i in (1, 2, 3):
+            assert r(i) == p(q(i))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Permutation([1, 2]) * Permutation([1, 2, 3])
+
+    def test_power_matches_repeated_multiplication(self):
+        p = Permutation([2, 3, 4, 1])
+        acc = Permutation.identity(4)
+        for e in range(9):
+            assert p.power(e) == acc
+            acc = acc * p
+
+    def test_negative_power(self):
+        p = Permutation([2, 3, 1])
+        assert p.power(-1) == p.inverse()
+        assert p.power(-2) == p.inverse() * p.inverse()
+
+    @given(permutations_st())
+    def test_inverse_cancels(self, p):
+        assert (p * p.inverse()).is_identity()
+        assert (p.inverse() * p).is_identity()
+
+    @given(permutations_st(min_k=2, max_k=6))
+    def test_double_inverse(self, p):
+        assert p.inverse().inverse() == p
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=20)
+    def test_associativity(self, k):
+        rng = random.Random(k)
+        a, b, c = (Permutation.random(k, rng) for _ in range(3))
+        assert (a * b) * c == a * (b * c)
+
+    def test_conjugate(self):
+        p = Permutation([2, 1, 3])
+        by = Permutation([3, 1, 2])
+        assert p.conjugate(by) == by.inverse() * p * by
+
+
+class TestStructure:
+    def test_cycles_of_identity_empty(self):
+        assert Permutation.identity(5).cycles() == []
+
+    def test_cycles_include_fixed(self):
+        cycles = Permutation([2, 1, 3]).cycles(include_fixed=True)
+        assert (3,) in cycles
+
+    def test_cycles_cover_moved_symbols(self):
+        p = Permutation([2, 3, 1, 5, 4])
+        cycles = p.cycles()
+        moved = sorted(s for c in cycles for s in c)
+        assert moved == [1, 2, 3, 4, 5]
+        assert sorted(len(c) for c in cycles) == [2, 3]
+
+    def test_parity_of_transposition_is_odd(self):
+        assert Permutation([2, 1, 3]).parity() == 1
+
+    @given(permutations_st(min_k=2, max_k=6))
+    def test_parity_multiplicative(self, p):
+        q = p.inverse()
+        assert (p * q).parity() == (p.parity() + q.parity()) % 2
+
+    def test_num_inversions(self):
+        assert Permutation([3, 2, 1]).num_inversions() == 3
+        assert Permutation.identity(4).num_inversions() == 0
+
+    def test_fixed_points(self):
+        assert Permutation([1, 3, 2, 4]).fixed_points() == (1, 4)
+
+    def test_position_of(self):
+        p = Permutation([3, 1, 2])
+        for s in (1, 2, 3):
+            assert p(p.position_of(s)) == s
+
+
+class TestRanking:
+    @given(st.integers(1, 7))
+    @settings(max_examples=15)
+    def test_rank_unrank_roundtrip(self, k):
+        rng = random.Random(k * 13)
+        for _ in range(10):
+            p = Permutation.random(k, rng)
+            assert Permutation.unrank(k, p.rank()) == p
+
+    def test_unrank_is_bijective(self):
+        k = 4
+        seen = {Permutation.unrank(k, r) for r in range(factorial(k))}
+        assert len(seen) == factorial(k)
+
+    def test_rank_zero_is_identity(self):
+        assert Permutation.unrank(5, 0) == Permutation.identity(5)
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation.unrank(3, 6)
+        with pytest.raises(ValueError):
+            Permutation.unrank(3, -1)
+
+    def test_all_permutations_count_and_order(self):
+        perms = list(Permutation.all_permutations(3))
+        assert len(perms) == 6
+        assert perms[0] == Permutation([1, 2, 3])
+        assert perms == sorted(perms)
+
+
+class TestSuperSymbols:
+    def test_super_symbol_slicing(self):
+        p = Permutation([5, 1, 2, 3, 4])
+        assert p.super_symbol(1, 2) == (1, 2)
+        assert p.super_symbol(2, 2) == (3, 4)
+
+    def test_super_symbols_all(self):
+        p = Permutation.identity(7)
+        assert p.super_symbols(3) == [(2, 3, 4), (5, 6, 7)]
+        assert p.super_symbols(2) == [(2, 3), (4, 5), (6, 7)]
+
+    def test_super_symbol_validation(self):
+        p = Permutation.identity(6)  # k-1 = 5 not divisible by 2
+        with pytest.raises(ValueError):
+            p.super_symbol(1, 2)
+        with pytest.raises(ValueError):
+            Permutation.identity(5).super_symbol(3, 2)
+
+
+def test_factorial():
+    assert [factorial(i) for i in range(6)] == [1, 1, 2, 6, 24, 120]

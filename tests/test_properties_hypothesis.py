@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) over the library's core invariants.
+
+These complement the example-based suites with randomized coverage of
+the algebra, routing, game, and embedding layers.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bag import BagConfiguration
+from repro.core.generators import (
+    insertion,
+    pair_transposition,
+    rotation,
+    selection,
+    swap,
+    transposition,
+)
+from repro.core.permutations import Permutation, factorial
+from repro.networks import MacroStar, make_network
+from repro.networks.registry import STAR_EMULATING_FAMILIES
+from repro.routing import (
+    sc_route,
+    simplify_word,
+    star_distance,
+    star_route,
+    star_route_to_identity,
+)
+from repro.topologies import StarGraph
+
+
+def perms(k):
+    return st.permutations(list(range(1, k + 1))).map(Permutation)
+
+
+# ----------------------------------------------------------------------
+# Generator algebra
+# ----------------------------------------------------------------------
+
+
+@given(perms(7), st.integers(2, 7))
+def test_transposition_is_involution(u, i):
+    g = transposition(7, i)
+    assert g.apply(g.apply(u)) == u
+
+
+@given(perms(7), st.integers(2, 7))
+def test_insertion_selection_cancel(u, i):
+    assert selection(7, i).apply(insertion(7, i).apply(u)) == u
+
+
+@given(perms(7), st.integers(1, 2), st.integers(1, 2))
+def test_rotations_commute(u, i, j):
+    # Powers of R generate a cyclic group: R^i R^j = R^j R^i.
+    a, b = rotation(3, 2, i), rotation(3, 2, j)
+    assert a.apply(b.apply(u)) == b.apply(a.apply(u))
+
+
+@given(perms(7), st.integers(2, 3))
+def test_swap_is_involution(u, i):
+    g = swap(3, 2, i)
+    assert g.apply(g.apply(u)) == u
+
+
+@given(perms(7))
+def test_disjoint_pair_transpositions_commute(u):
+    a, b = pair_transposition(7, 1, 2), pair_transposition(7, 3, 4)
+    assert a.apply(b.apply(u)) == b.apply(a.apply(u))
+
+
+@given(perms(7), st.integers(2, 7))
+def test_star_identity_t_equals_insertion_pair(u, j):
+    """Theorem 2's identity on random nodes: T_j = I_{j-1}^{-1} . I_j."""
+    direct = transposition(7, j).apply(u)
+    if j == 2:
+        via = insertion(7, 2).apply(u)
+    else:
+        via = selection(7, j - 1).apply(insertion(7, j).apply(u))
+    assert via == direct
+
+
+@given(perms(7), st.integers(1, 6), st.integers(1, 6))
+def test_pair_transposition_conjugation(u, a, b):
+    assume(a < b)
+    # T_{a,b} = T_a T_b T_a (with T_1 = identity convention handled by
+    # the a == 1 branch).
+    direct = pair_transposition(7, a, b).apply(u)
+    if a == 1:
+        via = transposition(7, b).apply(u)
+    else:
+        ta, tb = transposition(7, a), transposition(7, b)
+        via = ta.apply(tb.apply(ta.apply(u)))
+    assert via == direct
+
+
+# ----------------------------------------------------------------------
+# Star routing
+# ----------------------------------------------------------------------
+
+
+@given(perms(7))
+def test_star_route_sorts_and_matches_formula(p):
+    word = star_route_to_identity(p)
+    star = StarGraph(7)
+    assert star.apply_word(p, word).is_identity()
+    assert len(word) == star_distance(p)
+
+
+@given(perms(6), perms(6))
+def test_star_route_between_reaches_target(u, v):
+    word = star_route(u, v)
+    assert StarGraph(6).apply_word(u, word) == v
+
+
+@given(perms(6))
+def test_star_distance_symmetric_under_inverse(p):
+    # d(p, id) == d(id, p) == d(p^{-1}, id) for the star graph: the
+    # generator set is inverse-closed, and reversing an optimal word for
+    # p gives a word for p^{-1}.
+    assert star_distance(p) == star_distance(p.inverse())
+
+
+@given(perms(5), st.integers(0, factorial(5) - 1))
+def test_star_triangle_inequality(u, rank):
+    from repro.routing import star_distance_between
+
+    v = Permutation.unrank(5, rank)
+    w = Permutation.identity(5)
+    assert star_distance_between(u, w) <= (
+        star_distance_between(u, v) + star_distance_between(v, w)
+    )
+
+
+# ----------------------------------------------------------------------
+# Super Cayley routing
+# ----------------------------------------------------------------------
+
+
+@given(perms(5), perms(5), st.sampled_from(STAR_EMULATING_FAMILIES))
+@settings(max_examples=40, deadline=None)
+def test_sc_route_reaches_target_all_families(u, v, family):
+    net = (make_network("IS", k=5) if family == "IS"
+           else make_network(family, l=2, n=2))
+    word = sc_route(net, u, v)
+    assert net.apply_word(u, word) == v
+
+
+@given(perms(5), perms(5))
+@settings(max_examples=40, deadline=None)
+def test_simplify_preserves_endpoints(u, v):
+    net = MacroStar(2, 2)
+    raw = sc_route(net, u, v, simplify=False)
+    slim = simplify_word(net, raw)
+    assert len(slim) <= len(raw)
+    assert net.apply_word(u, slim) == v
+
+
+# ----------------------------------------------------------------------
+# Ball-arrangement game
+# ----------------------------------------------------------------------
+
+
+@given(perms(5))
+def test_bag_round_trip(p):
+    config = BagConfiguration.from_permutation(p, n=2)
+    assert config.to_permutation() == p
+    assert config.num_balls == 5
+
+
+@given(perms(5), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_bag_moves_stay_in_state_space(p, gen_index):
+    net = MacroStar(2, 2)
+    config = BagConfiguration.from_permutation(p, n=2)
+    gen = list(net.generators)[gen_index]
+    moved = config.apply(gen)
+    assert sorted(moved.all_balls()) == [1, 2, 3, 4, 5]
+
+
+# ----------------------------------------------------------------------
+# Embedding invariants
+# ----------------------------------------------------------------------
+
+
+@given(st.sampled_from(["MS", "complete-RS", "MIS", "complete-RIS"]),
+       st.integers(2, 3), st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_star_words_always_realise_transpositions(family, l, n):
+    net = make_network(family, l=l, n=n)
+    for j in range(2, net.k + 1):
+        word = net.star_dimension_word(j)
+        got = net.apply_word(net.identity, word)
+        assert got == net.identity * transposition(net.k, j).perm
+
+
+@given(perms(5), st.integers(2, 5))
+@settings(max_examples=30, deadline=None)
+def test_emulation_word_from_any_node(u, j):
+    """Vertex symmetry: the Theorem 1 word works from *every* node."""
+    net = MacroStar(2, 2)
+    word = net.star_dimension_word(j)
+    assert net.apply_word(u, word) == u * transposition(5, j).perm
+
+
+# ----------------------------------------------------------------------
+# Lehmer ranking
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(1, 8), st.data())
+def test_rank_unrank_random(k, data):
+    rank = data.draw(st.integers(0, factorial(k) - 1))
+    p = Permutation.unrank(k, rank)
+    assert p.rank() == rank
+
+
+@given(perms(6), perms(6))
+def test_rank_orders_lexicographically(u, v):
+    assert (u.rank() < v.rank()) == (u.symbols < v.symbols)

@@ -1,0 +1,178 @@
+"""Second property-based suite: invariants of the extension modules
+(wormhole pipelining, fault tolerance, collectives, SJT, insertion
+coordinates, schedules)."""
+
+import operator
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import allreduce, reduce_to_root
+from repro.comm import Message, cut_through_completion
+from repro.core.permutations import Permutation, factorial
+from repro.embeddings import (
+    adjacent_swap_position,
+    insertion_coords_from_perm,
+    perm_from_insertion_coords,
+    sjt_sequence,
+)
+from repro.emulation import allport_schedule, theorem4_slowdown
+from repro.networks import MacroStar, make_network
+from repro.routing import (
+    FaultSet,
+    fault_tolerant_route,
+    route_is_fault_free,
+    simplify_word,
+)
+from repro.topologies import StarGraph
+
+
+def perms(k):
+    return st.permutations(list(range(1, k + 1))).map(Permutation)
+
+
+# ----------------------------------------------------------------------
+# Cut-through pipelining
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(1, 4), st.integers(1, 12))
+@settings(deadline=None)
+def test_lone_message_takes_l_plus_b_minus_1(hops, flits):
+    """An uncontended cut-through message over L links with B flits
+    completes at exactly L + B - 1."""
+    net = MacroStar(2, 2)
+    node = net.identity
+    dims = (["T2", "T3", "S(2,2)", "T2"])[:hops]
+    path = []
+    for dim in dims:
+        path.append((node, dim))
+        node = node * net.generators[dim].perm
+    message = Message(path=path, flits=flits)
+    assert cut_through_completion([message]) == hops + flits - 1
+
+
+@given(st.integers(1, 8), st.integers(2, 5))
+@settings(deadline=None)
+def test_shared_link_serializes(flits, count):
+    net = MacroStar(2, 2)
+    u = net.identity
+    messages = [
+        Message(path=[(u, "T2")], flits=flits) for _ in range(count)
+    ]
+    assert cut_through_completion(messages) == flits * count
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(0, 1000), st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_fault_free_routes_avoid_random_faults(seed, num_faults):
+    star = StarGraph(4)
+    rng = random.Random(seed)
+    u = Permutation.random(4, rng)
+    v = Permutation.random(4, rng)
+    candidates = [p for p in star.nodes() if p not in (u, v)]
+    failed = rng.sample(candidates, num_faults)
+    faults = FaultSet.of(nodes=failed)
+    word = fault_tolerant_route(star, u, v, faults)
+    assert star.apply_word(u, word) == v
+    assert route_is_fault_free(star, u, word, faults)
+
+
+# ----------------------------------------------------------------------
+# Collectives
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=24, max_size=24))
+@settings(max_examples=15, deadline=None)
+def test_reduce_matches_python_sum(values):
+    star = StarGraph(4)
+    assignment = dict(zip(star.nodes(), values))
+    total, _rounds = reduce_to_root(star, assignment, operator.add)
+    assert total == sum(values)
+
+
+@given(st.lists(st.integers(0, 9), min_size=24, max_size=24))
+@settings(max_examples=10, deadline=None)
+def test_allreduce_max(values):
+    star = StarGraph(4)
+    assignment = dict(zip(star.nodes(), values))
+    result = allreduce(star, assignment, max)
+    assert set(result.values.values()) == {max(values)}
+
+
+# ----------------------------------------------------------------------
+# SJT and insertion coordinates
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(2, 6))
+@settings(deadline=None)
+def test_sjt_gray_property(m):
+    seq = sjt_sequence(m)
+    assert len(set(seq)) == factorial(m)
+    for a, b in zip(seq, seq[1:]):
+        p = adjacent_swap_position(a, b)
+        assert a[p] == b[p + 1] and a[p + 1] == b[p]
+
+
+@given(perms(6))
+def test_insertion_coordinates_bijective(p):
+    coords = insertion_coords_from_perm(p)
+    assert perm_from_insertion_coords(coords) == p
+
+
+@given(st.data())
+def test_insertion_coords_cover_box(data):
+    k = 5
+    coords = tuple(
+        data.draw(st.integers(1, i)) for i in range(2, k + 1)
+    )
+    p = perm_from_insertion_coords(coords)
+    assert insertion_coords_from_perm(p) == coords
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(2, 6), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_theorem4_schedule_any_parameters(l, n):
+    net = make_network("MS", l=l, n=n)
+    sched = allport_schedule(net)
+    sched.validate()
+    assert sched.makespan == theorem4_slowdown(l, n)
+
+
+@given(st.integers(2, 5), st.integers(1, 3))
+@settings(max_examples=12, deadline=None)
+def test_schedule_covers_every_dimension_once(l, n):
+    net = make_network("complete-RS", l=l, n=n)
+    sched = allport_schedule(net)
+    for j in range(2, net.k + 1):
+        assert len(sched.word_for(j)) == len(net.star_dimension_word(j))
+
+
+# ----------------------------------------------------------------------
+# Word simplification
+# ----------------------------------------------------------------------
+
+
+@given(perms(5), perms(5))
+@settings(max_examples=25, deadline=None)
+def test_simplify_is_idempotent(u, v):
+    from repro.routing import sc_route
+
+    net = MacroStar(2, 2)
+    word = sc_route(net, u, v, simplify=False)
+    once = simplify_word(net, word)
+    twice = simplify_word(net, once)
+    assert once == twice

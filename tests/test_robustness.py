@@ -1,0 +1,149 @@
+"""Edge cases and error paths across the library surface."""
+
+import pytest
+
+from repro.core.cayley import CayleyGraph
+from repro.core.generators import (
+    Generator,
+    GeneratorSet,
+    star_generators,
+    transposition,
+)
+from repro.core.permutations import Permutation
+from repro.embeddings.base import FunctionEmbedding
+from repro.networks import InsertionSelection, MacroStar
+from repro.topologies import Mesh, StarGraph
+
+
+class TestPermutationEdges:
+    def test_k1(self):
+        p = Permutation.identity(1)
+        assert p.is_identity()
+        assert p.cycles() == []
+        assert p.rank() == 0
+        assert p.inverse() == p
+
+    def test_power_zero(self):
+        p = Permutation([3, 1, 2])
+        assert p.power(0).is_identity()
+
+    def test_large_power_cycles(self):
+        p = Permutation([2, 3, 1])  # order 3
+        assert p.power(3 * 1000).is_identity()
+        assert p.power(3 * 1000 + 1) == p
+
+    def test_str_long_labels_use_dashes(self):
+        p = Permutation.identity(12)
+        assert "-" in str(p)
+
+    def test_from_cycles_empty(self):
+        assert Permutation.from_cycles(4, []).is_identity()
+
+
+class TestCayleyEdges:
+    def test_link_dimension_roundtrip(self):
+        star = StarGraph(4)
+        u = star.identity
+        for gen in star.generators:
+            v = u * gen.perm
+            assert star.link_dimension(u, v) == gen.name
+            assert star.has_link(u, v)
+
+    def test_link_dimension_missing(self):
+        star = StarGraph(4)
+        far = Permutation([4, 3, 2, 1])
+        with pytest.raises(ValueError):
+            star.link_dimension(star.identity, far)
+        assert not star.has_link(star.identity, far)
+
+    def test_distance_unreachable_subgroup(self):
+        # A single T2 generator only reaches 2 nodes.
+        tiny = CayleyGraph(GeneratorSet([transposition(3, 2)]), "tiny")
+        other = Permutation([3, 2, 1])
+        with pytest.raises(ValueError):
+            tiny.shortest_path(tiny.identity, other)
+        assert not tiny.is_connected()
+
+    def test_apply_empty_word(self):
+        star = StarGraph(4)
+        assert star.apply_word(star.identity, []) == star.identity
+
+    def test_k2_graph(self):
+        g = CayleyGraph(star_generators(2))
+        assert g.num_nodes == 2
+        assert g.diameter() == 1
+        assert g.average_distance() == 1.0
+
+
+class TestGeneratorEdges:
+    def test_is_self_inverse(self):
+        assert transposition(4, 3).is_self_inverse()
+        from repro.core.generators import insertion
+
+        assert not insertion(4, 3).is_self_inverse()
+        assert insertion(4, 2).is_self_inverse()  # I2 = T2
+
+    def test_generator_str_and_call(self):
+        g = transposition(4, 2)
+        assert str(g) == "T2"
+        u = Permutation.identity(4)
+        assert g(u) == u * g.perm
+
+    def test_unknown_kind_inverse(self):
+        bogus = Generator(
+            name="X", perm=Permutation([2, 3, 1]), kind="mystery",
+            index=(0,), is_nucleus=True,
+        )
+        with pytest.raises(ValueError):
+            bogus.inverse()
+
+
+class TestEmbeddingEdges:
+    def test_metrics_dict_keys(self):
+        mesh = Mesh([2, 2])
+        star = StarGraph(4)
+        images = {
+            (0, 0): Permutation([1, 2, 3, 4]),
+            (0, 1): Permutation([2, 1, 3, 4]),
+            (1, 0): Permutation([3, 2, 1, 4]),
+            (1, 1): Permutation([2, 3, 1, 4]),
+        }
+
+        def path_fn(tail, head, label=""):
+            path = star.shortest_path(images[tail], images[head])
+            return [images[tail]] + [node for _d, node in path]
+
+        emb = FunctionEmbedding(mesh, star, images.__getitem__, path_fn)
+        emb.validate()
+        metrics = emb.metrics()
+        assert set(metrics) == {"load", "expansion", "dilation", "congestion"}
+        assert metrics["expansion"] == 6.0
+
+    def test_repr(self):
+        mesh = Mesh([2, 2])
+        star = StarGraph(4)
+        emb = FunctionEmbedding(
+            mesh, star, lambda c: star.identity,
+            lambda t, h, label="": [star.identity], name="demo"
+        )
+        assert "demo" in repr(emb)
+
+
+class TestNetworkEdges:
+    def test_is2_degenerate(self):
+        net = InsertionSelection(2)
+        assert net.num_nodes == 2
+        # I2 and I2^-1 are the same action: 2 named generators.
+        assert net.degree == 2
+
+    def test_ms_1_box(self):
+        # l = 1: a star graph on n+1 symbols with no super generators.
+        net = MacroStar(1, 3)
+        assert net.super_degree() == 0
+        assert net.nucleus_degree() == 3
+        assert net.star_emulation_dilation() == 1
+
+    def test_star_dimension_word_on_one_box(self):
+        net = MacroStar(1, 3)
+        for j in range(2, 5):
+            assert net.star_dimension_word(j) == [f"T{j}"]

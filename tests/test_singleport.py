@@ -1,0 +1,75 @@
+"""Tests for the single-port emulation study (Theorem 2's third model)."""
+
+import random
+
+import pytest
+
+from repro.emulation.singleport import (
+    emulate_single_port_round,
+    random_single_port_star_round,
+    receive_conflicts,
+    single_port_slowdown_sample,
+)
+from repro.networks import InsertionSelection
+
+
+@pytest.fixture
+def is5():
+    return InsertionSelection(5)
+
+
+class TestRandomRounds:
+    def test_assignment_is_legal(self, is5):
+        from repro.core.generators import transposition
+
+        rng = random.Random(7)
+        assignment = random_single_port_star_round(5, rng)
+        assert len(assignment) == 120
+        receivers = {
+            node * transposition(5, j).perm
+            for node, j in assignment.items()
+        }
+        assert len(receivers) == 120  # injective delivery map
+
+    def test_dimensions_in_range(self):
+        assignment = random_single_port_star_round(4)
+        assert set(assignment.values()) <= set(range(2, 5))
+
+
+class TestUniformRounds:
+    def test_uniform_round_takes_exactly_2(self, is5):
+        """All nodes on the same dimension: the emulation is two perfect
+        permutation sub-steps — Theorem 2's slowdown 2 exactly."""
+        for j in (3, 4, 5):
+            assignment = {node: j for node in is5.nodes()}
+            clash1, clash2 = receive_conflicts(is5, assignment)
+            assert clash1 == 0 and clash2 == 0
+            assert emulate_single_port_round(is5, assignment) == 2
+
+    def test_uniform_dimension_2_takes_1(self, is5):
+        assignment = {node: 2 for node in is5.nodes()}
+        assert emulate_single_port_round(is5, assignment) == 1
+
+
+class TestMixedRounds:
+    def test_mixed_rounds_have_intermediate_conflicts(self, is5):
+        """Random mixed-dimension rounds collide at intermediate nodes —
+        the caveat EXPERIMENTS.md D4 records."""
+        rng = random.Random(1)
+        assignment = random_single_port_star_round(5, rng)
+        clash1, _clash2 = receive_conflicts(is5, assignment)
+        assert clash1 > 0
+
+    def test_realised_rounds_bounded(self, is5):
+        """FIFO single-port resolution finishes within a small constant
+        number of rounds despite the conflicts."""
+        slowdowns = single_port_slowdown_sample(is5, samples=5, seed=3)
+        assert all(2 <= s <= 8 for s in slowdowns)
+
+    def test_all_packets_delivered(self, is5):
+        rng = random.Random(11)
+        assignment = random_single_port_star_round(5, rng)
+        # emulate_single_port_round raises if the simulator stalls;
+        # reaching a finite round count implies delivery.
+        rounds = emulate_single_port_round(is5, assignment)
+        assert rounds >= 2

@@ -1,0 +1,123 @@
+"""Tests for spectral analysis and precomputed routing tables."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    adjacency_matrix,
+    adjacency_spectrum,
+    cheeger_bounds,
+    has_integral_spectrum,
+    is_bipartite_spectral,
+    spectral_gap,
+)
+from repro.analysis import is_bipartite_by_parity
+from repro.core.permutations import Permutation
+from repro.networks import InsertionSelection, MacroRotator, MacroStar
+from repro.routing.tables import RoutingTable
+from repro.topologies import BubbleSortGraph, StarGraph, TranspositionNetwork
+
+
+class TestAdjacency:
+    def test_matrix_shape_and_regularity(self):
+        star = StarGraph(4)
+        matrix = adjacency_matrix(star)
+        assert matrix.shape == (24, 24)
+        assert (matrix.sum(axis=1) == 3).all()
+        assert (matrix == matrix.T).all()
+
+    def test_directed_matrix_not_symmetric(self):
+        mr = MacroRotator(2, 2)
+        matrix = adjacency_matrix(mr)
+        assert (matrix.sum(axis=1) == 3).all()
+        assert not (matrix == matrix.T).all()
+
+
+class TestSpectrum:
+    def test_largest_eigenvalue_is_degree(self):
+        for graph in (StarGraph(4), MacroStar(2, 2), InsertionSelection(4)):
+            spectrum = adjacency_spectrum(graph)
+            assert abs(float(spectrum[0]) - graph.degree) < 1e-8
+
+    def test_gap_positive_iff_connected(self):
+        assert spectral_gap(StarGraph(4)) > 0
+        assert spectral_gap(MacroStar(2, 2)) > 0
+
+    def test_bipartite_witness_matches_parity(self):
+        for graph in (StarGraph(4), MacroStar(2, 2), MacroStar(2, 3),
+                      BubbleSortGraph(4)):
+            assert is_bipartite_spectral(graph) == is_bipartite_by_parity(
+                graph
+            )
+
+    def test_star_and_tn_integral_bubble_sort_not(self):
+        """Integrality holds when the transposition set forms a star or
+        a complete graph on the symbols (star graph, TN) — and fails for
+        the path (bubble-sort: eigenvalue 1 + sqrt(2) at k = 4)."""
+        assert has_integral_spectrum(StarGraph(4))
+        assert has_integral_spectrum(TranspositionNetwork(4))
+        assert not has_integral_spectrum(BubbleSortGraph(4))
+
+    def test_cheeger_sandwich(self):
+        lower, upper = cheeger_bounds(StarGraph(4))
+        assert 0 < lower < upper
+
+    def test_gap_requires_undirected(self):
+        with pytest.raises(ValueError):
+            spectral_gap(MacroRotator(2, 2))
+
+    def test_is_network_better_connected_than_ms(self):
+        """Higher degree, larger spectral gap (at 120 nodes)."""
+        assert spectral_gap(InsertionSelection(5)) > spectral_gap(
+            MacroStar(2, 2)
+        )
+
+
+class TestRoutingTable:
+    @pytest.fixture
+    def table(self):
+        return RoutingTable(MacroStar(2, 2))
+
+    def test_covers_all_nodes(self, table):
+        assert table.size == 120
+        assert table.memory_entries() == 119
+
+    def test_routes_are_shortest(self, table):
+        net = table.graph
+        rng = random.Random(5)
+        for _ in range(20):
+            u = Permutation.random(5, rng)
+            v = Permutation.random(5, rng)
+            word = table.route(u, v)
+            assert net.apply_word(u, word) == v
+            assert len(word) == net.distance(u, v)
+            assert len(word) == table.distance(u, v)
+
+    def test_trivial_route(self, table):
+        u = Permutation([3, 1, 5, 4, 2])
+        assert table.route(u, u) == []
+        assert table.distance(u, u) == 0
+
+    def test_eccentricity_is_diameter(self, table):
+        assert table.eccentricity() == 8
+
+    def test_directed_network_table(self):
+        net = MacroRotator(2, 2)
+        table = RoutingTable(net)
+        rng = random.Random(7)
+        for _ in range(10):
+            u = Permutation.random(5, rng)
+            v = Permutation.random(5, rng)
+            word = table.route(u, v)
+            assert net.apply_word(u, word) == v
+            assert len(word) == net.distance(u, v)
+
+    def test_lookup_speed_vs_bfs(self):
+        """The point of the table: routing 200 pairs costs a fraction of
+        200 BFS runs.  We check the count of table entries rather than
+        wall-clock (timing lives in the benchmarks)."""
+        net = InsertionSelection(4)
+        table = RoutingTable(net)
+        assert table.memory_entries() == net.num_nodes - 1

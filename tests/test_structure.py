@@ -1,0 +1,169 @@
+"""Tests for structural analysis (parity, bipartiteness, girth,
+isomorphism) and the rotator-family constructive routing."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    are_isomorphic,
+    generator_parities,
+    girth,
+    is_bipartite_by_parity,
+    is_bipartite_exact,
+    parity_classes,
+)
+from repro.core.permutations import Permutation
+from repro.networks import (
+    CompleteRotationRotator,
+    InsertionSelection,
+    MacroIS,
+    MacroRotator,
+    MacroStar,
+    RotationRotator,
+    RotationStar,
+)
+from repro.routing import (
+    insertion_transposition_word,
+    rotator_emulation_dilation,
+    rotator_family_route,
+    rotator_star_dimension_word,
+)
+from repro.topologies import BubbleSortGraph, PancakeGraph, StarGraph
+
+
+class TestParity:
+    def test_star_generators_all_odd(self):
+        assert set(generator_parities(StarGraph(5)).values()) == {1}
+
+    def test_parity_classes_split_evenly(self):
+        classes = parity_classes(StarGraph(4))
+        assert classes == {0: 12, 1: 12}
+
+    @pytest.mark.parametrize(
+        "graph",
+        [StarGraph(4), MacroStar(2, 2), MacroStar(2, 3),
+         InsertionSelection(4), BubbleSortGraph(4), PancakeGraph(4)],
+        ids=lambda g: g.name,
+    )
+    def test_parity_criterion_matches_exact(self, graph):
+        assert is_bipartite_by_parity(graph) == is_bipartite_exact(graph)
+
+    def test_ms_bipartite_iff_n_odd(self):
+        # S_{n,i} is a product of n transpositions: odd iff n odd.
+        assert is_bipartite_by_parity(MacroStar(2, 3))
+        assert not is_bipartite_by_parity(MacroStar(2, 2))
+
+
+class TestGirth:
+    def test_star_girth_6(self):
+        assert girth(StarGraph(4)) == 6
+        assert girth(StarGraph(5)) == 6
+
+    def test_bubble_sort_girth_4(self):
+        assert girth(BubbleSortGraph(4)) == 4
+
+    def test_ms_girth(self):
+        assert girth(MacroStar(2, 2)) == 6
+
+    def test_pancake_girth_6(self):
+        assert girth(PancakeGraph(4)) == 6
+
+    def test_girth_cap(self):
+        with pytest.raises(ValueError):
+            girth(StarGraph(5), max_girth=4)
+
+
+class TestIsomorphism:
+    def test_ms2n_isomorphic_to_rs2n(self):
+        """For l = 2 the box swap and the rotation coincide."""
+        assert are_isomorphic(MacroStar(2, 2), RotationStar(2, 2))
+
+    def test_ms_l1_isomorphic_to_star(self):
+        """Single-ball boxes: every super generator is a transposition,
+        so MS(l, 1) is the (l+1)-star in disguise."""
+        assert are_isomorphic(MacroStar(3, 1), StarGraph(4))
+
+    def test_negative_cases(self):
+        assert not are_isomorphic(MacroStar(2, 2), StarGraph(5))
+        assert not are_isomorphic(StarGraph(4), BubbleSortGraph(4))
+        assert not are_isomorphic(StarGraph(4), StarGraph(5))
+
+    def test_pancake_vs_star_not_isomorphic(self):
+        assert not are_isomorphic(PancakeGraph(4), StarGraph(4))
+
+
+class TestRotatorRouting:
+    def test_insertion_transposition_word(self):
+        net = MacroRotator(2, 3)
+        for i in range(2, 5):
+            word = insertion_transposition_word(net, i)
+            got = net.apply_word(net.identity, word)
+            from repro.core.generators import transposition
+
+            assert got == net.identity * transposition(net.k, i).perm
+            assert len(word) == max(1, i - 1)
+
+    def test_star_dimension_words_valid(self):
+        from repro.core.generators import transposition
+
+        for net in (MacroRotator(2, 2), RotationRotator(2, 2),
+                    CompleteRotationRotator(3, 2)):
+            for j in range(2, net.k + 1):
+                word = rotator_star_dimension_word(net, j)
+                got = net.apply_word(net.identity, word)
+                assert got == net.identity * transposition(net.k, j).perm
+
+    def test_dilation_n_plus_2(self):
+        net = MacroRotator(3, 3)
+        # n + 2 = bring + (n-length nucleus word) + return
+        assert rotator_emulation_dilation(net) == net.n + 2
+
+    @pytest.mark.parametrize(
+        "net",
+        [MacroRotator(2, 2), RotationRotator(2, 2),
+         CompleteRotationRotator(3, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_routes_reach_target(self, net):
+        rng = random.Random(43)
+        for _ in range(10):
+            u = Permutation.random(net.k, rng)
+            v = Permutation.random(net.k, rng)
+            word = rotator_family_route(net, u, v)
+            assert net.apply_word(u, word) == v
+
+    def test_route_length_bounded(self):
+        net = MacroRotator(2, 2)
+        from repro.routing import star_distance_between
+
+        rng = random.Random(47)
+        for _ in range(10):
+            u = Permutation.random(5, rng)
+            v = Permutation.random(5, rng)
+            word = rotator_family_route(net, u, v, simplify=False)
+            bound = rotator_emulation_dilation(net) * star_distance_between(u, v)
+            assert len(word) <= bound
+
+    def test_route_not_shorter_than_bfs(self):
+        net = MacroRotator(2, 2)
+        dist = net._distances_to_identity() if hasattr(net, "_distances_to_identity") else None
+        rng = random.Random(53)
+        for _ in range(5):
+            u = Permutation.random(5, rng)
+            word = rotator_family_route(net, u)
+            shortest = net.distance(u, net.identity)
+            assert len(word) >= shortest
+
+    def test_wrong_family_rejected(self):
+        with pytest.raises(ValueError):
+            rotator_star_dimension_word(MacroStar(2, 2), 4)
+        with pytest.raises(ValueError):
+            rotator_family_route(MacroStar(2, 2), Permutation.identity(5))
+
+    def test_bad_dimensions_rejected(self):
+        net = MacroRotator(2, 2)
+        with pytest.raises(ValueError):
+            insertion_transposition_word(net, 1)
+        with pytest.raises(ValueError):
+            rotator_star_dimension_word(net, 99)

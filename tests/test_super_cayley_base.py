@@ -1,0 +1,124 @@
+"""Direct unit tests for the SuperCayleyNetwork base machinery
+(complementing the per-family tests)."""
+
+import pytest
+
+from repro.core.generators import GeneratorSet, transposition
+from repro.core.super_cayley import SuperCayleyNetwork, split_star_dimension
+from repro.networks import (
+    CompleteRotationStar,
+    MacroStar,
+    RotationStar,
+)
+
+
+class TestSplitStarDimension:
+    def test_inner_box(self):
+        for j in (2, 3, 4):
+            j0, j1 = split_star_dimension(j, 3)
+            assert j1 == 0 and j0 == j - 2
+
+    def test_box_boundaries(self):
+        # n = 3: dimension 5 is box 2 slot 0; dimension 7 box 2 slot 2.
+        assert split_star_dimension(5, 3) == (0, 1)
+        assert split_star_dimension(7, 3) == (2, 1)
+        assert split_star_dimension(8, 3) == (0, 2)
+
+    def test_reconstruction(self):
+        for n in (1, 2, 3, 4):
+            for j in range(2, 4 * n + 2):
+                j0, j1 = split_star_dimension(j, n)
+                assert j == j1 * n + j0 + 2
+                assert 0 <= j0 < n
+
+    def test_rejects_dimension_1(self):
+        with pytest.raises(ValueError):
+            split_star_dimension(1, 3)
+
+
+class TestBaseValidation:
+    def test_rejects_nonpositive_parameters(self):
+        gens = GeneratorSet([transposition(3, 2)])
+        with pytest.raises(ValueError):
+            SuperCayleyNetwork(0, 2, gens, "bad")
+        with pytest.raises(ValueError):
+            SuperCayleyNetwork(1, 0, gens, "bad")
+
+    def test_rejects_wrong_symbol_count(self):
+        gens = GeneratorSet([transposition(4, 2)])  # k = 4
+        with pytest.raises(ValueError):
+            SuperCayleyNetwork(2, 2, gens, "bad")  # expects k = 5
+
+    def test_base_has_no_bring_words(self):
+        gens = GeneratorSet([transposition(5, 2), transposition(5, 3)])
+        net = SuperCayleyNetwork(2, 2, gens, "bare")
+        with pytest.raises(NotImplementedError):
+            net.bring_box_word(2)
+        with pytest.raises(NotImplementedError):
+            net.return_box_word(2)
+
+    def test_box_one_is_free(self):
+        net = MacroStar(3, 2)
+        assert net.bring_box_word(1) == []
+        assert net.return_box_word(1) == []
+
+    def test_box_index_bounds(self):
+        net = MacroStar(3, 2)
+        with pytest.raises(ValueError):
+            net.bring_box_word(0)
+        with pytest.raises(ValueError):
+            net.bring_box_word(4)
+
+
+class TestPairBringWords:
+    def test_requires_distinct_boxes(self):
+        with pytest.raises(ValueError):
+            MacroStar(3, 2).pair_bring_words(2, 2)
+        with pytest.raises(ValueError):
+            CompleteRotationStar(3, 2).pair_bring_words(3, 3)
+        with pytest.raises(ValueError):
+            RotationStar(3, 2).pair_bring_words(2, 2)
+
+    @pytest.mark.parametrize(
+        "net",
+        [MacroStar(4, 2), CompleteRotationStar(4, 2), RotationStar(4, 2)],
+        ids=lambda n: n.name,
+    )
+    def test_nesting_brings_second_box_front(self, net):
+        """After w1 then w2, the original box b's content is leftmost;
+        the inverses undo in LIFO order."""
+        for a in range(2, net.l + 1):
+            for b in range(2, net.l + 1):
+                if a == b:
+                    continue
+                w1, w2, w2i, w1i = net.pair_bring_words(a, b)
+                node = net.apply_word(net.identity, w1 + w2)
+                want = net.identity.super_symbol(b, net.n)
+                assert node.super_symbol(1, net.n) == want, (net.name, a, b)
+                back = net.apply_word(node, w2i + w1i)
+                assert back == net.identity
+
+    def test_degrees_of_freedom(self):
+        """For swap-based families the nested words are the plain ones."""
+        net = MacroStar(4, 2)
+        w1, w2, w2i, w1i = net.pair_bring_words(2, 3)
+        assert w1 == net.bring_box_word(2)
+        assert w2 == net.bring_box_word(3)
+
+
+class TestAccessors:
+    def test_nucleus_super_split(self):
+        net = MacroStar(3, 2)
+        assert net.nucleus_degree() == 2
+        assert net.super_degree() == 2
+        assert [g.name for g in net.nucleus_generators()] == ["T2", "T3"]
+        assert [g.name for g in net.super_generators()] == [
+            "S(2,2)", "S(2,3)"
+        ]
+
+    def test_super_symbol_accessor(self):
+        net = MacroStar(3, 2)
+        assert net.super_symbol(net.identity, 2) == (4, 5)
+
+    def test_repr(self):
+        assert "l=3, n=2" in repr(MacroStar(3, 2))

@@ -1,0 +1,220 @@
+"""Tests for the baseline topologies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutations import Permutation, factorial
+from repro.topologies import (
+    BubbleSortGraph,
+    CompleteBinaryTree,
+    Hypercube,
+    Mesh,
+    RotatorGraph,
+    SimpleTopology,
+    StarGraph,
+    TranspositionNetwork,
+)
+
+
+class TestSimpleTopology:
+    def test_add_edge_idempotent(self):
+        g = SimpleTopology()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.num_edges == 1
+        assert g.has_edge("a", "b") and g.has_edge("b", "a")
+
+    def test_rejects_self_loop(self):
+        g = SimpleTopology()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_diameter_of_path(self):
+        g = SimpleTopology("path")
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert g.diameter() == 4
+        assert g.is_connected()
+
+    def test_disconnected_detected(self):
+        g = SimpleTopology()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert not g.is_connected()
+        with pytest.raises(ValueError):
+            g.diameter()
+
+    def test_degree_helpers(self):
+        g = SimpleTopology()
+        g.add_edge(1, 2)
+        g.add_edge(1, 3)
+        assert g.degree(1) == 2 and g.degree(2) == 1
+        assert g.max_degree() == 2
+        assert not g.is_regular()
+
+
+class TestStarGraph:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_diameter_formula(self, k):
+        assert StarGraph(k).diameter() == StarGraph.diameter_formula(k)
+
+    def test_degree(self):
+        assert StarGraph(6).degree == 5
+
+    def test_dimensions(self):
+        s = StarGraph(5)
+        assert list(s.dimensions) == [2, 3, 4, 5]
+        assert s.dimension_generator(3).name == "T3"
+
+    def test_k2_is_single_edge(self):
+        s = StarGraph(2)
+        assert s.num_nodes == 2 and s.diameter() == 1
+
+
+class TestBubbleSort:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_diameter_formula(self, k):
+        assert BubbleSortGraph(k).diameter() == BubbleSortGraph.diameter_formula(k)
+
+    def test_distance_equals_inversions(self):
+        bs = BubbleSortGraph(4)
+        rng = random.Random(3)
+        for _ in range(5):
+            p = Permutation.random(4, rng)
+            assert bs.distance(p, bs.identity) == p.num_inversions()
+
+
+class TestTranspositionNetwork:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_diameter_formula(self, k):
+        assert TranspositionNetwork(k).diameter() == k - 1
+
+    def test_degree_formula(self):
+        assert TranspositionNetwork(5).degree == 10
+
+    def test_contains_star_and_bubble_sort(self):
+        tn = TranspositionNetwork(4)
+        star_perms = {g.perm for g in StarGraph(4).generators}
+        bs_perms = {g.perm for g in BubbleSortGraph(4).generators}
+        tn_perms = {g.perm for g in tn.generators}
+        assert star_perms <= tn_perms
+        assert bs_perms <= tn_perms
+
+    def test_sort_route_is_valid_and_optimal(self):
+        tn = TranspositionNetwork(5)
+        rng = random.Random(17)
+        for _ in range(10):
+            p = Permutation.random(5, rng)
+            word = tn.sort_route(p)
+            assert tn.apply_word(p, word).is_identity()
+            cycles = len(p.cycles(include_fixed=True))
+            assert len(word) == 5 - cycles
+
+    @given(st.integers(0, 719))
+    @settings(max_examples=30)
+    def test_sort_route_never_exceeds_diameter(self, rank):
+        tn = TranspositionNetwork(6)
+        p = Permutation.unrank(6, rank)
+        assert len(tn.sort_route(p)) <= 5
+
+
+class TestRotator:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_diameter_formula(self, k):
+        assert RotatorGraph(k).diameter() == k - 1
+
+    def test_directed(self):
+        assert not RotatorGraph(4).is_undirectable()
+
+    def test_prefix_sort_route_valid(self):
+        rot = RotatorGraph(5)
+        rng = random.Random(23)
+        for _ in range(10):
+            p = Permutation.random(5, rng)
+            word = rot.prefix_sort_route(p)
+            assert rot.apply_word(p, word).is_identity()
+
+    def test_prefix_sort_route_identity_is_empty(self):
+        rot = RotatorGraph(4)
+        assert rot.prefix_sort_route(rot.identity) == []
+
+
+class TestHypercube:
+    def test_counts(self):
+        q = Hypercube(4)
+        assert q.num_nodes == 16
+        assert q.num_edges == 4 * 16 // 2
+        assert q.is_regular() and q.max_degree() == 4
+
+    def test_diameter(self):
+        assert Hypercube(3).diameter() == 3
+
+    def test_q0(self):
+        q = Hypercube(0)
+        assert q.num_nodes == 1 and q.num_edges == 0
+
+    def test_flip_and_dimension(self):
+        q = Hypercube(3)
+        u = (0, 1, 0)
+        v = Hypercube.flip(u, 2)
+        assert v == (0, 1, 1)
+        assert q.has_edge(u, v)
+        assert q.dimension_of_edge(u, v) == 2
+        with pytest.raises(ValueError):
+            q.dimension_of_edge((0, 0, 0), (1, 1, 0))
+
+
+class TestMesh:
+    def test_2d_mesh(self):
+        m = Mesh([3, 4])
+        assert m.num_nodes == 12
+        assert m.diameter() == 2 + 3
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 1)) == 4
+
+    def test_1d_mesh_is_path(self):
+        m = Mesh([5])
+        assert m.num_edges == 4 and m.diameter() == 4
+
+    def test_mixed_radix_node_count(self):
+        m = Mesh.mixed_radix(4)
+        assert m.num_nodes == factorial(4)
+        assert m.dims == (2, 3, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh([])
+        with pytest.raises(ValueError):
+            Mesh([2, 0])
+        with pytest.raises(ValueError):
+            Mesh.mixed_radix(1)
+
+
+class TestCompleteBinaryTree:
+    def test_counts(self):
+        t = CompleteBinaryTree(3)
+        assert t.num_nodes == 15
+        assert t.num_edges == 14
+
+    def test_root_and_leaves(self):
+        t = CompleteBinaryTree(2)
+        assert t.root == 1
+        assert list(t.leaves()) == [4, 5, 6, 7]
+        assert t.degree(1) == 2
+        assert all(t.degree(v) == 1 for v in t.leaves())
+
+    def test_levels(self):
+        t = CompleteBinaryTree(3)
+        assert t.level_of(1) == 0
+        assert t.level_of(2) == 1
+        assert t.level_of(15) == 3
+
+    def test_height_zero(self):
+        t = CompleteBinaryTree(0)
+        assert t.num_nodes == 1
+
+    def test_diameter(self):
+        assert CompleteBinaryTree(3).diameter() == 6

@@ -1,0 +1,91 @@
+"""Tests for the cut-through (wormhole-style) simulator and Section 3's
+long-message slowdown remark."""
+
+import pytest
+
+from repro.comm import (
+    Message,
+    cut_through_completion,
+    cut_through_slowdown,
+    dimension_exchange_messages,
+    emulated_exchange_time,
+    star_exchange_time,
+)
+from repro.core.permutations import Permutation
+from repro.networks import InsertionSelection, MacroStar
+
+
+class TestCutThroughMechanics:
+    def test_single_message_pipeline(self):
+        """A B-flit message over L links takes L + B - 1 rounds."""
+        net = MacroStar(2, 2)
+        u = net.identity
+        word = ["T2", "S(2,2)", "T3"]
+        messages = dimension_exchange_messages(net, {u: word}, flits=4)
+        assert cut_through_completion(messages) == 3 + 4 - 1
+
+    def test_single_flit_is_store_and_forward(self):
+        net = MacroStar(2, 2)
+        u = net.identity
+        messages = dimension_exchange_messages(
+            net, {u: ["T2", "T3"]}, flits=1
+        )
+        assert cut_through_completion(messages) == 2
+
+    def test_contention_serializes(self):
+        """Two messages over the same single link take 2B rounds."""
+        net = MacroStar(2, 2)
+        u = net.identity
+        m1 = Message(path=[(u, "T2")], flits=5)
+        m2 = Message(path=[(u, "T2")], flits=5)
+        assert cut_through_completion([m1, m2]) == 10
+
+    def test_disjoint_messages_parallel(self):
+        net = MacroStar(2, 2)
+        u = net.identity
+        m1 = Message(path=[(u, "T2")], flits=5)
+        m2 = Message(path=[(u, "T3")], flits=5)
+        assert cut_through_completion([m1, m2]) == 5
+
+    def test_empty_message_set(self):
+        assert cut_through_completion([]) == 0
+
+    def test_empty_path_finishes_at_zero(self):
+        m = Message(path=[], flits=3)
+        assert cut_through_completion([m]) == 0
+
+
+class TestSection3Slowdown:
+    """"approximately equal to 2 if the network uses wormhole or
+    cut-through routing" (Section 3)."""
+
+    def test_long_messages_converge_to_2(self):
+        net = MacroStar(2, 2)
+        for j in (4, 5):  # outer dimensions: 3-hop words, congestion 2
+            assert cut_through_slowdown(net, j, flits=16) == 2.0
+            assert cut_through_slowdown(net, j, flits=64) == 2.0
+
+    def test_inner_dimensions_slowdown_1(self):
+        net = MacroStar(2, 2)
+        for j in (2, 3):
+            assert cut_through_slowdown(net, j, flits=16) == 1.0
+
+    def test_short_messages_pay_dilation(self):
+        """B = 1 degenerates to store-and-forward: latency, not
+        bandwidth, dominates."""
+        net = MacroStar(2, 2)
+        assert cut_through_slowdown(net, 4, flits=1) >= 3.0
+
+    def test_is_network_slowdown_converges_to_1(self):
+        """IS: per-dimension congestion 1, so long messages emulate the
+        star at full speed."""
+        net = InsertionSelection(4)
+        assert cut_through_slowdown(net, 4, flits=32) <= 1.2
+
+    def test_baseline(self):
+        assert star_exchange_time(7) == 7
+
+    def test_exchange_time_monotone_in_flits(self):
+        net = MacroStar(2, 2)
+        times = [emulated_exchange_time(net, 4, b) for b in (1, 2, 4, 8)]
+        assert times == sorted(times)
