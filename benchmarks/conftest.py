@@ -4,13 +4,50 @@ Every benchmark regenerates one of the paper's results (a theorem,
 corollary, or Figure 1 panel), asserts the claim's shape, and writes the
 paper-style rows to ``benchmarks/results/<name>.txt`` so the output
 survives pytest's stdout capture.  EXPERIMENTS.md indexes those files.
+
+The session also runs under a live :mod:`repro.obs` stack — tracer,
+metrics registry, profiler — so alongside each text table the harness
+emits machine-readable artefacts:
+
+* ``BENCH_<name>.json`` — the table rows as a JSON list per benchmark;
+* ``BENCH_trace.jsonl`` — the full span trace of the session;
+* ``BENCH_obs.json`` — the metrics snapshot + hot-path profile.
 """
 
+import json
 import pathlib
 
 import pytest
 
+from repro.obs import (
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    use_profiler,
+    use_registry,
+    use_tracer,
+    write_spans_jsonl,
+)
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_stack():
+    """Attach a real tracer/registry/profiler for the whole benchmark
+    session; export the machine-readable artefacts at teardown."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = Profiler(enabled=True)
+    with use_tracer(tracer), use_registry(registry), use_profiler(profiler):
+        yield tracer, registry, profiler
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_spans_jsonl(tracer.spans, RESULTS_DIR / "BENCH_trace.jsonl")
+    (RESULTS_DIR / "BENCH_obs.json").write_text(json.dumps({
+        "spans": len(tracer.spans),
+        "metrics": registry.snapshot(),
+        "profile": profiler.snapshot(),
+    }, indent=1))
 
 
 @pytest.fixture(scope="session")
@@ -19,8 +56,12 @@ def report():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _report(name: str, lines):
-        text = "\n".join(str(line) for line in lines) + "\n"
+        lines = [str(line) for line in lines]
+        text = "\n".join(lines) + "\n"
         (RESULTS_DIR / f"{name}.txt").write_text(text)
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps({"name": name, "lines": lines}, indent=1)
+        )
         print(f"\n=== {name} ===")
         print(text)
 

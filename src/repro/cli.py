@@ -9,12 +9,18 @@ Usage (also via ``python -m repro``)::
     repro embed tn MS --l 2 --n 2
     repro game MS --l 2 --n 2 --start 31542
     repro mnb star --k 4
+
+Every subcommand accepts the observability flags ``--metrics``,
+``--trace-out FILE``, and ``--profile`` (docs/observability.md), plus
+``--json`` on ``properties`` and ``mnb`` for structured output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 from .analysis import moore_diameter_lower_bound, network_profile
@@ -22,7 +28,20 @@ from .core.bag import BallArrangementGame
 from .core.permutations import Permutation
 from .emulation import allport_schedule, sdc_slowdown
 from .networks import FAMILIES, make_network
-from .routing import sc_route, star_distance_between
+from .obs import (
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    get_registry,
+    get_tracer,
+    render_metrics_table,
+    render_profile_table,
+    use_profiler,
+    use_registry,
+    use_tracer,
+    write_spans_jsonl,
+)
+from .routing import sc_route, star_distance_between, walk_route
 
 
 def _parse_permutation(text: str, k: int) -> Permutation:
@@ -56,6 +75,17 @@ def _add_network_args(parser):
     parser.add_argument("--k", type=int, help="symbols (IS networks)")
 
 
+def _add_obs_args(parser):
+    """Observability flags, available on every subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--metrics", action="store_true",
+                       help="collect metrics; print the table at exit")
+    group.add_argument("--trace-out", metavar="FILE",
+                       help="write a JSON-lines span trace to FILE")
+    group.add_argument("--profile", action="store_true",
+                       help="time the hot paths; print the table at exit")
+
+
 def cmd_families(_args) -> int:
     print("family tags: IS, " + ", ".join(FAMILIES))
     print("IS takes --k; every other family takes --l and --n.")
@@ -65,19 +95,34 @@ def cmd_families(_args) -> int:
 def cmd_properties(args) -> int:
     net = _build_network(args)
     exact = net.num_nodes <= args.max_exact_nodes
-    profile = network_profile(net, exact=exact)
+    with get_tracer().span("cli.properties", network=net.name,
+                           exact=exact):
+        profile = dict(network_profile(net, exact=exact))
+        if exact:
+            profile["moore_lb"] = moore_diameter_lower_bound(
+                net.degree, net.num_nodes
+            )
+        try:
+            profile["sdc_slowdown"] = sdc_slowdown(net)
+        except NotImplementedError:
+            profile["sdc_slowdown"] = None
+    registry = get_registry()
+    if registry.enabled:
+        gauge = registry.gauge("net.profile")
+        for key in ("nodes", "degree", "diameter", "sdc_slowdown"):
+            if profile.get(key) is not None:
+                gauge.set(profile[key], network=net.name, property=key)
+    if args.json:
+        print(json.dumps(profile, indent=1))
+        return 0
     for key, value in profile.items():
-        print(f"{key:<14}: {value}")
-    if exact:
-        moore = moore_diameter_lower_bound(net.degree, net.num_nodes)
-        print(f"{'moore_lb':<14}: {moore}")
-    else:
+        if key == "sdc_slowdown" and value is None:
+            print(f"{key:<14}: n/a (pure-rotator nucleus)")
+        else:
+            print(f"{key:<14}: {value}")
+    if not exact:
         print(f"(diameter skipped: {net.num_nodes} nodes > "
               f"--max-exact-nodes {args.max_exact_nodes})")
-    try:
-        print(f"{'sdc_slowdown':<14}: {sdc_slowdown(net)}")
-    except NotImplementedError:
-        print(f"{'sdc_slowdown':<14}: n/a (pure-rotator nucleus)")
     return 0
 
 
@@ -91,20 +136,28 @@ def cmd_route(args) -> int:
         _parse_permutation(args.target, net.k)
         if args.target else net.identity
     )
-    if net.family in ROTATOR_FAMILIES:
-        word = rotator_family_route(
-            net, source, target, simplify=not args.raw
-        )
-    else:
-        word = sc_route(net, source, target, simplify=not args.raw)
+    tracer = get_tracer()
+    with tracer.span("cli.route", network=net.name, source=str(source),
+                     target=str(target)) as sp:
+        if net.family in ROTATOR_FAMILIES:
+            word = rotator_family_route(
+                net, source, target, simplify=not args.raw
+            )
+        else:
+            word = sc_route(net, source, target, simplify=not args.raw)
+        sp.set(hops=len(word))
+        # One walk feeds both trace sinks: hop spans in the JSONL trace
+        # (--trace-out) and the printed hop list (--trace).
+        hops = []
+        for dim, node in walk_route(net, source, word):
+            with tracer.span("cli.route.hop", dim=dim, node=str(node)):
+                hops.append((dim, node))
     print(f"network       : {net.name}")
     print(f"star distance : {star_distance_between(source, target)}")
     print(f"route ({len(word)} hops): {' '.join(word) if word else '(empty)'}")
     if args.trace:
-        node = source
-        print(f"  {node}")
-        for dim in word:
-            node = node * net.generators[dim].perm
+        print(f"  {source}")
+        for dim, node in hops:
             print(f"  --{dim}--> {node}")
     return 0
 
@@ -192,9 +245,22 @@ def cmd_mnb(args) -> int:
     if args.family != "star":
         raise SystemExit("error: mnb currently drives star graphs (--k)")
     star = StarGraph(args.k)
-    rounds, complete = mnb_sdc_hamiltonian(star)
+    with get_tracer().span("cli.mnb", network=star.name) as sp:
+        rounds, complete = mnb_sdc_hamiltonian(star)
+        sp.set(rounds=rounds, complete=complete)
+    optimal = mnb_lower_bound_sdc(star.num_nodes)
+    if args.json:
+        print(json.dumps({
+            "network": star.name,
+            "nodes": star.num_nodes,
+            "model": "sdc",
+            "rounds": rounds,
+            "optimal": optimal,
+            "complete": complete,
+        }, indent=1))
+        return 0
     print(f"SDC MNB on {star.name}: {rounds} rounds "
-          f"(optimal {mnb_lower_bound_sdc(star.num_nodes)}), "
+          f"(optimal {optimal}), "
           f"complete={complete}")
     return 0
 
@@ -207,14 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("families", help="list network family tags")
+    def add_command(name: str, **kwargs) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, **kwargs)
+        _add_obs_args(p)
+        return p
 
-    p = sub.add_parser("properties", help="degree/diameter/profile")
+    add_command("families", help="list network family tags")
+
+    p = add_command("properties", help="degree/diameter/profile")
     _add_network_args(p)
     p.add_argument("--max-exact-nodes", type=int, default=50_000,
                    help="BFS diameter only below this size")
+    p.add_argument("--json", action="store_true",
+                   help="emit the profile as JSON")
 
-    p = sub.add_parser("route", help="route between two nodes")
+    p = add_command("route", help="route between two nodes")
     _add_network_args(p)
     p.add_argument("--source", required=True, help="e.g. 34251")
     p.add_argument("--target", help="default: identity")
@@ -222,28 +295,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip peephole simplification")
     p.add_argument("--trace", action="store_true", help="print every hop")
 
-    p = sub.add_parser("schedule", help="Figure-1-style all-port schedule")
+    p = add_command("schedule", help="Figure-1-style all-port schedule")
     _add_network_args(p)
 
-    p = sub.add_parser("embed", help="measure a Section 5 embedding")
+    p = add_command("embed", help="measure a Section 5 embedding")
     p.add_argument("guest", help="star | tn")
     _add_network_args(p)
 
-    p = sub.add_parser("game", help="solve a ball-arrangement game")
+    p = add_command("game", help="solve a ball-arrangement game")
     _add_network_args(p)
     p.add_argument("--start", required=True, help="initial configuration")
 
-    p = sub.add_parser("mnb", help="run the SDC multinode broadcast")
+    p = add_command("mnb", help="run the SDC multinode broadcast")
     p.add_argument("family", help="star")
     p.add_argument("--k", type=int, required=True)
+    p.add_argument("--json", action="store_true",
+                   help="emit the result as JSON")
 
-    p = sub.add_parser("girth", help="girth + bipartiteness")
+    p = add_command("girth", help="girth + bipartiteness")
     _add_network_args(p)
 
-    p = sub.add_parser("connectivity", help="exact vertex connectivity")
+    p = add_command("connectivity", help="exact vertex connectivity")
     _add_network_args(p)
 
-    sub.add_parser(
+    add_command(
         "report",
         help="run the quick paper-reproduction report (PASS/FAIL table)",
     )
@@ -267,7 +342,42 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+
+    # --metrics / --trace-out / --profile switch the process-global
+    # no-ops for real collectors around the command; results print (or
+    # write) after the command finishes, even if it raises.
+    tracer = Tracer() if (args.trace_out or getattr(args, "trace", False)) \
+        else None
+    registry = MetricsRegistry() if args.metrics else None
+    profiler = Profiler(enabled=True) if args.profile else None
+
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if registry is not None:
+            stack.enter_context(use_registry(registry))
+        if profiler is not None:
+            stack.enter_context(use_profiler(profiler))
+        try:
+            code = COMMANDS[args.command](args)
+        finally:
+            # Observability output goes to stderr so --json (and any
+            # other machine-readable stdout) stays pipeable.
+            if tracer is not None and args.trace_out:
+                try:
+                    count = write_spans_jsonl(tracer.spans, args.trace_out)
+                except OSError as exc:
+                    print(f"error: cannot write trace: {exc}",
+                          file=sys.stderr)
+                    code = 1
+                else:
+                    print(f"trace: {count} spans -> {args.trace_out}",
+                          file=sys.stderr)
+            if registry is not None:
+                print(render_metrics_table(registry), file=sys.stderr)
+            if profiler is not None:
+                print(render_profile_table(profiler), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

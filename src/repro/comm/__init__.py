@@ -2,7 +2,7 @@
 and total exchange (TE) under SDC and all-port models (Corollaries 2-3,
 Section 3)."""
 
-from .simulator import Packet, PacketSimulator, SimulationResult
+from .simulator import Packet, PacketSimulator, RoundTrace, SimulationResult
 from .spanning_trees import (
     HamiltonianSearchError,
     balanced_spanning_tree,
@@ -42,6 +42,7 @@ from .wormhole import (
 __all__ = [
     "Packet",
     "PacketSimulator",
+    "RoundTrace",
     "SimulationResult",
     "bfs_spanning_tree",
     "balanced_spanning_tree",

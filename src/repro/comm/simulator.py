@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation
 from ..emulation.models import CommModel
+from ..obs import get_registry, get_tracer, profiled
 
 
 @dataclass
@@ -44,26 +45,139 @@ class Packet:
         return self.hop >= len(self.path)
 
 
+@dataclass(frozen=True)
+class RoundTrace:
+    """Per-round observability record (``PacketSimulator(...,
+    record_rounds=True)``).
+
+    ``round`` 0 captures the state right after injection (its
+    ``delivered`` counts zero-length routes); rounds ``1..R`` record the
+    simulation steps.  Invariants the tests assert: summing ``sent`` /
+    ``delivered`` over all traces reproduces the
+    :class:`SimulationResult` totals, and the max of ``max_queue``
+    reproduces its global queue high-water mark.
+    """
+
+    round: int
+    sent: int
+    delivered: int
+    in_flight: int
+    max_queue: int
+    per_dimension: Dict[str, int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "in_flight": self.in_flight,
+            "max_queue": self.max_queue,
+            "per_dimension": dict(self.per_dimension),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RoundTrace":
+        return RoundTrace(
+            round=data["round"],
+            sent=data["sent"],
+            delivered=data["delivered"],
+            in_flight=data["in_flight"],
+            max_queue=data["max_queue"],
+            per_dimension=dict(data["per_dimension"]),
+        )
+
+
 @dataclass
 class SimulationResult:
-    """Outcome of a simulation run."""
+    """Outcome of a simulation run.
+
+    ``link_traffic`` maps each *used* directed link ``(node, dim)`` to
+    its transmission count — links that never carried a packet are
+    absent, so the min/uniformity statistics below describe the loaded
+    sub-network only (see :meth:`min_link_traffic`).
+    """
 
     rounds: int
     delivered: int
     link_traffic: Dict[Tuple[Permutation, str], int]
     max_queue: int
+    round_traces: Optional[List[RoundTrace]] = None
 
     def max_link_traffic(self) -> int:
         return max(self.link_traffic.values()) if self.link_traffic else 0
 
     def min_link_traffic(self) -> int:
+        """Minimum traffic over links that carried **at least one**
+        packet.  ``link_traffic`` never records idle links, so this is
+        *not* the minimum over all ``N * degree`` directed links of the
+        graph — an all-to-one workload reports the quietest *used* link,
+        while every untouched link implicitly carried 0.  Use
+        :meth:`links_used` against ``num_nodes * degree`` to tell the
+        two apart."""
         return min(self.link_traffic.values()) if self.link_traffic else 0
+
+    def links_used(self) -> int:
+        """How many directed links carried at least one packet."""
+        return len(self.link_traffic)
+
+    def total_link_fires(self) -> int:
+        """Total transmissions (= packet-hops) across the run."""
+        return sum(self.link_traffic.values())
+
+    def dimension_traffic(self) -> Dict[str, int]:
+        """Transmissions aggregated per dimension (per-dimension
+        utilization of the generator classes)."""
+        out: Dict[str, int] = {}
+        for (_node, dim), count in self.link_traffic.items():
+            out[dim] = out.get(dim, 0) + count
+        return out
 
     def traffic_uniformity(self) -> float:
         """max/min traffic over links that carried anything (Section 1's
-        "traffic ... is uniform within a constant factor")."""
+        "traffic ... is uniform within a constant factor").  Like
+        :meth:`min_link_traffic`, idle links are excluded from the
+        ratio."""
         lo = self.min_link_traffic()
         return self.max_link_traffic() / lo if lo else float("inf")
+
+    # -- persistence (repro.io conventions) --------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form; links serialize as ``[symbols, dim, count]``
+        triples (see :func:`repro.io.save_simulation_result`)."""
+        return {
+            "rounds": self.rounds,
+            "delivered": self.delivered,
+            "max_queue": self.max_queue,
+            "link_traffic": [
+                [list(node.symbols), dim, count]
+                for (node, dim), count in sorted(
+                    self.link_traffic.items(),
+                    key=lambda kv: (kv[0][0].symbols, kv[0][1]),
+                )
+            ],
+            "round_traces": (
+                None if self.round_traces is None
+                else [rt.to_dict() for rt in self.round_traces]
+            ),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "SimulationResult":
+        traces = data.get("round_traces")
+        return SimulationResult(
+            rounds=data["rounds"],
+            delivered=data["delivered"],
+            max_queue=data["max_queue"],
+            link_traffic={
+                (Permutation(symbols), dim): count
+                for symbols, dim, count in data["link_traffic"]
+            },
+            round_traces=(
+                None if traces is None
+                else [RoundTrace.from_dict(rt) for rt in traces]
+            ),
+        )
 
 
 class PacketSimulator:
@@ -74,9 +188,11 @@ class PacketSimulator:
         graph: CayleyGraph,
         model: CommModel = CommModel.ALL_PORT,
         sdc_sequence: Optional[Sequence[str]] = None,
+        record_rounds: bool = False,
     ):
         self.graph = graph
         self.model = model
+        self.record_rounds = record_rounds
         self._dims = graph.generators.names()
         self._perms = {g.name: g.perm for g in graph.generators}
         self._sdc_sequence = list(sdc_sequence) if sdc_sequence else None
@@ -86,6 +202,7 @@ class PacketSimulator:
         self._delivered = 0
         self._traffic: Dict[Tuple[Permutation, str], int] = defaultdict(int)
         self._max_queue = 0
+        self._round_traces: List[RoundTrace] = []
 
     # -- workload -----------------------------------------------------------
 
@@ -109,26 +226,77 @@ class PacketSimulator:
 
     # -- execution -------------------------------------------------------------
 
+    @profiled("sim.run")
     def run(self, max_rounds: int = 10_000_000) -> SimulationResult:
-        """Simulate until every packet is delivered."""
-        while self._delivered < len(self._packets):
-            if self._round >= max_rounds:
-                raise RuntimeError(
-                    f"simulation exceeded {max_rounds} rounds "
-                    f"({self._delivered}/{len(self._packets)} delivered)"
-                )
-            self._step()
-        return SimulationResult(
+        """Simulate until every packet is delivered.
+
+        With ``record_rounds`` the result additionally carries one
+        :class:`RoundTrace` per round (plus a round-0 injection record).
+        """
+        if self.record_rounds:
+            self._round_traces.append(RoundTrace(
+                round=0,
+                sent=0,
+                delivered=self._delivered,
+                in_flight=len(self._packets) - self._delivered,
+                max_queue=self._current_max_queue(),
+                per_dimension={},
+            ))
+        with get_tracer().span(
+            "sim.run", model=self.model.value, packets=len(self._packets)
+        ) as span:
+            while self._delivered < len(self._packets):
+                if self._round >= max_rounds:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_rounds} rounds "
+                        f"({self._delivered}/{len(self._packets)} delivered)"
+                    )
+                self._step()
+            span.set(rounds=self._round, delivered=self._delivered)
+        result = SimulationResult(
             rounds=self._round,
             delivered=self._delivered,
             link_traffic=dict(self._traffic),
             max_queue=self._max_queue,
+            round_traces=(
+                list(self._round_traces) if self.record_rounds else None
+            ),
         )
+        self._emit_metrics(result)
+        return result
+
+    def _emit_metrics(self, result: SimulationResult) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        model = self.model.value
+        registry.counter("sim.packets_delivered").inc(
+            result.delivered, model=model
+        )
+        registry.counter("sim.rounds").inc(result.rounds, model=model)
+        registry.counter("sim.link_fires").inc(
+            result.total_link_fires(), model=model
+        )
+        registry.gauge("sim.max_queue").set(result.max_queue, model=model)
+        for dim, count in result.dimension_traffic().items():
+            registry.counter("sim.dimension_traffic").inc(
+                count, model=model, dimension=dim
+            )
+        registry.histogram("sim.queue_depth").observe(
+            result.max_queue, model=model
+        )
+
+    def _current_max_queue(self) -> int:
+        return max((len(q) for q in self._queues.values()), default=0)
 
     def _step(self) -> None:
         self._round += 1
         sending = self._select_transmissions()
         moved: List[Packet] = []
+        per_dim: Optional[Dict[str, int]] = (
+            {} if self.record_rounds else None
+        )
+        delivered_before = self._delivered
         for key in sending:
             queue = self._queues[key]
             if not queue:
@@ -136,6 +304,8 @@ class PacketSimulator:
             packet = queue.popleft()
             node, dim = key
             self._traffic[key] += 1
+            if per_dim is not None:
+                per_dim[dim] = per_dim.get(dim, 0) + 1
             packet.at = node * self._perms[dim]
             packet.hop += 1
             moved.append(packet)
@@ -145,6 +315,15 @@ class PacketSimulator:
                 self._delivered += 1
             else:
                 self._enqueue(packet)
+        if per_dim is not None:
+            self._round_traces.append(RoundTrace(
+                round=self._round,
+                sent=len(moved),
+                delivered=self._delivered - delivered_before,
+                in_flight=len(self._packets) - self._delivered,
+                max_queue=self._current_max_queue(),
+                per_dimension=per_dim,
+            ))
 
     def _select_transmissions(self) -> List[Tuple[Permutation, str]]:
         nonempty = [k for k, q in self._queues.items() if q]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import profiled
 from .generators import Generator, GeneratorSet
 from .permutations import Permutation, factorial
 
@@ -115,6 +116,7 @@ class CayleyGraph:
     # BFS machinery
     # ------------------------------------------------------------------
 
+    @profiled("core.bfs_layers")
     def bfs_layers(
         self,
         source: Optional[Permutation] = None,

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..core.super_cayley import SuperCayleyNetwork, split_star_dimension
+from ..obs import get_tracer, profiled
 from .schedule import Schedule, ScheduleEntry
 
 
@@ -52,6 +53,7 @@ def theorem5_slowdown(l: int, n: int) -> int:
     return max(2 * n, l + 2)
 
 
+@profiled("emulation.allport_schedule")
 def allport_schedule(network: SuperCayleyNetwork) -> Schedule:
     """The diagonal all-port schedule emulating one star step.
 
@@ -60,6 +62,15 @@ def allport_schedule(network: SuperCayleyNetwork) -> Schedule:
     plus the one-box IS network, where the schedule is a single step of
     nucleus words (Theorem 2).
     """
+    with get_tracer().span(
+        "emulation.allport_schedule", network=network.name
+    ) as sp:
+        sched = _build_allport_schedule(network)
+        sp.set(makespan=sched.makespan, entries=len(sched.entries))
+    return sched
+
+
+def _build_allport_schedule(network: SuperCayleyNetwork) -> Schedule:
     l, n = network.l, network.n
     entries: List[ScheduleEntry] = []
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.generators import transposition
 from ..core.super_cayley import SuperCayleyNetwork
+from ..obs import get_registry, get_tracer
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,26 @@ class Schedule:
 
     def validate(self) -> None:
         """Assert conflict-freedom, word correctness, and in-order firing."""
+        with get_tracer().span(
+            "schedule.validate",
+            network=self.network.name,
+            entries=len(self.entries),
+            makespan=self.makespan,
+        ):
+            self._validate()
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("schedule.makespan").set(
+                self.makespan, network=self.network.name
+            )
+            registry.gauge("schedule.utilization").set(
+                round(self.utilization(), 4), network=self.network.name
+            )
+            registry.counter("schedule.validations").inc(
+                network=self.network.name
+            )
+
+    def _validate(self) -> None:
         per_time: Dict[int, List[str]] = defaultdict(list)
         for e in self.entries:
             if e.time < 1:

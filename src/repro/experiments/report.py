@@ -16,6 +16,7 @@ from ..embeddings import (
 )
 from ..emulation import allport_schedule, sdc_slowdown, verify_sdc_emulation
 from ..networks import make_network
+from ..obs import get_registry, get_tracer
 
 
 @dataclass
@@ -27,11 +28,30 @@ class CheckResult:
 
 
 def _check(claim, expected, measured, passed) -> CheckResult:
-    return CheckResult(claim, str(expected), str(measured), bool(passed))
+    result = CheckResult(claim, str(expected), str(measured), bool(passed))
+    with get_tracer().span("report.check", claim=claim,
+                           passed=result.passed):
+        pass  # zero-duration marker span: the verdict, not the work
+    get_registry().counter("report.checks").inc(
+        status="pass" if result.passed else "fail"
+    )
+    return result
 
 
 def run_quick_report() -> List[CheckResult]:
-    """The second-scale reproduction sweep."""
+    """The second-scale reproduction sweep.
+
+    Runs inside a ``report.quick`` span, so with a tracer installed the
+    trace tree holds one child span per schedule/embedding the report
+    builds, plus a zero-duration ``report.check`` marker per verdict.
+    """
+    with get_tracer().span("report.quick") as root:
+        out = _run_checks()
+        root.set(checks=len(out), passed=sum(r.passed for r in out))
+    return out
+
+
+def _run_checks() -> List[CheckResult]:
     out: List[CheckResult] = []
 
     # Theorem 1: SDC slowdown 3 on MS / complete-RS.

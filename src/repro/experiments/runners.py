@@ -1,10 +1,19 @@
 """Experiment runners: structured, reusable versions of the paper's
-evaluation sweeps."""
+evaluation sweeps.
+
+Every sweep row is computed inside a tracer span (``sweep.<name>`` with
+the instance parameters as attributes), so running a full report with a
+:class:`repro.obs.Tracer` installed yields a queryable trace tree: one
+span per row, containing the schedule/embedding/simulation spans that
+row triggered.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..obs import get_tracer
 
 from ..analysis import network_profile
 from ..comm import (
@@ -88,10 +97,14 @@ def theorem4_sweep(
     for l in l_range:
         for n in n_range:
             for family in families:
-                net = make_network(family, l=l, n=n)
-                sched = allport_schedule(net)
-                if validate:
-                    sched.validate()
+                with get_tracer().span(
+                    "sweep.theorem4", family=family, l=l, n=n
+                ) as sp:
+                    net = make_network(family, l=l, n=n)
+                    sched = allport_schedule(net)
+                    if validate:
+                        sched.validate()
+                    sp.set(makespan=sched.makespan)
                 yield EmulationRow(
                     net.name, l, n, sched.makespan, theorem4_slowdown(l, n)
                 )
@@ -108,10 +121,14 @@ def theorem5_sweep(
     for l in l_range:
         for n in n_range:
             for family in families:
-                net = make_network(family, l=l, n=n)
-                sched = allport_schedule(net)
-                if validate:
-                    sched.validate()
+                with get_tracer().span(
+                    "sweep.theorem5", family=family, l=l, n=n
+                ) as sp:
+                    net = make_network(family, l=l, n=n)
+                    sched = allport_schedule(net)
+                    if validate:
+                        sched.validate()
+                    sp.set(makespan=sched.makespan)
                 yield EmulationRow(
                     net.name, l, n, sched.makespan, theorem5_slowdown(l, n)
                 )
@@ -126,17 +143,22 @@ def star_embedding_sweep(
 ) -> Iterator[EmbeddingRow]:
     """Theorems 1-3: star-embedding metrics per family."""
     for family, l, n in instances:
-        net = (make_network("IS", k=k_for_is) if family == "IS"
-               else make_network(family, l=l, n=n))
-        emb = embed_star(net)
-        yield EmbeddingRow(
-            guest=f"star({net.k})",
-            host=net.name,
-            load=emb.load(),
-            expansion=emb.expansion(),
-            dilation=emb.dilation(),
-            congestion=emb.congestion() if with_congestion else None,
-        )
+        with get_tracer().span(
+            "sweep.star_embedding", family=family, l=l, n=n
+        ) as sp:
+            net = (make_network("IS", k=k_for_is) if family == "IS"
+                   else make_network(family, l=l, n=n))
+            emb = embed_star(net)
+            row = EmbeddingRow(
+                guest=f"star({net.k})",
+                host=net.name,
+                load=emb.load(),
+                expansion=emb.expansion(),
+                dilation=emb.dilation(),
+                congestion=emb.congestion() if with_congestion else None,
+            )
+            sp.set(dilation=row.dilation)
+        yield row
 
 
 def tn_embedding_sweep(
@@ -146,16 +168,21 @@ def tn_embedding_sweep(
 ) -> Iterator[EmbeddingRow]:
     """Theorems 6-7: transposition-network embedding metrics."""
     for family, l, n in instances:
-        net = (make_network("IS", k=k_for_is) if family == "IS"
-               else make_network(family, l=l, n=n))
-        emb = embed_transposition_network(net)
-        yield EmbeddingRow(
-            guest=f"TN({net.k})",
-            host=net.name,
-            load=emb.load(),
-            expansion=emb.expansion(),
-            dilation=emb.dilation(),
-        )
+        with get_tracer().span(
+            "sweep.tn_embedding", family=family, l=l, n=n
+        ) as sp:
+            net = (make_network("IS", k=k_for_is) if family == "IS"
+                   else make_network(family, l=l, n=n))
+            emb = embed_transposition_network(net)
+            row = EmbeddingRow(
+                guest=f"TN({net.k})",
+                host=net.name,
+                load=emb.load(),
+                expansion=emb.expansion(),
+                dilation=emb.dilation(),
+            )
+            sp.set(dilation=row.dilation)
+        yield row
 
 
 def mnb_sweep(star_ks: Iterable[int] = (3, 4, 5),
@@ -163,14 +190,18 @@ def mnb_sweep(star_ks: Iterable[int] = (3, 4, 5),
     """Corollary 2: all-port MNB rounds vs. ``ceil((N-1)/d)``."""
     for k in star_ks:
         star = StarGraph(k)
-        rounds = mnb_allport_broadcast_trees(star)
+        with get_tracer().span("sweep.mnb", network=star.name) as sp:
+            rounds = mnb_allport_broadcast_trees(star)
+            sp.set(rounds=rounds)
         yield TaskRow(
             star.name, star.num_nodes, star.degree, rounds,
             mnb_lower_bound_allport(star.num_nodes, star.degree),
         )
     for family, l, n in sc_instances:
         net = make_network(family, l=l, n=n)
-        rounds = mnb_allport_broadcast_trees(net)
+        with get_tracer().span("sweep.mnb", network=net.name) as sp:
+            rounds = mnb_allport_broadcast_trees(net)
+            sp.set(rounds=rounds)
         yield TaskRow(
             net.name, net.num_nodes, net.degree, rounds,
             mnb_lower_bound_allport(net.num_nodes, net.degree),
@@ -182,7 +213,9 @@ def te_sweep(star_ks: Iterable[int] = (3, 4, 5),
     """Corollary 3: TE rounds vs. the counting bound."""
     for k in star_ks:
         star = StarGraph(k)
-        result = te_star(k)
+        with get_tracer().span("sweep.te", network=star.name) as sp:
+            result = te_star(k)
+            sp.set(rounds=result.rounds)
         yield TaskRow(
             star.name, star.num_nodes, star.degree, result.rounds,
             te_lower_bound_allport(
@@ -191,7 +224,9 @@ def te_sweep(star_ks: Iterable[int] = (3, 4, 5),
         )
     for family, l, n in sc_instances:
         net = make_network(family, l=l, n=n)
-        result = te_emulated(net)
+        with get_tracer().span("sweep.te", network=net.name) as sp:
+            result = te_emulated(net)
+            sp.set(rounds=result.rounds)
         yield TaskRow(
             net.name, net.num_nodes, net.degree, result.rounds,
             te_lower_bound_allport(
@@ -205,10 +240,14 @@ def figure1_panels(
 ) -> Iterator[Figure1Row]:
     """Regenerate Figure 1's panels (and any custom ones)."""
     for family, l, n, star_k in panels:
-        net = make_network(family, l=l, n=n)
-        assert net.k == star_k
-        sched = allport_schedule(net)
-        sched.validate()
+        with get_tracer().span(
+            "sweep.figure1", family=family, l=l, n=n
+        ) as sp:
+            net = make_network(family, l=l, n=n)
+            assert net.k == star_k
+            sched = allport_schedule(net)
+            sched.validate()
+            sp.set(makespan=sched.makespan)
         yield Figure1Row(
             network=net.name,
             star_k=star_k,
@@ -227,6 +266,10 @@ def properties_sweep(
 ) -> Iterator[dict]:
     """Section 2's property table, row per instance."""
     for family, l, n in instances:
-        net = (make_network("IS", k=k_for_is) if family == "IS"
-               else make_network(family, l=l, n=n))
-        yield network_profile(net, exact=exact)
+        with get_tracer().span(
+            "sweep.properties", family=family, l=l, n=n
+        ):
+            net = (make_network("IS", k=k_for_is) if family == "IS"
+                   else make_network(family, l=l, n=n))
+            row = network_profile(net, exact=exact)
+        yield row

@@ -9,7 +9,10 @@ module round-trips them through plain JSON:
   the registry;
 * **schedules** — entry triples plus the network spec, revalidated on
   load;
-* **word embeddings** — the per-dimension words plus guest/host specs.
+* **word embeddings** — the per-dimension words plus guest/host specs;
+* **simulation results** — :class:`repro.comm.SimulationResult` (with
+  optional per-round traces) so simulator outcomes can be persisted and
+  diffed across runs.
 
 Only word embeddings serialize (function embeddings close over
 arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
@@ -21,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from .comm.simulator import SimulationResult
 from .core.super_cayley import SuperCayleyNetwork
 from .embeddings.base import WordEmbedding
 from .emulation.schedule import Schedule, ScheduleEntry
@@ -118,3 +122,20 @@ def save_word_embedding(
 
 def load_word_embedding(path: Union[str, Path]) -> WordEmbedding:
     return word_embedding_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Simulation results
+# ----------------------------------------------------------------------
+
+
+def save_simulation_result(
+    result: SimulationResult, path: Union[str, Path]
+) -> None:
+    """Persist a simulator outcome (rounds, traffic, optional per-round
+    traces) for later comparison across runs."""
+    Path(path).write_text(json.dumps(result.to_dict(), indent=1))
+
+
+def load_simulation_result(path: Union[str, Path]) -> SimulationResult:
+    return SimulationResult.from_dict(json.loads(Path(path).read_text()))

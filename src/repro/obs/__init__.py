@@ -1,0 +1,75 @@
+"""Observability: span tracing, labeled metrics, hot-path profiling.
+
+The paper's claims are quantitative (rounds, traffic, makespans), so the
+library instruments itself: the simulator, routers, schedulers, and
+experiment sweeps emit spans and metrics through the process-global
+tracer/registry/profiler defined here.  All three default to no-ops —
+``repro --metrics/--trace-out/--profile`` (or :func:`use_tracer` etc.)
+switch on collection for a region of code.  See docs/observability.md.
+"""
+
+from .tracer import (
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .profiler import (
+    Profiler,
+    get_profiler,
+    profiled,
+    set_profiler,
+    use_profiler,
+)
+from .export import (
+    read_spans_jsonl,
+    render_metrics_table,
+    render_profile_table,
+    save_metrics_snapshot,
+    load_metrics_snapshot,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "traced",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Profiler",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "profiled",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "save_metrics_snapshot",
+    "load_metrics_snapshot",
+    "render_metrics_table",
+    "render_profile_table",
+]

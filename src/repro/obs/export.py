@@ -1,0 +1,104 @@
+"""Exporters: JSON-lines traces, metrics snapshots, summary tables.
+
+Follows :mod:`repro.io`'s conventions — plain JSON, ``indent=1``,
+``pathlib`` paths — so trace and metrics artefacts sit next to saved
+schedules and embeddings.  The JSON-lines trace format (one span object
+per line, ``parent_id`` links forming the tree) is documented in
+docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from .metrics import MetricsRegistry
+from .profiler import Profiler
+from .tracer import Span
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    return span.to_dict()
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per line, in span-start order."""
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def write_spans_jsonl(spans: Iterable[Span], path: Union[str, Path]) -> int:
+    """Write the JSON-lines trace; returns the number of spans."""
+    spans = list(spans)
+    Path(path).write_text(spans_to_jsonl(spans))
+    return len(spans)
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSON-lines trace back as a list of span dicts."""
+    out: List[Dict[str, object]] = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out
+
+
+def save_metrics_snapshot(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> None:
+    """Persist ``registry.snapshot()`` as JSON (repro.io style)."""
+    Path(path).write_text(json.dumps(registry.snapshot(), indent=1))
+
+
+def load_metrics_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Human-readable ``name{labels}  value`` table of every series."""
+    snap = registry.snapshot()
+    rows: List[tuple] = []
+    for name, entries in snap["counters"].items():
+        for e in entries:
+            rows.append((name + _format_labels(e["labels"]),
+                         _format_value(e["value"])))
+    for name, entries in snap["gauges"].items():
+        for e in entries:
+            rows.append((name + _format_labels(e["labels"]),
+                         _format_value(e["value"])))
+    for name, entries in snap["histograms"].items():
+        for e in entries:
+            rows.append((
+                name + _format_labels(e["labels"]),
+                f"count={e['count']} mean={e['mean']:.2f} "
+                f"min={_format_value(e['min'])} "
+                f"max={_format_value(e['max'])}",
+            ))
+    if not rows:
+        return "metrics: no series recorded"
+    width = max(len(series) for series, _ in rows)
+    lines = ["metrics", "-" * max(width + 10, 7)]
+    for series, value in rows:
+        lines.append(f"{series.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def render_profile_table(profiler: Profiler) -> str:
+    """Delegates to :meth:`Profiler.render_table` (kept here so every
+    exporter lives in one module)."""
+    return profiler.render_table()

@@ -1,0 +1,278 @@
+"""Counters, gauges, and histograms with labeled series.
+
+Each instrument holds one *series* per distinct label set, so
+``registry.counter("sim.packets_delivered").inc(5, model="sdc")`` and
+``.inc(3, model="all-port")`` accumulate independently but render under
+one metric name — the ``name{label=value}`` convention of Prometheus,
+kept in-process and dependency-free.
+
+The process-global default is a :class:`NullRegistry` whose instruments
+are shared no-ops, so instrumented hot paths (the simulator's run loop,
+``sc_route``) pay one ``enabled`` check when metrics are off.  Check
+``get_registry().enabled`` before doing any *per-item* work (e.g.
+counting generators in a routing word); single end-of-run emissions can
+just call the null instruments.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count per label set."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative inc {amount}")
+        key = _key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge:
+    """A point-in-time value per label set (last write wins)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_key(labels)] = value
+
+    def value(self, **labels) -> Optional[float]:
+        return self._series.get(_key(labels))
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._series)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) per label set.
+
+    Summaries rather than buckets: the paper's distributions (hop
+    counts, queue depths) are small integers where min/mean/max answer
+    the questions the theorems ask (constant-factor optimality).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries()
+        series.observe(value)
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_key(labels))
+        return series.count if series else 0
+
+    def mean(self, **labels) -> Optional[float]:
+        series = self._series.get(_key(labels))
+        return series.mean if series else None
+
+    def series(self) -> Dict[LabelKey, _HistogramSeries]:
+        return dict(self._series)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "labels": dict(key),
+                "count": s.count,
+                "sum": s.sum,
+                "min": s.min,
+                "max": s.max,
+                "mean": s.mean,
+            }
+            for key, s in sorted(self._series.items())
+        ]
+
+
+class MetricsRegistry:
+    """Create-or-get instruments by name; snapshot the lot as JSON."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of every series (docs/observability.md)."""
+        return {
+            "counters": {
+                name: c.snapshot()
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.snapshot()
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0
+
+    def total(self) -> float:
+        return 0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def mean(self, **labels) -> None:
+        return None
+
+    def series(self) -> Dict[LabelKey, float]:
+        return {}
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled default: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    gauge = counter
+    histogram = counter
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def clear(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Process-global default
+# ----------------------------------------------------------------------
+
+_default_registry = NullRegistry()
+
+
+def get_registry():
+    """The active registry (a :class:`NullRegistry` unless installed)."""
+    return _default_registry
+
+
+def set_registry(registry) -> None:
+    global _default_registry
+    _default_registry = registry
+
+
+@contextmanager
+def use_registry(registry):
+    """Temporarily install ``registry``; restores the previous one."""
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

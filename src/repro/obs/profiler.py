@@ -1,0 +1,173 @@
+"""Wall-clock + call-count profiling of the library's hot paths.
+
+Coarser than a tracer (one aggregate row per label, not one span per
+call) and cheaper than cProfile: a handful of :func:`profiled`
+decorators sit on the known-hot functions — BFS enumeration, routing,
+schedule construction, the simulator loop — and a disabled profiler
+reduces each to one attribute check, so decorated code ships enabled-
+free by default.
+
+Usage::
+
+    from repro.obs import Profiler, profiled, use_profiler
+
+    @profiled("core.bfs")
+    def bfs_layers(...): ...
+
+    with use_profiler(Profiler(enabled=True)) as prof:
+        run_everything()
+        print(prof.render_table())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from functools import wraps
+from typing import Callable, Dict, List, Optional
+
+
+class _Stat:
+    __slots__ = ("calls", "total", "min", "max")
+
+    def __init__(self):
+        self.calls = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total += elapsed
+        self.min = elapsed if self.min is None else min(self.min, elapsed)
+        self.max = elapsed if self.max is None else max(self.max, elapsed)
+
+
+class Profiler:
+    """Aggregates elapsed wall-clock time and call counts per label."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._stats: Dict[str, _Stat] = {}
+
+    @contextmanager
+    def time(self, label: str):
+        """Time a block under ``label`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(label, time.perf_counter() - start)
+
+    def record(self, label: str, elapsed: float) -> None:
+        stat = self._stats.get(label)
+        if stat is None:
+            stat = self._stats[label] = _Stat()
+        stat.add(elapsed)
+
+    # -- queries -----------------------------------------------------------
+
+    def calls(self, label: str) -> int:
+        stat = self._stats.get(label)
+        return stat.calls if stat else 0
+
+    def total(self, label: str) -> float:
+        stat = self._stats.get(label)
+        return stat.total if stat else 0.0
+
+    def labels(self) -> List[str]:
+        return sorted(self._stats)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-able per-label summary, sorted by total time spent."""
+        return {
+            label: {
+                "calls": stat.calls,
+                "total_s": stat.total,
+                "mean_s": stat.total / stat.calls,
+                "min_s": stat.min,
+                "max_s": stat.max,
+            }
+            for label, stat in sorted(
+                self._stats.items(), key=lambda kv: -kv[1].total
+            )
+        }
+
+    def render_table(self) -> str:
+        """Human-readable hot-path table, hottest first."""
+        rows = self.snapshot()
+        if not rows:
+            return "profile: no samples recorded"
+        width = max(len(label) for label in rows)
+        lines = [
+            f"{'hot path'.ljust(width)}  {'calls':>7}  {'total':>10}  "
+            f"{'mean':>10}  {'max':>10}",
+            "-" * (width + 45),
+        ]
+        for label, s in rows.items():
+            lines.append(
+                f"{label.ljust(width)}  {s['calls']:>7}  "
+                f"{s['total_s']:>9.4f}s  {s['mean_s']:>9.4f}s  "
+                f"{s['max_s']:>9.4f}s"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global default (present but disabled)
+# ----------------------------------------------------------------------
+
+_default_profiler = Profiler(enabled=False)
+
+
+def get_profiler() -> Profiler:
+    """The active profiler (disabled unless installed/enabled)."""
+    return _default_profiler
+
+
+def set_profiler(profiler: Profiler) -> None:
+    global _default_profiler
+    _default_profiler = profiler
+
+
+@contextmanager
+def use_profiler(profiler: Profiler):
+    """Temporarily install ``profiler``; restores the previous one."""
+    previous = get_profiler()
+    set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)
+
+
+def profiled(label: Optional[str] = None) -> Callable:
+    """Decorator: time each call on the *current* profiler.
+
+    The profiler is looked up per call; when disabled the overhead is
+    one global read and one attribute check.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        name = label or fn.__qualname__
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            profiler = get_profiler()
+            if not profiler.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.record(name, time.perf_counter() - start)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,243 @@
+"""Lightweight span tracing.
+
+A :class:`Span` is a named, timed region of work with free-form
+attributes; spans nest, so a traced run produces a tree (a ``repro
+report`` run yields one span per check, each containing the schedule and
+embedding spans it triggered).  Two tracers implement the same API:
+
+* :class:`Tracer` records every span with wall-clock timestamps;
+* :class:`NoopTracer` — the process-global default — records nothing and
+  costs one method call per ``span()`` entry, so instrumented library
+  code (routing, schedules, the simulator) stays effectively free when
+  tracing is off.
+
+Usage::
+
+    from repro.obs import Tracer, get_tracer, use_tracer
+
+    with use_tracer(Tracer()) as tracer:
+        with get_tracer().span("route", network="MS(2,2)") as sp:
+            ...
+            sp.set(hops=7)
+        print(tracer.spans)
+
+or as a decorator::
+
+    @traced("analysis.diameter")
+    def diameter(net): ...
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed region: ``name``, parentage, timestamps, attributes.
+
+    ``span_id``/``parent_id`` encode the tree (``parent_id`` is ``None``
+    for roots); ``start``/``end`` are ``time.perf_counter()`` readings,
+    so durations are meaningful but absolute values are process-local.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end, or ``None`` while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-lines export row (see docs/observability.md)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Records a tree of :class:`Span` objects.
+
+    Not thread-safe: one tracer per thread/process, matching the
+    library's synchronous execution model.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a child of the current span; closes on exit (even on
+        exceptions), restoring the parent as current."""
+        sp = self.start_span(name, **attributes)
+        try:
+            yield sp
+        finally:
+            self.end_span(sp)
+
+    def start_span(self, name: str, **attributes) -> Span:
+        """Explicit (non-context-manager) span start."""
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        self._spans.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` (and any forgotten children still open)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end = time.perf_counter()
+            if top is span:
+                return
+        raise ValueError(f"span {span.name!r} is not open on this tracer")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Every recorded span, in start order."""
+        return list(self._spans)
+
+    def roots(self) -> List[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+
+
+class _NoopSpan:
+    """The shared span stand-in yielded while tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """API-compatible tracer that records nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    start_span = span
+
+    def end_span(self, span) -> None:
+        pass
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def roots(self) -> List[Span]:
+        return []
+
+    def children(self, span) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Process-global default
+# ----------------------------------------------------------------------
+
+_default_tracer = NoopTracer()
+
+
+def get_tracer():
+    """The active tracer (a :class:`NoopTracer` unless installed)."""
+    return _default_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process-global default."""
+    global _default_tracer
+    _default_tracer = tracer
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Temporarily install ``tracer``; restores the previous one."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator: run the function inside a span on the *current*
+    tracer (looked up per call, so installing a tracer later works)."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

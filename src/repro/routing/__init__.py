@@ -12,9 +12,11 @@ from .star_routing import (
 from .sc_routing import (
     expand_star_word,
     greedy_bag_route,
+    record_route_metrics,
     route_length_bound,
     sc_route,
     simplify_word,
+    walk_route,
 )
 from .bidirectional import bidirectional_distance
 from .tables import RoutingTable
@@ -47,6 +49,8 @@ __all__ = [
     "sc_route",
     "greedy_bag_route",
     "route_length_bound",
+    "record_route_metrics",
+    "walk_route",
     "bidirectional_distance",
     "FaultSet",
     "RoutingError",

@@ -24,7 +24,8 @@ from typing import List, Optional
 
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork, split_star_dimension
-from .sc_routing import simplify_word
+from ..obs import get_tracer, profiled
+from .sc_routing import record_route_metrics, simplify_word
 from .star_routing import star_route
 
 ROTATOR_FAMILIES = ("MR", "RR", "complete-RR")
@@ -77,6 +78,7 @@ def rotator_emulation_dilation(network: SuperCayleyNetwork) -> int:
     )
 
 
+@profiled("routing.rotator_family_route")
 def rotator_family_route(
     network: SuperCayleyNetwork,
     source: Permutation,
@@ -94,10 +96,15 @@ def rotator_family_route(
             f"not {network.family} (use sc_route there)"
         )
     target = target if target is not None else network.identity
-    star_word = star_route(source, target)
-    word: List[str] = []
-    for move in star_word:
-        word.extend(rotator_star_dimension_word(network, int(move[1:])))
-    if simplify:
-        word = simplify_word(network, word)
+    with get_tracer().span(
+        "routing.rotator_family_route", network=network.name
+    ) as sp:
+        star_word = star_route(source, target)
+        word: List[str] = []
+        for move in star_word:
+            word.extend(rotator_star_dimension_word(network, int(move[1:])))
+        if simplify:
+            word = simplify_word(network, word)
+        sp.set(star_moves=len(star_word), hops=len(word))
+    record_route_metrics(network.family, word)
     return word

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork
+from ..obs import get_registry, get_tracer, profiled
 from .star_routing import star_route
 
 
@@ -55,6 +56,31 @@ def simplify_word(network: SuperCayleyNetwork, word: List[str]) -> List[str]:
     return stack
 
 
+def record_route_metrics(family: str, word: List[str]) -> None:
+    """Emit routing metrics (route count, hop histogram, generator-usage
+    histogram) for one computed route.  No-op when metrics are off."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter("routing.routes").inc(family=family)
+    registry.histogram("routing.hops").observe(len(word), family=family)
+    usage = registry.counter("routing.generator_usage")
+    for dim in word:
+        usage.inc(family=family, generator=dim)
+
+
+def walk_route(
+    network: SuperCayleyNetwork, source: Permutation, word: List[str]
+):
+    """Yield ``(dim, node)`` along ``word`` starting from ``source`` —
+    the hop sequence behind ``repro route --trace``."""
+    node = source
+    for dim in word:
+        node = node * network.generators[dim].perm
+        yield dim, node
+
+
+@profiled("routing.sc_route")
 def sc_route(
     network: SuperCayleyNetwork,
     source: Permutation,
@@ -70,10 +96,13 @@ def sc_route(
     complete-RIS); raises ``NotImplementedError`` for the pure-rotator
     nuclei.
     """
-    star_word = star_route(source, target)
-    word = expand_star_word(network, star_word)
-    if simplify:
-        word = simplify_word(network, word)
+    with get_tracer().span("routing.sc_route", network=network.name) as sp:
+        star_word = star_route(source, target)
+        word = expand_star_word(network, star_word)
+        if simplify:
+            word = simplify_word(network, word)
+        sp.set(star_moves=len(star_word), hops=len(word))
+    record_route_metrics(network.family, word)
     return word
 
 

@@ -1,0 +1,397 @@
+"""Tests for the observability layer (repro.obs) and its integrations."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.comm import PacketSimulator
+from repro.emulation import CommModel, allport_schedule
+from repro.experiments import run_quick_report, theorem4_sweep
+from repro.networks import make_network
+from repro.obs import (
+    MetricsRegistry,
+    NoopTracer,
+    NullRegistry,
+    Profiler,
+    Tracer,
+    get_registry,
+    get_tracer,
+    profiled,
+    read_spans_jsonl,
+    render_metrics_table,
+    render_profile_table,
+    save_metrics_snapshot,
+    load_metrics_snapshot,
+    traced,
+    use_profiler,
+    use_registry,
+    use_tracer,
+    write_spans_jsonl,
+)
+from repro.routing import sc_route
+from repro.topologies import StarGraph
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert [s.name for s in tracer.children(root)] == ["a", "b"]
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.spans
+        assert span.end is not None
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None  # stack unwound correctly
+
+    def test_attributes_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", network="MS(2,2)") as sp:
+            sp.set(hops=7)
+        assert sp.attributes == {"network": "MS(2,2)", "hops": 7}
+        assert sp.duration >= 0
+
+    def test_find_and_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer.find("b")) == 2
+        assert [s.name for s in tracer.roots()] == ["a", "b"]
+
+    def test_noop_tracer_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", x=1) as sp:
+            sp.set(y=2)  # must not raise
+        assert tracer.spans == []
+        assert not tracer.enabled
+
+    def test_default_tracer_is_noop(self):
+        assert isinstance(get_tracer(), NoopTracer)
+
+    def test_use_tracer_restores(self):
+        before = get_tracer()
+        with use_tracer(Tracer()) as tracer:
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_traced_decorator(self):
+        @traced("my.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2  # noop tracer: function passthrough
+        with use_tracer(Tracer()) as tracer:
+            assert fn(2) == 3
+        assert [s.name for s in tracer.spans] == ["my.fn"]
+
+
+class TestMetrics:
+    def test_counter_labels_aggregate(self):
+        registry = MetricsRegistry()
+        c = registry.counter("sim.packets_delivered")
+        c.inc(5, model="sdc")
+        c.inc(3, model="sdc")
+        c.inc(2, model="all-port")
+        assert c.value(model="sdc") == 8
+        assert c.value(model="all-port") == 2
+        assert c.total() == 10
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("sim.max_queue")
+        g.set(3, model="sdc")
+        g.set(7, model="sdc")
+        assert g.value(model="sdc") == 7
+        assert g.value(model="other") is None
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("routing.hops")
+        for v in (2, 4, 6):
+            h.observe(v, family="MS")
+        assert h.count(family="MS") == 3
+        assert h.mean(family="MS") == 4
+        (entry,) = h.snapshot()
+        assert entry["min"] == 2 and entry["max"] == 6
+
+    def test_registry_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_null_registry_is_default_and_inert(self):
+        registry = get_registry()
+        assert isinstance(registry, NullRegistry)
+        assert not registry.enabled
+        registry.counter("x").inc(labels="ignored")
+        registry.gauge("y").set(1)
+        registry.histogram("z").observe(2)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_use_registry_restores(self):
+        before = get_registry()
+        with use_registry(MetricsRegistry()) as registry:
+            assert get_registry() is registry
+        assert get_registry() is before
+
+    def test_snapshot_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2, k="v")
+        registry.gauge("b").set(1.5)
+        registry.histogram("c").observe(3)
+        path = tmp_path / "metrics.json"
+        save_metrics_snapshot(registry, path)
+        assert load_metrics_snapshot(path) == registry.snapshot()
+
+    def test_render_table(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.rounds").inc(4, model="sdc")
+        table = render_metrics_table(registry)
+        assert "sim.rounds{model=sdc}" in table and "4" in table
+        assert render_metrics_table(MetricsRegistry()).startswith("metrics:")
+
+
+class TestProfiler:
+    def test_time_and_counts(self):
+        prof = Profiler(enabled=True)
+        for _ in range(3):
+            with prof.time("work"):
+                pass
+        assert prof.calls("work") == 3
+        assert prof.total("work") >= 0
+        assert "work" in render_profile_table(prof)
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.time("work"):
+            pass
+        assert prof.calls("work") == 0
+
+    def test_profiled_decorator_respects_current_profiler(self):
+        @profiled("fn.label")
+        def fn():
+            return 42
+
+        assert fn() == 42  # default profiler disabled
+        with use_profiler(Profiler(enabled=True)) as prof:
+            fn()
+            fn()
+        assert prof.calls("fn.label") == 2
+
+    def test_snapshot_sorted_by_total(self):
+        prof = Profiler(enabled=True)
+        prof.record("slow", 1.0)
+        prof.record("fast", 0.1)
+        assert list(prof.snapshot()) == ["slow", "fast"]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", network="MS(2,2)"):
+            with tracer.span("inner") as sp:
+                sp.set(hops=3)
+        path = tmp_path / "trace.jsonl"
+        assert write_spans_jsonl(tracer.spans, path) == 2
+        rows = read_spans_jsonl(path)
+        assert [r["name"] for r in rows] == ["outer", "inner"]
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+        assert rows[1]["attributes"] == {"hops": 3}
+        assert all(r["duration"] >= 0 for r in rows)
+
+    def test_each_line_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "t.jsonl"
+        write_spans_jsonl(tracer.spans, path)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestLibraryIntegration:
+    def test_routing_emits_spans_and_metrics(self):
+        net = make_network("MS", l=2, n=2)
+        nodes = list(net.nodes())
+        with use_tracer(Tracer()) as tracer, \
+                use_registry(MetricsRegistry()) as registry:
+            word = sc_route(net, nodes[17], net.identity)
+        (span,) = tracer.find("routing.sc_route")
+        assert span.attributes["hops"] == len(word)
+        assert registry.counter("routing.routes").value(family="MS") == 1
+        assert registry.histogram("routing.hops").count(family="MS") == 1
+        usage = registry.counter("routing.generator_usage")
+        assert usage.total() == len(word)
+
+    def test_schedule_validate_emits(self):
+        net = make_network("MS", l=2, n=2)
+        with use_tracer(Tracer()) as tracer, \
+                use_registry(MetricsRegistry()) as registry:
+            sched = allport_schedule(net)
+            sched.validate()
+        assert tracer.find("emulation.allport_schedule")
+        assert tracer.find("schedule.validate")
+        assert registry.gauge("schedule.makespan").value(
+            network=net.name
+        ) == sched.makespan
+
+    def test_simulator_emits_metrics(self):
+        star = StarGraph(4)
+        with use_registry(MetricsRegistry()) as registry:
+            sim = PacketSimulator(star, CommModel.ALL_PORT)
+            sim.submit(star.identity, ["T2", "T3"])
+            result = sim.run()
+        model = CommModel.ALL_PORT.value
+        assert registry.counter("sim.packets_delivered").value(
+            model=model
+        ) == result.delivered
+        assert registry.counter("sim.rounds").value(model=model) \
+            == result.rounds
+        assert registry.counter("sim.link_fires").value(model=model) \
+            == result.total_link_fires()
+
+    def test_sweep_rows_traced(self):
+        with use_tracer(Tracer()) as tracer:
+            rows = list(theorem4_sweep(l_range=(2,), n_range=(2,),
+                                       families=("MS",)))
+        (span,) = tracer.find("sweep.theorem4")
+        assert span.attributes["makespan"] == rows[0].measured
+        # the schedule construction nests under the sweep row
+        (sched_span,) = tracer.find("emulation.allport_schedule")
+        assert sched_span.parent_id == span.span_id
+
+    def test_report_trace_tree(self):
+        with use_tracer(Tracer()) as tracer, \
+                use_registry(MetricsRegistry()) as registry:
+            results = run_quick_report()
+        (root,) = tracer.find("report.quick")
+        checks = tracer.find("report.check")
+        assert len(checks) == len(results)
+        assert all(c.parent_id == root.span_id for c in checks)
+        counter = registry.counter("report.checks")
+        assert counter.value(status="pass") == sum(
+            r.passed for r in results
+        )
+
+    def test_profiled_hot_paths(self):
+        net = make_network("MS", l=2, n=2)
+        with use_profiler(Profiler(enabled=True)) as prof:
+            net.bfs_layers()
+            allport_schedule(net)
+        assert prof.calls("core.bfs_layers") == 1
+        assert prof.calls("emulation.allport_schedule") == 1
+
+
+class TestCliObservability:
+    def test_properties_metrics_and_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main(["properties", "MS", "--l", "2", "--n", "2",
+                     "--metrics", "--trace-out", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 0
+        # observability output goes to stderr, keeping stdout pipeable
+        assert "net.profile{network=MS(2,2),property=nodes}" in captured.err
+        assert "net.profile" not in captured.out
+        rows = read_spans_jsonl(trace)
+        assert any(r["name"] == "cli.properties" for r in rows)
+
+    def test_trace_out_unwritable_is_clean_error(self, capsys, tmp_path):
+        code = main(["properties", "MS", "--l", "2", "--n", "2",
+                     "--trace-out", str(tmp_path / "no-dir" / "t.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error: cannot write trace" in captured.err
+
+    def test_route_trace_and_trace_out_share_hops(self, capsys, tmp_path):
+        trace = tmp_path / "r.jsonl"
+        code = main(["route", "MS", "--l", "2", "--n", "2",
+                     "--source", "34251", "--trace",
+                     "--trace-out", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        rows = read_spans_jsonl(trace)
+        hop_rows = [r for r in rows if r["name"] == "cli.route.hop"]
+        printed_hops = [l for l in out.splitlines() if "-->" in l]
+        assert len(hop_rows) == len(printed_hops) > 0
+        for row, line in zip(hop_rows, printed_hops):
+            assert row["attributes"]["dim"] in line
+            assert row["attributes"]["node"] in line
+
+    def test_route_trace_without_trace_out(self, capsys):
+        code = main(["route", "MS", "--l", "2", "--n", "2",
+                     "--source", "34251", "--trace"])
+        assert code == 0
+        assert "-->" in capsys.readouterr().out
+
+    def test_profile_flag(self, capsys):
+        code = main(["properties", "MS", "--l", "2", "--n", "2",
+                     "--profile"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "core.bfs_layers" in err
+
+    def test_json_stdout_stays_machine_readable(self, capsys):
+        code = main(["properties", "MS", "--l", "2", "--n", "2",
+                     "--json", "--metrics"])
+        captured = capsys.readouterr()
+        assert code == 0
+        json.loads(captured.out)  # metrics table must not pollute stdout
+
+    def test_properties_json(self, capsys):
+        code = main(["properties", "MS", "--l", "2", "--n", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "MS(2,2)"
+        assert data["nodes"] == 120
+        assert data["sdc_slowdown"] == 3
+
+    def test_properties_json_rotator_slowdown_null(self, capsys):
+        code = main(["properties", "MR", "--l", "2", "--n", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["sdc_slowdown"] is None
+
+    def test_mnb_json(self, capsys):
+        code = main(["mnb", "star", "--k", "4", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "network": "star(4)", "nodes": 24, "model": "sdc",
+            "rounds": 23, "optimal": 23, "complete": True,
+        }
+
+    def test_flags_leave_global_noops_installed(self, tmp_path):
+        from repro.obs import get_profiler
+
+        main(["properties", "MS", "--l", "2", "--n", "2", "--metrics",
+              "--trace-out", str(tmp_path / "t.jsonl"), "--profile"])
+        assert isinstance(get_tracer(), NoopTracer)
+        assert isinstance(get_registry(), NullRegistry)
+        assert not get_profiler().enabled

@@ -94,6 +94,98 @@ class TestContention:
         assert result.rounds == 2
 
 
+class TestRoundTraces:
+    """Per-round observability reconciles exactly with the run totals."""
+
+    def _traced_run(self, star4, model, workload):
+        sim = PacketSimulator(star4, model, record_rounds=True)
+        for source, path in workload:
+            sim.submit(source, path)
+        return sim.run()
+
+    @pytest.mark.parametrize(
+        "model",
+        [CommModel.ALL_PORT, CommModel.SDC, CommModel.SINGLE_PORT],
+    )
+    def test_totals_reconcile(self, star4, model):
+        workload = [
+            (star4.identity, ["T2", "T3"]),
+            (star4.identity, ["T2"]),
+            (Permutation([4, 2, 3, 1]), ["T3", "T4"]),
+        ]
+        result = self._traced_run(star4, model, workload)
+        traces = result.round_traces
+        assert traces is not None
+        assert [rt.round for rt in traces] == list(range(result.rounds + 1))
+        assert sum(rt.delivered for rt in traces) == result.delivered
+        assert sum(rt.sent for rt in traces) == result.total_link_fires()
+        assert max(rt.max_queue for rt in traces) == result.max_queue
+        assert traces[-1].in_flight == 0
+        per_dim = {}
+        for rt in traces:
+            for dim, count in rt.per_dimension.items():
+                per_dim[dim] = per_dim.get(dim, 0) + count
+        assert per_dim == result.dimension_traffic()
+
+    def test_round_zero_counts_instant_deliveries(self, star4):
+        result = self._traced_run(
+            star4, CommModel.ALL_PORT,
+            [(star4.identity, []), (star4.identity, ["T2"])],
+        )
+        assert result.round_traces[0].delivered == 1
+        assert result.round_traces[0].in_flight == 1
+        assert sum(rt.delivered for rt in result.round_traces) == 2
+
+    def test_round_zero_captures_queue_high_water(self, star4):
+        # Both packets share one link: the queue peaks at injection.
+        result = self._traced_run(
+            star4, CommModel.ALL_PORT,
+            [(star4.identity, ["T2"]), (star4.identity, ["T2"])],
+        )
+        assert result.round_traces[0].max_queue == 2
+        assert max(rt.max_queue for rt in result.round_traces) \
+            == result.max_queue == 2
+
+    def test_traces_off_by_default(self, star4):
+        sim = PacketSimulator(star4, CommModel.ALL_PORT)
+        sim.submit(star4.identity, ["T2"])
+        assert sim.run().round_traces is None
+
+
+class TestResultPersistence:
+    def test_dict_round_trip(self, star4):
+        sim = PacketSimulator(star4, CommModel.ALL_PORT, record_rounds=True)
+        sim.submit(star4.identity, ["T2", "T3"])
+        sim.submit(star4.identity, ["T2"])
+        result = sim.run()
+        from repro.comm import SimulationResult
+
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+
+    def test_json_file_round_trip(self, star4, tmp_path):
+        from repro.io import load_simulation_result, save_simulation_result
+
+        sim = PacketSimulator(star4, CommModel.SDC, record_rounds=True)
+        sim.submit(star4.identity, ["T2", "T3"])
+        result = sim.run()
+        path = tmp_path / "sim.json"
+        save_simulation_result(result, path)
+        assert load_simulation_result(path) == result
+
+    def test_links_used_vs_min_traffic(self, star4):
+        """min_link_traffic describes used links only (its docstring's
+        caveat): one busy link leaves every other link unreported."""
+        sim = PacketSimulator(star4, CommModel.ALL_PORT)
+        sim.submit(star4.identity, ["T2"])
+        sim.submit(star4.identity, ["T2"])
+        result = sim.run()
+        assert result.links_used() == 1
+        assert result.min_link_traffic() == 2  # the quietest *used* link
+        total_links = star4.num_nodes * star4.degree
+        assert result.links_used() < total_links
+
+
 class TestStatistics:
     def test_link_traffic_counts(self, star4):
         sim = PacketSimulator(star4, CommModel.ALL_PORT)
