@@ -1,0 +1,107 @@
+"""Compiled-core speedup benchmark (the PR's headline number).
+
+Repeats the paper-table workload — diameter, distance distribution,
+average distance, and a full routing-table build with route queries —
+on a ``k = 8`` family (MS(7,1), ``8! = 40320`` nodes) twice:
+
+* **object path**: the pre-refactor behaviour, one Python-level BFS per
+  statistic (fresh graph instances defeat the new memoisation, and the
+  routing table is built with ``use_compiled=False``);
+* **compiled path**: one shared vectorised BFS (compile time *included*
+  in the measurement) serving every query from cached arrays.
+
+Asserts the compiled path is at least 5x faster end to end and records
+the per-query and total timings via the ``report`` fixture
+(``benchmarks/results/BENCH_compiled_speedup.json``).
+"""
+
+import random
+import time
+
+from repro.core.permutations import Permutation
+from repro.networks import MacroStar
+from repro.routing.tables import RoutingTable
+
+REQUIRED_SPEEDUP = 5.0
+NUM_ROUTES = 50
+
+
+def _route_pairs(k, count):
+    rng = random.Random(11)
+    return [
+        (Permutation.random(k, rng), Permutation.random(k, rng))
+        for _ in range(count)
+    ]
+
+
+def _run_routes(table, pairs):
+    return sum(len(table.route(u, v)) for u, v in pairs)
+
+
+def test_compiled_speedup_k8(report):
+    pairs = _route_pairs(8, NUM_ROUTES)
+    timings = {}
+
+    # -- object path: every statistic pays its own Python BFS ----------
+    t0 = time.perf_counter()
+    net = MacroStar(7, 1)
+    object_diameter = len(net.bfs_layers()) - 1
+    timings["object diameter"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    net = MacroStar(7, 1)  # fresh instance: no memoised layers
+    object_distribution = [len(layer) for layer in net.bfs_layers()]
+    timings["object distance_distribution"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    net = MacroStar(7, 1)
+    dist = [len(layer) for layer in net.bfs_layers()]
+    object_average = sum(
+        d * c for d, c in enumerate(dist)
+    ) / (sum(dist) - 1)
+    timings["object average_distance"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    net = MacroStar(7, 1)
+    object_table = RoutingTable(net, use_compiled=False)
+    object_hops = _run_routes(object_table, pairs)
+    timings["object table+routes"] = time.perf_counter() - t0
+
+    object_total = sum(timings.values())
+
+    # -- compiled path: one shared vectorised BFS ----------------------
+    t0 = time.perf_counter()
+    net = MacroStar(7, 1)
+    compiled = net.compiled()
+    compiled.distances  # compile moves + run the BFS (paid once, timed)
+    compiled_diameter = net.diameter()
+    compiled_distribution = net.distance_distribution()
+    compiled_average = net.average_distance()
+    compiled_table = RoutingTable(net)
+    compiled_hops = _run_routes(compiled_table, pairs)
+    compiled_total = time.perf_counter() - t0
+    timings["compiled all queries"] = compiled_total
+
+    # same answers before we compare clocks
+    assert compiled_diameter == object_diameter
+    assert compiled_distribution == object_distribution
+    assert abs(compiled_average - object_average) < 1e-9
+    assert compiled_hops == object_hops
+
+    speedup = object_total / compiled_total
+    lines = [
+        f"workload: MS(7,1)  k=8  {net.num_nodes} nodes  "
+        f"degree {net.degree}",
+        *(
+            f"{name:<32s} {seconds * 1000:10.1f} ms"
+            for name, seconds in timings.items()
+        ),
+        f"{'object total':<32s} {object_total * 1000:10.1f} ms",
+        f"{'compiled total':<32s} {compiled_total * 1000:10.1f} ms",
+        f"speedup: {speedup:.1f}x (required >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]
+    report("compiled_speedup", lines)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"compiled path only {speedup:.1f}x faster "
+        f"(object {object_total:.2f}s vs compiled {compiled_total:.2f}s)"
+    )

@@ -2,7 +2,6 @@
 asymptotically optimal — measured slowdown / T(d1, d2) stays bounded as
 the balanced family grows, where T(d1, d2) = ceil(d_star / d_network)."""
 
-from repro.analysis import emulation_optimality_ratio
 from repro.emulation import allport_schedule, emulation_slowdown_lower_bound
 from repro.networks import make_network
 

@@ -5,8 +5,6 @@ the counting lower bound (N-1) * avg_dist / d."""
 
 from repro.comm import te_emulated, te_lower_bound_allport, te_star
 from repro.networks import InsertionSelection, MacroStar
-from repro.routing import sc_route, star_route
-from repro.comm import te_allport
 from repro.topologies import StarGraph
 
 

@@ -11,8 +11,8 @@
 import random
 
 from repro.core.permutations import Permutation
-from repro.networks import MacroStar, RotationStar, make_network
-from repro.routing import sc_route, star_distance_between
+from repro.networks import MacroStar, make_network
+from repro.routing import sc_route
 
 
 def test_ablation_peephole(benchmark, report):

@@ -17,9 +17,9 @@ bounds.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..comm.spanning_trees import bfs_spanning_tree, tree_depth
+from ..comm.spanning_trees import bfs_spanning_tree
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation
 

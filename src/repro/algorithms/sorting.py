@@ -19,10 +19,9 @@ benchmarks can verify the slowdown equals the embedding dilation.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.cayley import CayleyGraph
-from ..embeddings.base import Embedding
 from ..embeddings.cycles import embed_linear_array
 
 

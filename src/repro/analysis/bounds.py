@@ -17,7 +17,6 @@ benchmark sweeps.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 from ..core.permutations import factorial
 

@@ -20,12 +20,11 @@ but over a path — does not (eigenvalue ``1 + sqrt(2)`` at ``k = 4``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..core.cayley import CayleyGraph
-from ..core.permutations import Permutation
 
 
 def adjacency_matrix(graph: CayleyGraph) -> np.ndarray:

@@ -15,10 +15,9 @@ the rotation are the same operator) and ``MS(l,1) ≅ star(l+1)``
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core.cayley import CayleyGraph
-from ..core.permutations import Permutation
 
 
 def generator_parities(graph: CayleyGraph) -> Dict[str, int]:
@@ -99,7 +98,12 @@ def are_isomorphic(a: CayleyGraph, b: CayleyGraph) -> bool:
 
 
 def parity_classes(graph: CayleyGraph) -> Dict[int, int]:
-    """Node counts by permutation parity (always k!/2 each for k >= 2)."""
+    """Node counts by permutation parity (always k!/2 each for k >= 2).
+
+    Vectorised over the compiled label table when the graph is
+    materialisable; the object loop remains the large-``k`` fallback."""
+    if graph.can_compile():
+        return graph.compiled().parity_counts()
     counts = {0: 0, 1: 0}
     for node in graph.nodes():
         counts[node.parity()] += 1

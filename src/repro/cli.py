@@ -75,6 +75,29 @@ def _add_network_args(parser):
     parser.add_argument("--k", type=int, help="symbols (IS networks)")
 
 
+def _add_table_cache_arg(parser):
+    parser.add_argument(
+        "--table-cache", metavar="DIR",
+        help="reuse compiled distance/first-hop tables across runs: load "
+             "<DIR>/<network>.npz when present, compute and save it "
+             "otherwise (materialisable networks only)")
+
+
+def _apply_table_cache(net, args) -> None:
+    """Load (or compute-and-save) the network's compiled BFS tables."""
+    cache_dir = getattr(args, "table_cache", None)
+    if not cache_dir:
+        return
+    from pathlib import Path
+
+    from .io import use_table_cache
+
+    status = use_table_cache(net, cache_dir)
+    if status is not None:
+        path = Path(cache_dir) / f"{net.name}.npz"
+        print(f"table cache: {status} {path}", file=sys.stderr)
+
+
 def _add_obs_args(parser):
     """Observability flags, available on every subcommand."""
     group = parser.add_argument_group("observability")
@@ -94,6 +117,7 @@ def cmd_families(_args) -> int:
 
 def cmd_properties(args) -> int:
     net = _build_network(args)
+    _apply_table_cache(net, args)
     exact = net.num_nodes <= args.max_exact_nodes
     with get_tracer().span("cli.properties", network=net.name,
                            exact=exact):
@@ -131,6 +155,7 @@ def cmd_route(args) -> int:
     from .routing.rotator_routing import ROTATOR_FAMILIES
 
     net = _build_network(args)
+    _apply_table_cache(net, args)
     source = _parse_permutation(args.source, net.k)
     target = (
         _parse_permutation(args.target, net.k)
@@ -155,6 +180,11 @@ def cmd_route(args) -> int:
     print(f"network       : {net.name}")
     print(f"star distance : {star_distance_between(source, target)}")
     print(f"route ({len(word)} hops): {' '.join(word) if word else '(empty)'}")
+    if args.table_cache and net.can_compile():
+        # the cached compiled table knows the exact shortest distance,
+        # so report how far the algorithmic route is from optimal
+        optimal = net.compiled().distance(source, target)
+        print(f"optimal       : {optimal} hops (compiled table)")
     if args.trace:
         print(f"  {source}")
         for dim, node in hops:
@@ -194,6 +224,7 @@ def cmd_embed(args) -> int:
 
 def cmd_game(args) -> int:
     net = _build_network(args)
+    _apply_table_cache(net, args)
     game = BallArrangementGame(net)
     start = game.initial(_parse_permutation(args.start, net.k))
     print(f"game on {net.name}: {game.l} boxes x {game.n} balls")
@@ -282,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_command("properties", help="degree/diameter/profile")
     _add_network_args(p)
+    _add_table_cache_arg(p)
     p.add_argument("--max-exact-nodes", type=int, default=50_000,
                    help="BFS diameter only below this size")
     p.add_argument("--json", action="store_true",
@@ -289,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_command("route", help="route between two nodes")
     _add_network_args(p)
+    _add_table_cache_arg(p)
     p.add_argument("--source", required=True, help="e.g. 34251")
     p.add_argument("--target", help="default: identity")
     p.add_argument("--raw", action="store_true",
@@ -304,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_command("game", help="solve a ball-arrangement game")
     _add_network_args(p)
+    _add_table_cache_arg(p)
     p.add_argument("--start", required=True, help="initial configuration")
 
     p = add_command("mnb", help="run the SDC multinode broadcast")

@@ -21,7 +21,7 @@ algorithms are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation

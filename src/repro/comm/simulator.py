@@ -17,8 +17,8 @@ models constrain which links may fire in a round:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation
@@ -32,6 +32,9 @@ class Packet:
 
     ``path`` lists the dimension names still to traverse; ``at`` is the
     packet's current node.  ``delivered_round`` is filled on arrival.
+    ``at_id`` is the compiled backend's integer node ID for ``at`` —
+    internal bookkeeping (``None`` when the simulator runs on the object
+    path); ``at`` itself is always a valid :class:`Permutation`.
     """
 
     source: Permutation
@@ -39,6 +42,7 @@ class Packet:
     path: List[str]
     hop: int = 0
     delivered_round: Optional[int] = None
+    at_id: Optional[int] = None
 
     @property
     def delivered(self) -> bool:
@@ -181,7 +185,16 @@ class SimulationResult:
 
 
 class PacketSimulator:
-    """Round-synchronous simulator over a Cayley graph."""
+    """Round-synchronous simulator over a Cayley graph.
+
+    For materialisable graphs the simulator keys its link queues and
+    traffic counters on the compiled backend's dense integer node IDs
+    and advances packets by move-table lookup instead of Python-level
+    permutation multiplication; the public API (``submit``, ``packets``,
+    ``SimulationResult.link_traffic``) stays in :class:`Permutation`
+    terms.  Pass ``use_ids=False`` to force the object path (the
+    reference implementation, and the fallback for large ``k``).
+    """
 
     def __init__(
         self,
@@ -189,18 +202,23 @@ class PacketSimulator:
         model: CommModel = CommModel.ALL_PORT,
         sdc_sequence: Optional[Sequence[str]] = None,
         record_rounds: bool = False,
+        use_ids: Optional[bool] = None,
     ):
         self.graph = graph
         self.model = model
         self.record_rounds = record_rounds
         self._dims = graph.generators.names()
         self._perms = {g.name: g.perm for g in graph.generators}
+        if use_ids is None:
+            use_ids = graph.can_compile()
+        self._compiled = graph.compiled() if use_ids else None
         self._sdc_sequence = list(sdc_sequence) if sdc_sequence else None
-        self._queues: Dict[Tuple[Permutation, str], deque] = defaultdict(deque)
+        # Keyed on (node_id, dim) when compiled, (Permutation, dim) otherwise.
+        self._queues: Dict[Tuple[object, str], deque] = defaultdict(deque)
         self._packets: List[Packet] = []
         self._round = 0
         self._delivered = 0
-        self._traffic: Dict[Tuple[Permutation, str], int] = defaultdict(int)
+        self._traffic: Dict[Tuple[object, str], int] = defaultdict(int)
         self._max_queue = 0
         self._round_traces: List[RoundTrace] = []
 
@@ -212,6 +230,8 @@ class PacketSimulator:
         Zero-length routes count as immediately delivered.
         """
         packet = Packet(source=source, at=source, path=list(path))
+        if self._compiled is not None:
+            packet.at_id = self._compiled.node_id(source)
         self._packets.append(packet)
         if packet.delivered:
             packet.delivered_round = 0
@@ -219,8 +239,11 @@ class PacketSimulator:
         else:
             self._enqueue(packet)
 
+    def _node_key(self, packet: Packet):
+        return packet.at if self._compiled is None else packet.at_id
+
     def _enqueue(self, packet: Packet) -> None:
-        key = (packet.at, packet.path[packet.hop])
+        key = (self._node_key(packet), packet.path[packet.hop])
         self._queues[key].append(packet)
         self._max_queue = max(self._max_queue, len(self._queues[key]))
 
@@ -256,7 +279,7 @@ class PacketSimulator:
         result = SimulationResult(
             rounds=self._round,
             delivered=self._delivered,
-            link_traffic=dict(self._traffic),
+            link_traffic=self._public_traffic(),
             max_queue=self._max_queue,
             round_traces=(
                 list(self._round_traces) if self.record_rounds else None
@@ -264,6 +287,17 @@ class PacketSimulator:
         )
         self._emit_metrics(result)
         return result
+
+    def _public_traffic(self) -> Dict[Tuple[Permutation, str], int]:
+        """Internal traffic counters re-keyed to the public
+        ``(Permutation, dimension)`` form."""
+        if self._compiled is None:
+            return dict(self._traffic)
+        node = self._compiled.node
+        return {
+            (node(node_id), dim): count
+            for (node_id, dim), count in self._traffic.items()
+        }
 
     def _emit_metrics(self, result: SimulationResult) -> None:
         registry = get_registry()
@@ -297,6 +331,7 @@ class PacketSimulator:
             {} if self.record_rounds else None
         )
         delivered_before = self._delivered
+        compiled = self._compiled
         for key in sending:
             queue = self._queues[key]
             if not queue:
@@ -306,7 +341,11 @@ class PacketSimulator:
             self._traffic[key] += 1
             if per_dim is not None:
                 per_dim[dim] = per_dim.get(dim, 0) + 1
-            packet.at = node * self._perms[dim]
+            if compiled is not None:
+                packet.at_id = compiled.neighbor_id(node, dim)
+                packet.at = compiled.node(packet.at_id)
+            else:
+                packet.at = node * self._perms[dim]
             packet.hop += 1
             moved.append(packet)
         for packet in moved:
@@ -346,7 +385,8 @@ class PacketSimulator:
     def _single_port_selection(self, nonempty):
         # One send per node (round-robin by dimension order), one receive
         # per node (first come wins; blocked links wait for a later round).
-        by_node: Dict[Permutation, List[str]] = defaultdict(list)
+        compiled = self._compiled
+        by_node: Dict[object, List[str]] = defaultdict(list)
         for node, dim in nonempty:
             by_node[node].append(dim)
         chosen = []
@@ -354,7 +394,10 @@ class PacketSimulator:
         for node, dims in by_node.items():
             dims.sort()
             dim = dims[self._round % len(dims)]
-            target = node * self._perms[dim]
+            target = (
+                compiled.neighbor_id(node, dim) if compiled is not None
+                else node * self._perms[dim]
+            )
             if target in receivers:
                 continue
             receivers.add(target)

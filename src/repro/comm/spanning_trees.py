@@ -15,7 +15,7 @@ Two constructions back the communication algorithms:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation
@@ -23,7 +23,23 @@ from ..core.permutations import Permutation
 
 def bfs_spanning_tree(graph: CayleyGraph) -> Dict[Permutation, Tuple[Permutation, str]]:
     """BFS tree rooted at the identity: ``node -> (parent, dimension)``
-    where ``parent * dimension = node``.  The root is absent from the map."""
+    where ``parent * dimension = node``.  The root is absent from the map.
+
+    Served from the graph's shared compiled parent array when the graph
+    is materialisable — the same cached BFS that backs the statistics
+    and routing tables.  The object-path fallback below discovers nodes
+    in the identical frontier-major, generator-minor order, so both
+    produce the same tree (asserted by the differential tests).
+    """
+    if graph.can_compile():
+        return graph.compiled().spanning_tree()
+    return _object_bfs_spanning_tree(graph)
+
+
+def _object_bfs_spanning_tree(
+    graph: CayleyGraph,
+) -> Dict[Permutation, Tuple[Permutation, str]]:
+    """Reference object-path implementation (and large-``k`` fallback)."""
     tree: Dict[Permutation, Tuple[Permutation, str]] = {}
     seen = {graph.identity}
     frontier = [graph.identity]

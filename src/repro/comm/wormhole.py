@@ -17,8 +17,8 @@ the per-dimension congestion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation

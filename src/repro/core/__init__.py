@@ -18,6 +18,14 @@ from .generators import (
     transposition_network_generators,
 )
 from .cayley import CayleyGraph
+from .compiled import (
+    MAX_COMPILE_K,
+    CompiledGraph,
+    parity_array,
+    permutation_table,
+    rank_array,
+    unrank_array,
+)
 from .super_cayley import SuperCayleyNetwork, split_star_dimension
 from .bag import (
     BagConfiguration,
@@ -43,6 +51,12 @@ __all__ = [
     "transposition_network_generators",
     "rotator_generators",
     "CayleyGraph",
+    "CompiledGraph",
+    "MAX_COMPILE_K",
+    "rank_array",
+    "unrank_array",
+    "permutation_table",
+    "parity_array",
     "SuperCayleyNetwork",
     "split_star_dimension",
     "BagConfiguration",

@@ -19,7 +19,7 @@ explicitly and is exercised in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .cayley import CayleyGraph
 from .generators import Generator
@@ -189,9 +189,21 @@ class BallArrangementGame:
         return depth, states
 
     def _distances_to_identity(self) -> Dict[Permutation, int]:
-        """Distance *to* the identity from every node (reverse BFS)."""
+        """Distance *to* the identity from every node (reverse BFS).
+
+        Served from the compiled backend's cached reverse-distance array
+        when the network is materialisable; the object-path reverse BFS
+        below is the fallback (and the reference implementation)."""
         from collections import deque
 
+        if self.network.can_compile():
+            compiled = self.network.compiled()
+            reverse = compiled.reverse_distances
+            return {
+                compiled.node(node_id): int(reverse[node_id])
+                for node_id in range(compiled.num_nodes)
+                if reverse[node_id] >= 0
+            }
         inv_perms = [g.perm.inverse() for g in self.network.generators]
         identity = self.network.identity
         dist = {identity: 0}

@@ -19,6 +19,7 @@ from collections import deque
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..obs import profiled
+from .compiled import MAX_COMPILE_K, CompiledGraph
 from .generators import Generator, GeneratorSet
 from .permutations import Permutation, factorial
 
@@ -46,6 +47,10 @@ class CayleyGraph:
     def __init__(self, generators: GeneratorSet, name: str = "Cayley"):
         self.generators = generators
         self.name = name
+        # Memoised computation (graphs are immutable): the identity-rooted
+        # BFS layers of the object path, and the compiled array backend.
+        self._identity_layers: Optional[List[List[Permutation]]] = None
+        self._compiled: Optional[CompiledGraph] = None
 
     # ------------------------------------------------------------------
     # Basic facts
@@ -113,6 +118,51 @@ class CayleyGraph:
                 yield node, gen.name, node * gen.perm
 
     # ------------------------------------------------------------------
+    # Compiled (array-backed) handle
+    # ------------------------------------------------------------------
+
+    def can_compile(self) -> bool:
+        """True iff the ``k!`` node tables fit in materialisation range
+        (``k <= MAX_COMPILE_K``); see :mod:`repro.core.compiled`."""
+        return self.k <= MAX_COMPILE_K
+
+    def compiled(self) -> CompiledGraph:
+        """The memoised array backend (built lazily on first call).
+
+        All whole-graph statistics, routing tables, and spanning trees
+        are served from its cached identity-rooted BFS; raises
+        ``ValueError`` for ``k > MAX_COMPILE_K`` (use the object path).
+        """
+        if self._compiled is None:
+            self._compiled = CompiledGraph(self)
+        return self._compiled
+
+    def adopt_compiled(self, compiled: CompiledGraph) -> None:
+        """Install a pre-built :class:`CompiledGraph` (e.g. loaded from
+        a ``.npz`` table cache) as this graph's backend."""
+        if compiled.k != self.k or compiled.gen_names != tuple(
+            g.name for g in self.generators
+        ):
+            raise ValueError(
+                f"compiled tables do not match {self.name} "
+                f"(k={self.k}, dims={[g.name for g in self.generators]})"
+            )
+        self._compiled = compiled
+
+    def node_id(self, node: Permutation) -> int:
+        """Dense integer ID (Lehmer rank) of ``node`` — the compiled
+        backend's index space."""
+        if node.k != self.k:
+            raise ValueError(f"size mismatch: {node.k} vs {self.k}")
+        return node.rank()
+
+    def node_from_id(self, node_id: int) -> Permutation:
+        """Inverse of :meth:`node_id` (interned when compiled)."""
+        if self.can_compile():
+            return self.compiled().node(node_id)
+        return Permutation.unrank(self.k, node_id)
+
+    # ------------------------------------------------------------------
     # BFS machinery
     # ------------------------------------------------------------------
 
@@ -124,9 +174,15 @@ class CayleyGraph:
     ) -> List[List[Permutation]]:
         """Breadth-first layers from ``source`` (default: identity).
 
-        Layer ``d`` lists the nodes at distance exactly ``d``.
+        Layer ``d`` lists the nodes at distance exactly ``d``.  The full
+        identity-rooted run is memoised: graphs are immutable and vertex
+        symmetry makes that one BFS answer every whole-graph question,
+        so repeated statistic calls stop re-walking the graph.
         """
         source = source if source is not None else self.identity
+        cacheable = source == self.identity and max_depth is None
+        if cacheable and self._identity_layers is not None:
+            return list(self._identity_layers)
         gens = [g.perm for g in self.generators]
         seen = {source}
         layers = [[source]]
@@ -144,6 +200,9 @@ class CayleyGraph:
             if next_frontier:
                 layers.append(next_frontier)
             frontier = next_frontier
+        if cacheable:
+            self._identity_layers = layers
+            return list(layers)
         return layers
 
     def distances_from(
@@ -164,6 +223,8 @@ class CayleyGraph:
         identity to ``source.inverse() * target``, which lets us BFS from
         the identity with early exit.
         """
+        if self.can_compile():
+            return self.compiled().distance(source, target)
         relative = source.inverse() * target
         for depth, layer in enumerate(self.bfs_layers()):
             if relative in layer:
@@ -182,6 +243,24 @@ class CayleyGraph:
         """
         if source == target:
             return []
+        if self.can_compile():
+            # Left translation by ``source`` maps the identity-rooted BFS
+            # tree onto the source-rooted one (same discovery order), so
+            # the cached parent chain of the relative label is the path.
+            compiled = self.compiled()
+            relative_id = self.node_id(source.inverse() * target)
+            if compiled.distances[relative_id] < 0:
+                raise ValueError(
+                    f"{target} not reachable from {source} in {self.name}"
+                )
+            gen_word = compiled.path_gen_ids(relative_id)
+            path: List[Tuple[str, Permutation]] = []
+            node = source
+            for gen_idx in gen_word:
+                gen = self.generators[compiled.gen_names[gen_idx]]
+                node = node * gen.perm
+                path.append((gen.name, node))
+            return path
         parents: Dict[Permutation, Tuple[Permutation, str]] = {source: None}
         queue = deque([source])
         while queue:
@@ -216,14 +295,20 @@ class CayleyGraph:
         for every source, but for a *directed* graph the diameter is the
         max over ordered pairs; by symmetry it is still the identity
         node's eccentricity."""
+        if self.can_compile():
+            return self.compiled().diameter()
         return len(self.bfs_layers()) - 1
 
     def distance_distribution(self) -> List[int]:
         """``dist[d]`` = number of nodes at distance ``d`` from any fixed node."""
+        if self.can_compile():
+            return self.compiled().distance_distribution()
         return [len(layer) for layer in self.bfs_layers()]
 
     def average_distance(self) -> float:
         """Mean internodal distance (over ordered pairs, excluding self)."""
+        if self.can_compile():
+            return self.compiled().average_distance()
         dist = self.distance_distribution()
         total_nodes = sum(dist)
         weighted = sum(d * count for d, count in enumerate(dist))
@@ -231,6 +316,8 @@ class CayleyGraph:
 
     def is_connected(self) -> bool:
         """True iff the generators generate all of ``Sym(k)``."""
+        if self.can_compile():
+            return self.compiled().is_connected()
         return sum(len(layer) for layer in self.bfs_layers()) == self.num_nodes
 
     def path_nodes(

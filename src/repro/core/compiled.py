@@ -1,0 +1,513 @@
+"""Array-backed (compiled) Cayley graph engine.
+
+The object frontend (:class:`~repro.core.cayley.CayleyGraph` over
+:class:`~repro.core.permutations.Permutation` nodes) recomputes a full
+breadth-first search for every statistic it serves, one Python-level
+permutation multiply per edge.  For every instance the paper's tables
+actually materialise (``k <= 9``, so at most ``9! = 362880`` nodes) the
+same information fits comfortably in a handful of numpy arrays:
+
+* nodes are **Lehmer ranks** — dense integers ``0 .. k!-1`` in
+  lexicographic label order (rank 0 is the identity), interchangeable
+  with ``Permutation.rank()`` / ``Permutation.unrank()``;
+* each generator ``g`` compiles to a **move table** ``move_g`` with
+  ``move_g[r] = rank(perm_r * g)``, so "apply ``g`` to a whole BFS
+  frontier" is one fancy-index operation;
+* a single identity-rooted whole-frontier BFS yields the ``distances``
+  array, per-layer node lists, the shortest-path **first-hop** table
+  (the routing table of :mod:`repro.routing.tables`), and the BFS
+  **parent** arrays (the broadcast tree of
+  :mod:`repro.comm.spanning_trees`) — all at once, cached forever
+  (Cayley graphs are immutable).
+
+The BFS visits candidates in exactly the frontier-major, generator-minor
+order of the object-based FIFO implementations, so distances, layer
+contents, first hops, and tree parents match the object path *exactly*,
+which the differential tests in ``tests/test_compiled.py`` assert on all
+ten network families.
+
+The object path remains the reference implementation and the only route
+for ``k`` beyond materialisation range; :class:`CompiledGraph` refuses
+``k > MAX_COMPILE_K`` outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..obs import get_tracer, profiled
+from .permutations import Permutation, factorial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cayley import CayleyGraph
+
+#: largest ``k`` whose ``k!`` node tables we are willing to materialise
+#: (``9! = 362880`` nodes: ~0.7 MB per int16 table, ~1.5 MB per int32).
+MAX_COMPILE_K = 9
+
+
+# ----------------------------------------------------------------------
+# Vectorised Lehmer ranking
+# ----------------------------------------------------------------------
+
+
+def rank_array(labels: np.ndarray) -> np.ndarray:
+    """Lehmer ranks of a batch of permutation labels.
+
+    ``labels`` is an ``(m, k)`` array of 1-based one-line labels (each
+    row a permutation of ``1..k``); the result is an ``(m,)`` int64
+    array matching :meth:`Permutation.rank` row-wise.  The Lehmer digit
+    at position ``i`` is the number of later symbols smaller than
+    ``labels[:, i]`` — an O(k^2) pass, fully vectorised.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        labels = labels[None, :]
+    m, k = labels.shape
+    ranks = np.zeros(m, dtype=np.int64)
+    for i in range(k - 1):
+        digit = np.sum(labels[:, i + 1:] < labels[:, i:i + 1], axis=1)
+        ranks += digit * factorial(k - 1 - i)
+    return ranks
+
+
+def unrank_array(k: int, ranks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rank_array`: labels for a batch of ranks.
+
+    Returns an ``(m, k)`` array of 1-based labels matching
+    :meth:`Permutation.unrank` row-wise.  Implemented as a vectorised
+    pool-pop: Lehmer digits select from (and shrink) a per-row pool of
+    unused symbols.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    scalar = ranks.ndim == 0
+    ranks = np.atleast_1d(ranks)
+    if ranks.size and (ranks.min() < 0 or ranks.max() >= factorial(k)):
+        raise ValueError(f"rank out of range 0..{factorial(k) - 1}")
+    m = ranks.shape[0]
+    dtype = np.int8 if k < 128 else np.int16
+    out = np.empty((m, k), dtype=dtype)
+    pool = np.tile(np.arange(1, k + 1, dtype=dtype), (m, 1))
+    for i in range(k):
+        radix = factorial(k - 1 - i)
+        digits = (ranks // radix) % (k - i)
+        out[:, i] = np.take_along_axis(pool, digits[:, None], axis=1)[:, 0]
+        if k - i > 1:
+            # Delete the chosen element: shift the tail left by one.
+            keep = np.arange(k - i - 1)[None, :]
+            keep = keep + (keep >= digits[:, None])
+            pool = np.take_along_axis(pool, keep, axis=1)
+    return out[0] if scalar else out
+
+
+def permutation_table(k: int) -> np.ndarray:
+    """All ``k!`` one-line labels in rank (= lexicographic) order.
+
+    Row ``r`` is ``Permutation.unrank(k, r).symbols``.
+    """
+    if not 1 <= k <= MAX_COMPILE_K:
+        raise ValueError(
+            f"k = {k} outside materialisable range 1..{MAX_COMPILE_K}"
+        )
+    return unrank_array(k, np.arange(factorial(k), dtype=np.int64))
+
+
+def parity_array(labels: np.ndarray) -> np.ndarray:
+    """Parity (0 even / 1 odd) of each label row, vectorised.
+
+    Total inversions equal the sum of Lehmer digits, so parity is that
+    sum mod 2.
+    """
+    labels = np.asarray(labels)
+    k = labels.shape[1]
+    inversions = np.zeros(labels.shape[0], dtype=np.int64)
+    for i in range(k - 1):
+        inversions += np.sum(labels[:, i + 1:] < labels[:, i:i + 1], axis=1)
+    return (inversions & 1).astype(np.int8)
+
+
+# ----------------------------------------------------------------------
+# The compiled backend
+# ----------------------------------------------------------------------
+
+
+class CompiledGraph:
+    """Integer-indexed, array-backed view of a :class:`CayleyGraph`.
+
+    Construction compiles nothing: the label table, the per-generator
+    move tables, and the identity-rooted BFS are each built lazily on
+    first use and cached (the graph is immutable).  All arrays may also
+    be injected wholesale via :meth:`from_arrays` (the ``.npz`` table
+    cache of :mod:`repro.io`).
+
+    Attributes (after the BFS has run)
+    ----------------------------------
+    distances:
+        ``int16[k!]`` — distance from the identity to every rank
+        (``-1`` for unreachable ranks of non-generating sets).
+    first_hop:
+        ``int16[k!]`` — generator *index* of the first hop of a
+        shortest identity-to-rank path (``-1`` at the identity and at
+        unreachable ranks).  Identical to the object-based
+        :class:`~repro.routing.tables.RoutingTable` dict.
+    parent / parent_gen:
+        ``int32[k!]`` / ``int16[k!]`` — BFS-tree predecessor rank and
+        the generator index with ``parent * gen = node``.  Identical to
+        the object-based BFS spanning tree.
+    order / layer_starts:
+        ranks in discovery order, and offsets such that layer ``d`` is
+        ``order[layer_starts[d]:layer_starts[d + 1]]``.
+    """
+
+    def __init__(self, graph: "CayleyGraph"):
+        if graph.k > MAX_COMPILE_K:
+            raise ValueError(
+                f"{graph.name}: k = {graph.k} > {MAX_COMPILE_K}; "
+                f"{graph.num_nodes} nodes cannot be materialised — "
+                "use the object-based Permutation path instead"
+            )
+        self.graph = graph
+        self.k = graph.k
+        self.num_nodes = graph.num_nodes
+        self.gen_names: tuple = tuple(g.name for g in graph.generators)
+        self._gen_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.gen_names)
+        }
+        self._labels: Optional[np.ndarray] = None
+        self._moves: Optional[np.ndarray] = None
+        self._dist: Optional[np.ndarray] = None
+        self._first_hop: Optional[np.ndarray] = None
+        self._parent: Optional[np.ndarray] = None
+        self._parent_gen: Optional[np.ndarray] = None
+        self._order: Optional[np.ndarray] = None
+        self._layer_starts: Optional[np.ndarray] = None
+        self._reverse_dist: Optional[np.ndarray] = None
+        self._perm_cache: Dict[int, Permutation] = {}
+
+    # -- construction helpers ------------------------------------------
+
+    @property
+    def labels(self) -> np.ndarray:
+        """``(k!, k)`` one-line labels in rank order (lazy)."""
+        if self._labels is None:
+            self._labels = permutation_table(self.k)
+        return self._labels
+
+    @property
+    def moves(self) -> np.ndarray:
+        """``(degree, k!)`` move tables: ``moves[g][r] = rank(perm_r * gen_g)``."""
+        if self._moves is None:
+            self._moves = self._compile_moves()
+        return self._moves
+
+    @profiled("compiled.moves")
+    def _compile_moves(self) -> np.ndarray:
+        with get_tracer().span(
+            "compiled.moves", network=self.graph.name, nodes=self.num_nodes
+        ):
+            labels = self.labels
+            moves = np.empty(
+                (len(self.gen_names), self.num_nodes), dtype=np.int32
+            )
+            for gi, gen in enumerate(self.graph.generators):
+                # (p * g)(i) = p(g(i)): permute label columns by g.
+                g_idx = np.asarray(gen.perm.symbols, dtype=np.int64) - 1
+                moves[gi] = rank_array(labels[:, g_idx])
+            return moves
+
+    # -- BFS -----------------------------------------------------------
+
+    def _ensure_bfs(self) -> None:
+        if self._dist is None:
+            self._run_bfs()
+
+    @profiled("compiled.bfs")
+    def _run_bfs(self) -> None:
+        """Whole-frontier BFS from the identity (rank 0).
+
+        Candidates are generated frontier-major, generator-minor — the
+        FIFO discovery order of the object implementations — so ties
+        (first hops, tree parents) break identically.
+        """
+        n = self.num_nodes
+        n_gens = len(self.gen_names)
+        with get_tracer().span(
+            "compiled.bfs", network=self.graph.name, nodes=n
+        ) as span:
+            moves = self.moves
+            dist = np.full(n, -1, dtype=np.int16)
+            first_hop = np.full(n, -1, dtype=np.int16)
+            parent = np.full(n, -1, dtype=np.int32)
+            parent_gen = np.full(n, -1, dtype=np.int16)
+            dist[0] = 0
+            frontier = np.zeros(1, dtype=np.int32)
+            chunks = [frontier]
+            starts = [0, 1]
+            depth = 0
+            while frontier.size:
+                # (f, g) then ravel: frontier-major, generator-minor.
+                cand = moves[:, frontier].T.ravel()
+                fresh = np.nonzero(dist[cand] < 0)[0]
+                if fresh.size:
+                    _, first_pos = np.unique(cand[fresh], return_index=True)
+                    first_pos.sort()
+                    sel = fresh[first_pos]
+                else:
+                    sel = fresh
+                if not sel.size:
+                    break
+                new = cand[sel].astype(np.int32)
+                par = frontier[sel // n_gens]
+                gen_idx = (sel % n_gens).astype(np.int16)
+                depth += 1
+                dist[new] = depth
+                parent[new] = par
+                parent_gen[new] = gen_idx
+                first_hop[new] = np.where(par == 0, gen_idx, first_hop[par])
+                frontier = new
+                chunks.append(new)
+                starts.append(starts[-1] + new.size)
+            self._dist = dist
+            self._first_hop = first_hop
+            self._parent = parent
+            self._parent_gen = parent_gen
+            self._order = np.concatenate(chunks)
+            self._layer_starts = np.asarray(starts, dtype=np.int64)
+            span.set(depth=depth, reached=int(self._order.size))
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: "CayleyGraph",
+        distances: np.ndarray,
+        first_hop: np.ndarray,
+        parent: np.ndarray,
+        parent_gen: np.ndarray,
+        order: np.ndarray,
+        layer_starts: np.ndarray,
+    ) -> "CompiledGraph":
+        """Rebuild a compiled view from persisted BFS tables (no BFS run).
+
+        Move tables stay lazy — they are only recompiled if a consumer
+        actually needs frontier expansion (e.g. the simulator).
+        """
+        compiled = cls(graph)
+        n = graph.num_nodes
+        for name, arr in (("distances", distances), ("first_hop", first_hop),
+                          ("parent", parent), ("parent_gen", parent_gen)):
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({n},)"
+                )
+        compiled._dist = np.asarray(distances, dtype=np.int16)
+        compiled._first_hop = np.asarray(first_hop, dtype=np.int16)
+        compiled._parent = np.asarray(parent, dtype=np.int32)
+        compiled._parent_gen = np.asarray(parent_gen, dtype=np.int16)
+        compiled._order = np.asarray(order, dtype=np.int32)
+        compiled._layer_starts = np.asarray(layer_starts, dtype=np.int64)
+        return compiled
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The BFS tables as plain arrays (see :mod:`repro.io`)."""
+        self._ensure_bfs()
+        return {
+            "distances": self._dist,
+            "first_hop": self._first_hop,
+            "parent": self._parent,
+            "parent_gen": self._parent_gen,
+            "order": self._order,
+            "layer_starts": self._layer_starts,
+        }
+
+    # -- node-id conversion --------------------------------------------
+
+    def node_id(self, perm: Permutation) -> int:
+        """Dense integer ID (= Lehmer rank) of a node label."""
+        if perm.k != self.k:
+            raise ValueError(f"size mismatch: {perm.k} vs {self.k}")
+        return perm.rank()
+
+    def node(self, node_id: int) -> Permutation:
+        """The :class:`Permutation` for a node ID (interned per graph)."""
+        cached = self._perm_cache.get(node_id)
+        if cached is None:
+            cached = Permutation(int(s) for s in self.labels[node_id])
+            self._perm_cache[node_id] = cached
+        return cached
+
+    def gen_index(self, dimension: str) -> int:
+        return self._gen_index[dimension]
+
+    def neighbor_id(self, node_id: int, dimension: str) -> int:
+        """The neighbour across ``dimension``, in ID space."""
+        return int(self.moves[self._gen_index[dimension]][node_id])
+
+    # -- cached BFS products -------------------------------------------
+
+    @property
+    def distances(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._dist
+
+    @property
+    def first_hop(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._first_hop
+
+    @property
+    def parent(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._parent
+
+    @property
+    def parent_gen(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._parent_gen
+
+    @property
+    def order(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._order
+
+    @property
+    def layer_starts(self) -> np.ndarray:
+        self._ensure_bfs()
+        return self._layer_starts
+
+    def num_layers(self) -> int:
+        return len(self.layer_starts) - 1
+
+    def layer_ids(self, depth: int) -> np.ndarray:
+        """Ranks at distance exactly ``depth``, in discovery order."""
+        starts = self.layer_starts
+        if not 0 <= depth < len(starts) - 1:
+            raise IndexError(f"no layer {depth} (depth {len(starts) - 2})")
+        return self.order[starts[depth]:starts[depth + 1]]
+
+    def layers_ids(self) -> Iterator[np.ndarray]:
+        for depth in range(self.num_layers()):
+            yield self.layer_ids(depth)
+
+    @property
+    def reverse_distances(self) -> np.ndarray:
+        """Distance *to* the identity from every rank (reverse BFS).
+
+        For inverse-closed generator sets this equals :attr:`distances`;
+        for directed families (rotator nuclei) it is a separate BFS over
+        the inverted move tables — each move table is a permutation of
+        the ID space, so its inverse is one ``argsort``.
+        """
+        if self._reverse_dist is None:
+            if self.graph.is_undirectable():
+                self._reverse_dist = self.distances
+            else:
+                self._reverse_dist = self._reverse_bfs()
+        return self._reverse_dist
+
+    @profiled("compiled.reverse_bfs")
+    def _reverse_bfs(self) -> np.ndarray:
+        inverse_moves = np.empty_like(self.moves)
+        for gi in range(len(self.gen_names)):
+            inverse_moves[gi] = np.argsort(self.moves[gi]).astype(np.int32)
+        n = self.num_nodes
+        dist = np.full(n, -1, dtype=np.int16)
+        dist[0] = 0
+        frontier = np.zeros(1, dtype=np.int32)
+        depth = 0
+        while frontier.size:
+            cand = inverse_moves[:, frontier].ravel()
+            new = np.unique(cand[dist[cand] < 0]).astype(np.int32)
+            if not new.size:
+                break
+            depth += 1
+            dist[new] = depth
+            frontier = new
+        return dist
+
+    # -- whole-graph statistics ----------------------------------------
+
+    def diameter(self) -> int:
+        """Identity eccentricity (= diameter by vertex symmetry)."""
+        return self.num_layers() - 1
+
+    def distance_distribution(self) -> List[int]:
+        dist = self.distances
+        return np.bincount(dist[dist >= 0]).tolist()
+
+    def average_distance(self) -> float:
+        dist = self.distances.astype(np.int64)
+        reached = dist >= 0
+        total = int(reached.sum())
+        return float(dist[reached].sum()) / (total - 1)
+
+    def is_connected(self) -> bool:
+        return bool((self.distances >= 0).all())
+
+    def eccentricity(self) -> int:
+        return int(self.distances.max())
+
+    # -- point queries --------------------------------------------------
+
+    def distance_from_identity(self, node_id: int) -> int:
+        return int(self.distances[node_id])
+
+    def distance(self, source: Permutation, target: Permutation) -> int:
+        """Directed distance via one relative-label rank lookup."""
+        d = int(self.distances[(source.inverse() * target).rank()])
+        if d < 0:
+            raise ValueError(
+                f"{target} not reachable from {source} in {self.graph.name}"
+            )
+        return d
+
+    def first_hop_name(self, node_id: int) -> str:
+        """Dimension of the first hop of a shortest identity-to-ID path."""
+        hop = int(self.first_hop[node_id])
+        if hop < 0:
+            raise KeyError(node_id)
+        return self.gen_names[hop]
+
+    def path_gen_ids(self, node_id: int) -> List[int]:
+        """Generator indices of the BFS-tree path identity -> ``node_id``."""
+        if self.distances[node_id] < 0:
+            raise ValueError(f"rank {node_id} unreachable")
+        word: List[int] = []
+        current = node_id
+        parent, parent_gen = self.parent, self.parent_gen
+        while current != 0:
+            word.append(int(parent_gen[current]))
+            current = int(parent[current])
+        word.reverse()
+        return word
+
+    def spanning_tree(self) -> Dict[Permutation, tuple]:
+        """The BFS tree in object form: ``node -> (parent, dimension)``.
+
+        Byte-identical to the object-based
+        :func:`repro.comm.spanning_trees.bfs_spanning_tree` (same
+        discovery order, same tie-breaks); the root is absent.
+        """
+        tree: Dict[Permutation, tuple] = {}
+        parent, parent_gen = self.parent, self.parent_gen
+        for node_id in self.order[1:]:
+            node_id = int(node_id)
+            tree[self.node(node_id)] = (
+                self.node(int(parent[node_id])),
+                self.gen_names[int(parent_gen[node_id])],
+            )
+        return tree
+
+    def parity_counts(self) -> Dict[int, int]:
+        """Node counts by label parity (vectorised)."""
+        parities = parity_array(self.labels)
+        odd = int(parities.sum())
+        return {0: self.num_nodes - odd, 1: odd}
+
+    def __repr__(self) -> str:
+        state = "bfs-cached" if self._dist is not None else "lazy"
+        return (
+            f"<CompiledGraph {self.graph.name}: {self.num_nodes} ids, "
+            f"{len(self.gen_names)} moves, {state}>"
+        )

@@ -262,8 +262,24 @@ class Permutation:
         return count
 
     def parity(self) -> int:
-        """0 for even permutations, 1 for odd."""
-        return self.num_inversions() % 2
+        """0 for even permutations, 1 for odd.
+
+        Computed in O(k) from the cycle decomposition — a cycle of
+        length ``m`` is a product of ``m - 1`` transpositions, so the
+        parity is ``(k - #cycles) mod 2`` (counting fixed points as
+        1-cycles).  Agrees with ``num_inversions() % 2`` (tested).
+        """
+        seen = [False] * (self.k + 1)
+        num_cycles = 0
+        for start in range(1, self.k + 1):
+            if seen[start]:
+                continue
+            num_cycles += 1
+            current = start
+            while not seen[current]:
+                seen[current] = True
+                current = self.symbols[current - 1]
+        return (self.k - num_cycles) % 2
 
     def fixed_points(self) -> Tuple[int, ...]:
         """Positions holding their own symbol."""

@@ -18,7 +18,7 @@ generators* (permute whole super-symbols/boxes).  This module provides:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .cayley import CayleyGraph
 from .generators import GeneratorSet

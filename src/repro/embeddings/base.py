@@ -20,7 +20,7 @@ congestion equals the classical undirected definition.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation

@@ -21,7 +21,7 @@ in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork

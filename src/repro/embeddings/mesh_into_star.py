@@ -39,7 +39,7 @@ from ..topologies.transposition import TranspositionNetwork
 from .base import FunctionEmbedding
 from .compose import compose_through_cayley
 from .star_into_sc import embed_star
-from .tn_into_sc import embed_transposition_network, star_swap_word
+from .tn_into_sc import star_swap_word
 
 
 def perm_from_insertion_coords(coords: Tuple[int, ...]) -> Permutation:

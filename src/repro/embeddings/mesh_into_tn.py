@@ -20,7 +20,7 @@ into MS, complete-RS, IS, MIS, and complete-RIS networks.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork

@@ -13,8 +13,8 @@ from ..core.super_cayley import SuperCayleyNetwork
 from ..topologies.bubble_sort import BubbleSortGraph
 from ..topologies.star import StarGraph
 from ..topologies.transposition import TranspositionNetwork
-from .base import FunctionEmbedding, WordEmbedding
-from .tn_into_sc import embed_transposition_network, tn_dimension_word
+from .base import WordEmbedding
+from .tn_into_sc import tn_dimension_word
 
 
 def embed_star_into_tn(k: int) -> WordEmbedding:

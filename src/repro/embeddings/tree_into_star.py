@@ -19,7 +19,7 @@ MIS/complete-RIS.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.permutations import Permutation
 from ..topologies.star import StarGraph

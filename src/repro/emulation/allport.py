@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..core.super_cayley import SuperCayleyNetwork, split_star_dimension
+from ..core.super_cayley import SuperCayleyNetwork
 from ..obs import get_tracer, profiled
 from .schedule import Schedule, ScheduleEntry
 

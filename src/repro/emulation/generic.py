@@ -25,7 +25,7 @@ from collections import defaultdict
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.cayley import CayleyGraph
-from .schedule import Schedule, ScheduleEntry
+from .schedule import ScheduleEntry
 
 
 def generic_allport_schedule(

@@ -16,8 +16,8 @@ proofs rely on:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..core.generators import transposition
 from ..core.super_cayley import SuperCayleyNetwork

@@ -8,7 +8,7 @@ seconds (the full benchmark suite remains the authoritative record).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
 from ..embeddings import (
     embed_star,

@@ -11,7 +11,7 @@ row triggered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..obs import get_tracer
 
@@ -263,13 +263,26 @@ def properties_sweep(
                            ("IS", None, None), ("MIS", 2, 2)),
     k_for_is: int = 4,
     exact: bool = True,
+    table_cache: Optional[str] = None,
 ) -> Iterator[dict]:
-    """Section 2's property table, row per instance."""
+    """Section 2's property table, row per instance.
+
+    ``table_cache`` names a directory of persisted compiled BFS tables
+    (see :func:`repro.io.use_table_cache`): materialisable instances
+    load their distance/first-hop arrays instead of recomputing them,
+    and first-time instances save theirs for the next sweep.
+    """
     for family, l, n in instances:
         with get_tracer().span(
             "sweep.properties", family=family, l=l, n=n
-        ):
+        ) as sp:
             net = (make_network("IS", k=k_for_is) if family == "IS"
                    else make_network(family, l=l, n=n))
+            if table_cache is not None:
+                from ..io import use_table_cache
+
+                status = use_table_cache(net, table_cache)
+                if status is not None:
+                    sp.set(table_cache=status)
             row = network_profile(net, exact=exact)
         yield row

@@ -12,7 +12,11 @@ module round-trips them through plain JSON:
 * **word embeddings** — the per-dimension words plus guest/host specs;
 * **simulation results** — :class:`repro.comm.SimulationResult` (with
   optional per-round traces) so simulator outcomes can be persisted and
-  diffed across runs.
+  diffed across runs;
+* **compiled distance tables** — the :class:`repro.core.CompiledGraph`
+  BFS arrays (distances, first hops, BFS-tree parents, layer offsets)
+  as ``.npz``, so TE/MNB sweeps reuse one identity-rooted search across
+  processes (``repro ... --table-cache DIR``).
 
 Only word embeddings serialize (function embeddings close over
 arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
@@ -22,9 +26,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
+
+import numpy as np
 
 from .comm.simulator import SimulationResult
+from .core.cayley import CayleyGraph
+from .core.compiled import CompiledGraph
 from .core.super_cayley import SuperCayleyNetwork
 from .embeddings.base import WordEmbedding
 from .emulation.schedule import Schedule, ScheduleEntry
@@ -139,3 +147,98 @@ def save_simulation_result(
 
 def load_simulation_result(path: Union[str, Path]) -> SimulationResult:
     return SimulationResult.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Compiled distance / first-hop tables (.npz)
+# ----------------------------------------------------------------------
+
+_TABLE_FORMAT = 1
+
+
+def save_compiled_tables(
+    graph: CayleyGraph, path: Union[str, Path]
+) -> None:
+    """Persist a graph's compiled BFS tables as compressed ``.npz``.
+
+    Stores the distance, first-hop, parent, and layer arrays plus enough
+    metadata (``k``, generator names and one-line actions) for
+    :func:`load_compiled_tables` to refuse tables that do not match the
+    graph they are offered to.  Move tables are *not* stored — they are
+    cheap to recompile lazily and only needed for frontier expansion.
+    """
+    compiled = graph.compiled()
+    arrays = compiled.to_arrays()
+    np.savez_compressed(
+        Path(path),
+        format=np.int64(_TABLE_FORMAT),
+        k=np.int64(graph.k),
+        gen_names=np.array(list(compiled.gen_names)),
+        gen_perms=np.array(
+            [g.perm.symbols for g in graph.generators], dtype=np.int16
+        ),
+        **arrays,
+    )
+
+
+def use_table_cache(
+    graph: CayleyGraph, cache_dir: Union[str, Path]
+) -> Optional[str]:
+    """Load ``<cache_dir>/<graph.name>.npz`` if present, else compute
+    the compiled tables and save them there.
+
+    Returns ``"loaded"``, ``"saved"``, or ``None`` (graph not
+    materialisable).  Stale or mismatched cache files are recomputed and
+    overwritten rather than trusted.  Shared by the CLI's
+    ``--table-cache`` flag and the experiment sweeps.
+    """
+    if not graph.can_compile():
+        return None
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{graph.name}.npz"
+    stale = False
+    if path.exists():
+        try:
+            load_compiled_tables(graph, path)
+            return "loaded"
+        except ValueError:
+            stale = True  # fall through and recompute
+    graph.compiled().distances  # run the shared BFS once
+    save_compiled_tables(graph, path)
+    return "refreshed" if stale else "saved"
+
+
+def load_compiled_tables(
+    graph: CayleyGraph, path: Union[str, Path]
+) -> CompiledGraph:
+    """Rebuild a :class:`CompiledGraph` from :func:`save_compiled_tables`
+    output, validate it against ``graph``, and install it as the graph's
+    backend (so every statistic/table/tree consumer reuses it)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if int(data["format"]) != _TABLE_FORMAT:
+            raise ValueError(
+                f"unsupported table format {int(data['format'])}"
+            )
+        if int(data["k"]) != graph.k:
+            raise ValueError(
+                f"table is for k={int(data['k'])}, graph has k={graph.k}"
+            )
+        names = tuple(str(n) for n in data["gen_names"])
+        perms = [tuple(int(s) for s in row) for row in data["gen_perms"]]
+        expected = [(g.name, g.perm.symbols) for g in graph.generators]
+        if list(zip(names, perms)) != expected:
+            raise ValueError(
+                f"table generators do not match {graph.name}"
+            )
+        compiled = CompiledGraph.from_arrays(
+            graph,
+            distances=data["distances"],
+            first_hop=data["first_hop"],
+            parent=data["parent"],
+            parent_gen=data["parent_gen"],
+            order=data["order"],
+            layer_starts=data["layer_starts"],
+        )
+    graph.adopt_compiled(compiled)
+    return compiled

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..core.generators import Generator, GeneratorSet, rotation
+from ..core.generators import Generator, rotation
 
 
 def rotation_name(exponent: int, l: int) -> str:

@@ -8,7 +8,7 @@ frontier expands along *inverse* generators.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Set, Tuple
 
 from ..core.cayley import CayleyGraph

@@ -8,30 +8,48 @@ shortest ``identity -> u^{-1} v`` word (left translation by ``u`` maps
 one path onto the other).  The table stores the *first dimension* of a
 shortest identity-to-``r`` path for every relative label ``r``; a full
 word is reconstructed by left-shifting the relative one hop at a time.
+
+Since the compiled-core refactor the table is a thin view over the
+graph's shared :class:`~repro.core.compiled.CompiledGraph` arrays —
+building a ``RoutingTable`` no longer runs its own BFS, and every graph
+statistic, spanning tree, and routing table is served by the same cached
+identity-rooted search.  The dict-building object path survives as
+``use_compiled=False``: it is the reference implementation the
+differential tests compare against, and the fallback for graphs beyond
+materialisation range.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.cayley import CayleyGraph
+from ..core.compiled import CompiledGraph
 from ..core.permutations import Permutation
 
 
 class RoutingTable:
     """First-hop table from the identity, usable from every source."""
 
-    def __init__(self, graph: CayleyGraph):
+    def __init__(self, graph: CayleyGraph, use_compiled: Optional[bool] = None):
         self.graph = graph
-        self._first_hop: Dict[Permutation, str] = {}
-        self._distance: Dict[Permutation, int] = {}
         self._inverse_perm = {
             g.name: g.perm.inverse() for g in graph.generators
         }
-        self._build()
+        if use_compiled is None:
+            use_compiled = graph.can_compile()
+        self._compiled: Optional[CompiledGraph] = None
+        self._first_hop: Dict[Permutation, str] = {}
+        self._distance: Dict[Permutation, int] = {}
+        if use_compiled:
+            self._compiled = graph.compiled()
+            self._compiled.distances  # force the shared BFS once
+        else:
+            self._build()
 
     def _build(self) -> None:
+        """Object-path reference build (one dict-based BFS)."""
         graph = self.graph
         identity = graph.identity
         self._distance[identity] = 0
@@ -50,11 +68,30 @@ class RoutingTable:
 
     @property
     def size(self) -> int:
+        if self._compiled is not None:
+            return int((self._compiled.distances >= 0).sum())
         return len(self._distance)
+
+    def _relative_distance(self, relative: Permutation) -> int:
+        if self._compiled is not None:
+            d = int(self._compiled.distances[relative.rank()])
+            if d < 0:
+                raise KeyError(relative)
+            return d
+        return self._distance[relative]
 
     def distance(self, source: Permutation, target: Permutation) -> int:
         """Shortest directed distance (one multiplication + lookup)."""
-        return self._distance[source.inverse() * target]
+        return self._relative_distance(source.inverse() * target)
+
+    def first_hop(self, relative: Permutation) -> str:
+        """The first dimension of a shortest identity-to-``relative`` path."""
+        if self._compiled is not None:
+            hop = int(self._compiled.first_hop[relative.rank()])
+            if hop < 0:
+                raise KeyError(relative)
+            return self._compiled.gen_names[hop]
+        return self._first_hop[relative]
 
     def route(self, source: Permutation, target: Permutation) -> List[str]:
         """A shortest generator word from ``source`` to ``target``.
@@ -66,7 +103,7 @@ class RoutingTable:
         relative = source.inverse() * target
         word: List[str] = []
         while not relative.is_identity():
-            dim = self._first_hop[relative]
+            dim = self.first_hop(relative)
             word.append(dim)
             relative = self._inverse_perm[dim] * relative
         return word
@@ -74,9 +111,13 @@ class RoutingTable:
     def eccentricity(self) -> int:
         """The identity's eccentricity (= diameter by vertex symmetry
         for the undirectable families)."""
+        if self._compiled is not None:
+            return self._compiled.eccentricity()
         return max(self._distance.values())
 
     def memory_entries(self) -> int:
         """Entries stored — ``N`` first-hops, versus the ``N^2`` a
         per-pair table would need."""
+        if self._compiled is not None:
+            return int((self._compiled.first_hop >= 0).sum())
         return len(self._first_hop)

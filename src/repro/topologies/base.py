@@ -10,7 +10,7 @@ and networkx export.  Nodes may be any hashable objects.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+from typing import Dict, Hashable, Iterator, List, Tuple
 
 
 class SimpleTopology:

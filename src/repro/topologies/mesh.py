@@ -7,7 +7,7 @@ connect coordinates differing by one in a single dimension (no wraparound).
 from __future__ import annotations
 
 import itertools
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from .base import SimpleTopology
 

@@ -1,6 +1,5 @@
 """Tests for the bounds and property-analysis helpers."""
 
-import math
 
 import pytest
 

@@ -8,7 +8,7 @@ from repro.core.generators import (
     bubble_sort_generators,
     rotator_generators,
 )
-from repro.core.permutations import Permutation, factorial
+from repro.core.permutations import Permutation
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.permutations import Permutation, factorial
 from repro.embeddings import (
-    TreeSearchError,
     adjacent_swap_position,
     corollary4_tree_height,
     cube_node_image,
@@ -29,7 +28,6 @@ from repro.embeddings import (
     sjt_sequence,
 )
 from repro.networks import InsertionSelection, MacroIS, MacroStar
-from repro.topologies import CompleteBinaryTree, StarGraph
 
 
 class TestSjt:

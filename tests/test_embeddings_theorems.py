@@ -4,7 +4,7 @@ instances."""
 
 import pytest
 
-from repro.core.generators import pair_transposition, transposition
+from repro.core.generators import pair_transposition
 from repro.embeddings import (
     embed_star,
     embed_tn_into_star,

@@ -6,7 +6,6 @@ test."""
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

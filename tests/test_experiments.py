@@ -1,6 +1,5 @@
 """Tests for the programmatic experiment runners."""
 
-import pytest
 
 from repro.experiments import (
     figure1_panels,

@@ -11,7 +11,7 @@ from repro.comm import (
 )
 from repro.core.coset import CayleyCosetGraph, subgroup_closure
 from repro.core.generators import star_generators, swap
-from repro.core.permutations import Permutation, factorial
+from repro.core.permutations import Permutation
 from repro.embeddings import (
     embed_even_ring_in_star_like,
     embed_linear_array,

@@ -19,7 +19,7 @@ from repro.embeddings import (
 )
 from repro.emulation import CommModel, allport_schedule, sdc_emulation_cost
 from repro.networks import InsertionSelection, MacroStar, make_network
-from repro.routing import sc_route, star_route, star_route_to_identity
+from repro.routing import sc_route, star_route
 from repro.topologies import StarGraph
 
 

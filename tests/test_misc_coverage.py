@@ -1,7 +1,6 @@
 """Coverage for remaining helpers: coset export, simulator stats,
 schedule accessors, bound edge cases."""
 
-import pytest
 
 from repro.analysis import mean_distance_lower_bound
 from repro.comm import PacketSimulator

@@ -355,7 +355,9 @@ class TestCliObservability:
                      "--profile"])
         err = capsys.readouterr().err
         assert code == 0
-        assert "core.bfs_layers" in err
+        # statistics are served by the compiled array backend
+        assert "compiled.bfs" in err
+        assert "compiled.moves" in err
 
     def test_json_stdout_stays_machine_readable(self, capsys):
         code = main(["properties", "MS", "--l", "2", "--n", "2",

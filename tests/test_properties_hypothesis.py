@@ -4,7 +4,6 @@ These complement the example-based suites with randomized coverage of
 the algebra, routing, game, and embedding layers.
 """
 
-import random
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ coordinates, schedules)."""
 import operator
 import random
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import allreduce, reduce_to_root

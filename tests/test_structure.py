@@ -17,7 +17,6 @@ from repro.core.permutations import Permutation
 from repro.networks import (
     CompleteRotationRotator,
     InsertionSelection,
-    MacroIS,
     MacroRotator,
     MacroStar,
     RotationRotator,

@@ -1,7 +1,6 @@
 """Tests for the cut-through (wormhole-style) simulator and Section 3's
 long-message slowdown remark."""
 
-import pytest
 
 from repro.comm import (
     Message,
@@ -11,7 +10,6 @@ from repro.comm import (
     emulated_exchange_time,
     star_exchange_time,
 )
-from repro.core.permutations import Permutation
 from repro.networks import InsertionSelection, MacroStar
 
 
