@@ -1,0 +1,92 @@
+"""Masked fault-aware BFS speedup benchmark.
+
+Repeats a fault-tolerant routing workload — route ``NUM_ROUTES`` random
+pairs around a random fault set — on MS(7,1) (``k = 8``, ``8! = 40320``
+nodes, the same instance as ``bench_compiled.py``) twice:
+
+* **object path**: one Python-level dict BFS over ``Permutation``
+  objects per query (``use_compiled=False``, the pre-fault-layer
+  behaviour and the differential oracle);
+* **masked path**: :class:`repro.faults.FaultMask` — one boolean mask
+  pair over the compiled move tables, one vectorised masked BFS per
+  query (mask construction *included* in the measurement).
+
+Both paths must return identical words (the masked BFS replays the
+object path's FIFO tie-breaks) before the clocks are compared.  Asserts
+the masked path is at least 10x faster and records the timings via the
+``report`` fixture (``benchmarks/results/BENCH_faults.json``).
+"""
+
+import random
+import time
+
+from repro.core.permutations import Permutation
+from repro.faults import FaultMask
+from repro.networks import MacroStar
+from repro.routing.fault_tolerant import (
+    FaultSet,
+    RoutingError,
+    _fault_tolerant_route_object,
+)
+
+REQUIRED_SPEEDUP = 10.0
+NUM_ROUTES = 30
+LINK_RATE = 0.02
+
+
+def _random_faults(net, rng):
+    """A reproducible link fault set (~2% of directed links)."""
+    links = set()
+    dims = [g.name for g in net.generators]
+    for node in net.nodes():
+        for dim in dims:
+            if rng.random() < LINK_RATE:
+                links.add((node, dim))
+    return FaultSet.of(links=links)
+
+
+def test_masked_fault_bfs_speedup_k8(report):
+    rng = random.Random(23)
+    net = MacroStar(7, 1)
+    faults = _random_faults(net, rng)
+    pairs = [
+        (Permutation.random(8, rng), Permutation.random(8, rng))
+        for _ in range(NUM_ROUTES)
+    ]
+
+    # -- object path: one dict BFS over Permutations per query ---------
+    t0 = time.perf_counter()
+    object_words = []
+    for source, target in pairs:
+        try:
+            object_words.append(
+                _fault_tolerant_route_object(net, source, target, faults)
+            )
+        except RoutingError:
+            object_words.append(None)
+    object_total = time.perf_counter() - t0
+
+    # -- masked path: numpy masks over the compiled move tables --------
+    t0 = time.perf_counter()
+    mask = FaultMask.from_fault_set(net, faults)  # construction timed
+    masked_words = [mask.route(u, v) for u, v in pairs]
+    masked_total = time.perf_counter() - t0
+
+    # same answers before we compare clocks
+    assert masked_words == object_words
+
+    routed = sum(1 for w in masked_words if w is not None)
+    speedup = object_total / masked_total
+    lines = [
+        f"workload: MS(7,1)  k=8  {net.num_nodes} nodes  "
+        f"{len(faults)} link faults  {NUM_ROUTES} route queries "
+        f"({routed} routable)",
+        f"{'object fault BFS':<32s} {object_total * 1000:10.1f} ms",
+        f"{'masked fault BFS':<32s} {masked_total * 1000:10.1f} ms",
+        f"speedup: {speedup:.1f}x (required >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]
+    report("faults", lines)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"masked fault BFS only {speedup:.1f}x faster "
+        f"(object {object_total:.2f}s vs masked {masked_total:.2f}s)"
+    )

@@ -296,6 +296,40 @@ def cmd_mnb(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .experiments import fault_sweep
+
+    rates = [float(r) for r in args.rates.split(",")]
+    rows = list(fault_sweep(
+        family=args.family, l=args.l, n=args.n, k=args.k,
+        rates=rates, fault_kind=args.kind, packets=args.packets,
+        policy=args.policy, seed=args.seed,
+        max_retries=args.retries, retry_backoff=args.backoff,
+        table_cache=getattr(args, "table_cache", None),
+    ))
+    if args.json:
+        print(json.dumps([{
+            "network": r.network, "model": r.model, "policy": r.policy,
+            "node_rate": r.node_rate, "link_rate": r.link_rate,
+            "packets": r.packets, "delivered": r.delivered,
+            "dropped": r.dropped, "rerouted": r.rerouted,
+            "retries": r.retries, "rounds": r.rounds,
+            "mean_latency": r.mean_latency,
+            "delivery_ratio": r.delivery_ratio,
+        } for r in rows], indent=1))
+        return 0
+    print(f"fault sweep on {rows[0].network} "
+          f"({args.packets} packets, policy={args.policy})")
+    print(f"{'rate':>6} {'delivered':>9} {'dropped':>7} {'rerouted':>8} "
+          f"{'retries':>7} {'rounds':>6} {'latency':>8} {'ratio':>6}")
+    for r in rows:
+        rate = r.link_rate if args.kind != "node" else r.node_rate
+        print(f"{rate:>6.3f} {r.delivered:>9} {r.dropped:>7} "
+              f"{r.rerouted:>8} {r.retries:>7} {r.rounds:>6} "
+              f"{r.mean_latency:>8.2f} {r.delivery_ratio:>6.2f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -346,6 +380,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the result as JSON")
 
+    p = add_command("faults", help="fault-rate sweep on the packet simulator")
+    _add_network_args(p)
+    _add_table_cache_arg(p)
+    p.add_argument("--rates", default="0.0,0.02,0.05,0.1",
+                   help="comma-separated fault rates to sweep")
+    p.add_argument("--kind", choices=("link", "node", "both"),
+                   default="link", help="what fails (default: link)")
+    p.add_argument("--packets", type=int, default=100,
+                   help="random uniform-traffic packets per rate")
+    p.add_argument("--policy", choices=("drop", "reroute", "retry"),
+                   default="reroute", help="per-packet fault policy")
+    p.add_argument("--retries", type=int, default=3,
+                   help="max retries per packet (retry policy)")
+    p.add_argument("--backoff", type=int, default=1,
+                   help="rounds between retries (retry policy)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="traffic + fault-schedule seed")
+    p.add_argument("--json", action="store_true",
+                   help="emit the sweep rows as JSON")
+
     p = add_command("girth", help="girth + bipartiteness")
     _add_network_args(p)
 
@@ -368,6 +422,7 @@ COMMANDS = {
     "embed": cmd_embed,
     "game": cmd_game,
     "mnb": cmd_mnb,
+    "faults": cmd_faults,
     "girth": cmd_girth,
     "connectivity": cmd_connectivity,
     "report": cmd_report,

@@ -12,17 +12,28 @@ models constrain which links may fire in a round:
   dimension sequence is a policy: round-robin by default, or supplied);
 * **single-port** — each node sends on at most one link (round-robin over
   its queues) and receives at most one packet per round.
+
+Fault injection (``repro.faults``): pass a
+:class:`~repro.faults.FaultInjector` and the simulator applies its
+scheduled link/node failures (and repairs) at the start of each round.
+Packets whose next hop is faulty follow the configured
+:class:`~repro.faults.FaultPolicy` — ``drop``, ``reroute`` via the
+fault-aware table, or bounded ``retry`` with backoff — and the result
+carries degraded-delivery accounting (``delivered`` / ``dropped`` /
+``rerouted`` / ``retries``) that reconciles exactly with the per-round
+traces.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.cayley import CayleyGraph
 from ..core.permutations import Permutation
 from ..emulation.models import CommModel
+from ..faults.injector import FaultInjector, FaultPolicy
 from ..obs import get_registry, get_tracer, profiled
 
 
@@ -31,7 +42,9 @@ class Packet:
     """A source-routed packet.
 
     ``path`` lists the dimension names still to traverse; ``at`` is the
-    packet's current node.  ``delivered_round`` is filled on arrival.
+    packet's current node and ``target`` its final destination (fixed at
+    submit time, so re-routing can rebuild ``path`` mid-flight).
+    ``delivered_round`` / ``dropped_round`` are filled on arrival/loss.
     ``at_id`` is the compiled backend's integer node ID for ``at`` —
     internal bookkeeping (``None`` when the simulator runs on the object
     path); ``at`` itself is always a valid :class:`Permutation`.
@@ -43,10 +56,20 @@ class Packet:
     hop: int = 0
     delivered_round: Optional[int] = None
     at_id: Optional[int] = None
+    target: Optional[Permutation] = None
+    target_id: Optional[int] = None
+    dropped_round: Optional[int] = None
+    retries: int = 0
+    reroutes: int = 0
+    retry_at: int = 0
 
     @property
     def delivered(self) -> bool:
-        return self.hop >= len(self.path)
+        return self.dropped_round is None and self.hop >= len(self.path)
+
+    @property
+    def dropped(self) -> bool:
+        return self.dropped_round is not None
 
 
 @dataclass(frozen=True)
@@ -55,9 +78,10 @@ class RoundTrace:
     record_rounds=True)``).
 
     ``round`` 0 captures the state right after injection (its
-    ``delivered`` counts zero-length routes); rounds ``1..R`` record the
-    simulation steps.  Invariants the tests assert: summing ``sent`` /
-    ``delivered`` over all traces reproduces the
+    ``delivered`` counts zero-length routes; its ``dropped`` counts
+    packets lost to round-0 fault events).  Invariants the tests
+    assert: summing ``sent`` / ``delivered`` / ``dropped`` /
+    ``rerouted`` over all traces reproduces the
     :class:`SimulationResult` totals, and the max of ``max_queue``
     reproduces its global queue high-water mark.
     """
@@ -68,6 +92,8 @@ class RoundTrace:
     in_flight: int
     max_queue: int
     per_dimension: Dict[str, int]
+    dropped: int = 0
+    rerouted: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -77,6 +103,8 @@ class RoundTrace:
             "in_flight": self.in_flight,
             "max_queue": self.max_queue,
             "per_dimension": dict(self.per_dimension),
+            "dropped": self.dropped,
+            "rerouted": self.rerouted,
         }
 
     @staticmethod
@@ -88,6 +116,8 @@ class RoundTrace:
             in_flight=data["in_flight"],
             max_queue=data["max_queue"],
             per_dimension=dict(data["per_dimension"]),
+            dropped=data.get("dropped", 0),
+            rerouted=data.get("rerouted", 0),
         )
 
 
@@ -99,6 +129,12 @@ class SimulationResult:
     its transmission count — links that never carried a packet are
     absent, so the min/uniformity statistics below describe the loaded
     sub-network only (see :meth:`min_link_traffic`).
+
+    Fault accounting (all zero on fault-free runs): ``dropped`` packets
+    never arrive, ``rerouted`` counts route recomputations, ``retries``
+    counts failed transmission attempts under the retry policy.
+    ``delivered + dropped`` always equals the number of submitted
+    packets.
     """
 
     rounds: int
@@ -106,6 +142,20 @@ class SimulationResult:
     link_traffic: Dict[Tuple[Permutation, str], int]
     max_queue: int
     round_traces: Optional[List[RoundTrace]] = None
+    dropped: int = 0
+    rerouted: int = 0
+    retries: int = 0
+
+    def submitted(self) -> int:
+        """Packets that entered the network (delivery accounting's
+        right-hand side: ``delivered + dropped``)."""
+        return self.delivered + self.dropped
+
+    def delivery_ratio(self) -> float:
+        """Fraction of submitted packets that arrived (1.0 when no
+        packets were submitted)."""
+        total = self.submitted()
+        return self.delivered / total if total else 1.0
 
     def max_link_traffic(self) -> int:
         return max(self.link_traffic.values()) if self.link_traffic else 0
@@ -153,6 +203,9 @@ class SimulationResult:
             "rounds": self.rounds,
             "delivered": self.delivered,
             "max_queue": self.max_queue,
+            "dropped": self.dropped,
+            "rerouted": self.rerouted,
+            "retries": self.retries,
             "link_traffic": [
                 [list(node.symbols), dim, count]
                 for (node, dim), count in sorted(
@@ -173,6 +226,9 @@ class SimulationResult:
             rounds=data["rounds"],
             delivered=data["delivered"],
             max_queue=data["max_queue"],
+            dropped=data.get("dropped", 0),
+            rerouted=data.get("rerouted", 0),
+            retries=data.get("retries", 0),
             link_traffic={
                 (Permutation(symbols), dim): count
                 for symbols, dim, count in data["link_traffic"]
@@ -182,6 +238,27 @@ class SimulationResult:
                 else [RoundTrace.from_dict(rt) for rt in traces]
             ),
         )
+
+
+@dataclass
+class _FaultState:
+    """Live fault bookkeeping inside one simulator run.
+
+    ``dead_nodes`` / ``dead_links`` are keyed like the queues (integer
+    IDs on the compiled path, Permutations on the object path).  The
+    compiled path additionally mirrors the state into a
+    :class:`~repro.faults.FaultMask` whose reverse-BFS tables serve
+    re-routes; ``epoch`` invalidates those caches whenever an event
+    batch fires.
+    """
+
+    dead_nodes: set = field(default_factory=set)
+    dead_links: set = field(default_factory=set)
+    epoch: int = 0
+    mask: Optional[object] = None                 # FaultMask (compiled path)
+    fault_set: Optional[object] = None            # FaultSet cache (object path)
+    route_tables: Dict[int, object] = field(default_factory=dict)
+    tables_epoch: int = -1
 
 
 class PacketSimulator:
@@ -194,6 +271,11 @@ class PacketSimulator:
     ``SimulationResult.link_traffic``) stays in :class:`Permutation`
     terms.  Pass ``use_ids=False`` to force the object path (the
     reference implementation, and the fallback for large ``k``).
+
+    Fault injection: ``injector`` supplies scheduled fail/repair events,
+    ``fault_policy`` picks what blocked packets do (``"drop"``,
+    ``"reroute"``, ``"retry"``), and ``max_retries`` / ``retry_backoff``
+    bound the retry policy before it falls back to re-routing.
     """
 
     def __init__(
@@ -203,6 +285,10 @@ class PacketSimulator:
         sdc_sequence: Optional[Sequence[str]] = None,
         record_rounds: bool = False,
         use_ids: Optional[bool] = None,
+        injector: Optional[FaultInjector] = None,
+        fault_policy: Union[FaultPolicy, str] = FaultPolicy.REROUTE,
+        max_retries: int = 3,
+        retry_backoff: int = 1,
     ):
         self.graph = graph
         self.model = model
@@ -221,6 +307,15 @@ class PacketSimulator:
         self._traffic: Dict[Tuple[object, str], int] = defaultdict(int)
         self._max_queue = 0
         self._round_traces: List[RoundTrace] = []
+        # -- fault layer ------------------------------------------------
+        self._injector = injector
+        self._policy = FaultPolicy(fault_policy)
+        self._max_retries = max_retries
+        self._retry_backoff = max(1, retry_backoff)
+        self._faults = _FaultState() if injector is not None else None
+        self._dropped = 0
+        self._rerouted = 0
+        self._retries = 0
 
     # -- workload -----------------------------------------------------------
 
@@ -232,6 +327,13 @@ class PacketSimulator:
         packet = Packet(source=source, at=source, path=list(path))
         if self._compiled is not None:
             packet.at_id = self._compiled.node_id(source)
+            target_id = packet.at_id
+            for dim in packet.path:
+                target_id = self._compiled.neighbor_id(target_id, dim)
+            packet.target_id = target_id
+            packet.target = self._compiled.node(target_id)
+        else:
+            packet.target = self.graph.apply_word(source, path)
         self._packets.append(packet)
         if packet.delivered:
             packet.delivered_round = 0
@@ -247,35 +349,230 @@ class PacketSimulator:
         self._queues[key].append(packet)
         self._max_queue = max(self._max_queue, len(self._queues[key]))
 
+    # -- fault state --------------------------------------------------------
+
+    def _event_node_key(self, node: Permutation):
+        return (
+            node if self._compiled is None
+            else self._compiled.node_id(node)
+        )
+
+    def _apply_fault_events(self) -> None:
+        """Fire this round's scheduled events, then sweep queues at dead
+        nodes (their packets are lost with the node)."""
+        state = self._faults
+        events = self._injector.events_at(self._round)
+        if not events:
+            return
+        registry = get_registry()
+        for event in events:
+            key = self._event_node_key(event.node)
+            failing = event.action == "fail"
+            if event.is_link:
+                link = (key, event.dimension)
+                state.dead_links.add(link) if failing \
+                    else state.dead_links.discard(link)
+            else:
+                state.dead_nodes.add(key) if failing \
+                    else state.dead_nodes.discard(key)
+            if state.mask is not None or (
+                self._compiled is not None and self._ensure_mask()
+            ):
+                mask = state.mask
+                node_id = key
+                if event.is_link:
+                    (mask.fail_link if failing else mask.repair_link)(
+                        node_id, event.dimension
+                    )
+                else:
+                    (mask.fail_node if failing else mask.repair_node)(
+                        node_id
+                    )
+        state.epoch += 1
+        state.fault_set = None
+        if registry.enabled:
+            registry.counter("faults.events").inc(len(events))
+        self._drop_queues_at_dead_nodes()
+
+    def _ensure_mask(self) -> bool:
+        """Build the compiled-path FaultMask lazily (first event)."""
+        from ..faults.mask import FaultMask
+
+        if self._faults.mask is None:
+            self._faults.mask = FaultMask(self.graph)
+        return True
+
+    def _drop_queues_at_dead_nodes(self) -> None:
+        state = self._faults
+        if not state.dead_nodes:
+            return
+        for (node, _dim), queue in self._queues.items():
+            if queue and node in state.dead_nodes:
+                while queue:
+                    self._drop(queue.popleft())
+
+    def _live_fault_set(self):
+        """Object-form FaultSet of the current state (object-path
+        re-routes); rebuilt once per event epoch."""
+        from ..routing.fault_tolerant import FaultSet
+
+        state = self._faults
+        if state.fault_set is None:
+            state.fault_set = FaultSet.of(
+                nodes=state.dead_nodes,
+                links=state.dead_links,
+            )
+        return state.fault_set
+
+    def _link_blocked(self, key: Tuple[object, str]) -> bool:
+        """A queue cannot fire: its link is dead, or the link's head
+        node is dead (delivering into a dead node loses the packet, so
+        the policy gets to act instead)."""
+        state = self._faults
+        if state is None or (not state.dead_links
+                             and not state.dead_nodes):
+            return False
+        if key in state.dead_links:
+            return True
+        if state.dead_nodes:
+            node, dim = key
+            head = (
+                self._compiled.neighbor_id(node, dim)
+                if self._compiled is not None
+                else node * self._perms[dim]
+            )
+            return head in state.dead_nodes
+        return False
+
+    # -- fault policies -----------------------------------------------------
+
+    def _drop(self, packet: Packet) -> None:
+        packet.dropped_round = self._round
+        self._dropped += 1
+
+    def _route_table(self, target_id: int):
+        """Per-target reverse-BFS distance table, cached per epoch."""
+        state = self._faults
+        if state.tables_epoch != state.epoch:
+            state.route_tables.clear()
+            state.tables_epoch = state.epoch
+        table = state.route_tables.get(target_id)
+        if table is None:
+            table = state.mask.distances_to(target_id)
+            state.route_tables[target_id] = table
+        return table
+
+    def _reroute_word(self, packet: Packet) -> Optional[List[str]]:
+        """A fault-free route from the packet's current node to its
+        target, or ``None`` when none exists."""
+        if self._compiled is not None:
+            self._ensure_mask()
+            mask = self._faults.mask
+            table = self._route_table(packet.target_id)
+            word_ids = mask.route_ids_via_table(
+                packet.at_id, packet.target_id, table
+            )
+            if word_ids is None:
+                return None
+            return [self._compiled.gen_names[g] for g in word_ids]
+        from ..routing.fault_tolerant import (
+            RoutingError,
+            fault_tolerant_route,
+        )
+
+        try:
+            return fault_tolerant_route(
+                self.graph, packet.at, packet.target,
+                self._live_fault_set(), use_compiled=False,
+            )
+        except RoutingError:
+            return None
+
+    def _reroute_or_drop(self, packet: Packet) -> None:
+        word = self._reroute_word(packet)
+        if word is None:
+            self._drop(packet)
+            return
+        packet.path = packet.path[:packet.hop] + word
+        packet.reroutes += 1
+        packet.retries = 0
+        packet.retry_at = 0
+        self._rerouted += 1
+        self._enqueue(packet)
+
+    def _resolve_blocked_queues(self) -> None:
+        """Apply the fault policy to queues whose next hop is faulty.
+
+        ``drop`` / ``reroute`` clear the whole blocked queue (every
+        packet in it faces the same dead hop); ``retry`` charges only
+        the head packet, once per backoff window, and falls back to
+        re-routing when its budget is spent.  Runs before transmission
+        selection so SDC / single-port ports are not wasted on links
+        that cannot fire.
+        """
+        state = self._faults
+        if state is None or (not state.dead_links
+                             and not state.dead_nodes):
+            return
+        for key in list(self._queues.keys()):
+            queue = self._queues[key]
+            if not queue or not self._link_blocked(key):
+                continue
+            if self._policy is FaultPolicy.DROP:
+                while queue:
+                    self._drop(queue.popleft())
+            elif self._policy is FaultPolicy.REROUTE:
+                while queue:
+                    self._reroute_or_drop(queue.popleft())
+            else:  # RETRY
+                head = queue[0]
+                if self._round < head.retry_at:
+                    continue
+                if head.retries >= self._max_retries:
+                    self._reroute_or_drop(queue.popleft())
+                else:
+                    head.retries += 1
+                    head.retry_at = self._round + self._retry_backoff
+                    self._retries += 1
+
     # -- execution -------------------------------------------------------------
 
     @profiled("sim.run")
     def run(self, max_rounds: int = 10_000_000) -> SimulationResult:
-        """Simulate until every packet is delivered.
+        """Simulate until every packet is delivered or dropped.
 
         With ``record_rounds`` the result additionally carries one
         :class:`RoundTrace` per round (plus a round-0 injection record).
         """
+        if self._injector is not None:
+            # Round-0 events hit already-submitted packets at their
+            # sources before the first simulation step.
+            self._apply_fault_events()
+            self._resolve_blocked_queues()
         if self.record_rounds:
             self._round_traces.append(RoundTrace(
                 round=0,
                 sent=0,
                 delivered=self._delivered,
-                in_flight=len(self._packets) - self._delivered,
+                in_flight=len(self._packets) - self._delivered
+                - self._dropped,
                 max_queue=self._current_max_queue(),
                 per_dimension={},
+                dropped=self._dropped,
+                rerouted=self._rerouted,
             ))
         with get_tracer().span(
             "sim.run", model=self.model.value, packets=len(self._packets)
         ) as span:
-            while self._delivered < len(self._packets):
+            while self._delivered + self._dropped < len(self._packets):
                 if self._round >= max_rounds:
                     raise RuntimeError(
                         f"simulation exceeded {max_rounds} rounds "
                         f"({self._delivered}/{len(self._packets)} delivered)"
                     )
                 self._step()
-            span.set(rounds=self._round, delivered=self._delivered)
+            span.set(rounds=self._round, delivered=self._delivered,
+                     dropped=self._dropped)
         result = SimulationResult(
             rounds=self._round,
             delivered=self._delivered,
@@ -284,6 +581,9 @@ class PacketSimulator:
             round_traces=(
                 list(self._round_traces) if self.record_rounds else None
             ),
+            dropped=self._dropped,
+            rerouted=self._rerouted,
+            retries=self._retries,
         )
         self._emit_metrics(result)
         return result
@@ -319,12 +619,34 @@ class PacketSimulator:
         registry.histogram("sim.queue_depth").observe(
             result.max_queue, model=model
         )
+        if self._injector is not None:
+            policy = self._policy.value
+            registry.counter("sim.dropped").inc(
+                result.dropped, model=model, policy=policy
+            )
+            registry.counter("sim.rerouted").inc(
+                result.rerouted, model=model, policy=policy
+            )
+            registry.counter("sim.retries").inc(
+                result.retries, model=model, policy=policy
+            )
+            nodes, links = self._injector.failed_totals()
+            registry.gauge("faults.nodes_failed").set(nodes)
+            registry.gauge("faults.links_failed").set(links)
+            registry.gauge("faults.delivery_ratio").set(
+                result.delivery_ratio(), model=model, policy=policy
+            )
 
     def _current_max_queue(self) -> int:
         return max((len(q) for q in self._queues.values()), default=0)
 
     def _step(self) -> None:
         self._round += 1
+        dropped_before = self._dropped
+        rerouted_before = self._rerouted
+        if self._injector is not None:
+            self._apply_fault_events()
+            self._resolve_blocked_queues()
         sending = self._select_transmissions()
         moved: List[Packet] = []
         per_dim: Optional[Dict[str, int]] = (
@@ -359,13 +681,19 @@ class PacketSimulator:
                 round=self._round,
                 sent=len(moved),
                 delivered=self._delivered - delivered_before,
-                in_flight=len(self._packets) - self._delivered,
+                in_flight=len(self._packets) - self._delivered
+                - self._dropped,
                 max_queue=self._current_max_queue(),
                 per_dimension=per_dim,
+                dropped=self._dropped - dropped_before,
+                rerouted=self._rerouted - rerouted_before,
             ))
 
     def _select_transmissions(self) -> List[Tuple[Permutation, str]]:
-        nonempty = [k for k, q in self._queues.items() if q]
+        nonempty = [
+            k for k, q in self._queues.items()
+            if q and not self._link_blocked(k)
+        ]
         if self.model is CommModel.ALL_PORT:
             return nonempty
         if self.model is CommModel.SDC:
@@ -393,7 +721,9 @@ class PacketSimulator:
         receivers = set()
         for node, dims in by_node.items():
             dims.sort()
-            dim = dims[self._round % len(dims)]
+            # (round - 1) so round 1 starts at dimension order 0,
+            # matching the SDC round-robin's phase.
+            dim = dims[(self._round - 1) % len(dims)]
             target = (
                 compiled.neighbor_id(node, dim) if compiled is not None
                 else node * self._perms[dim]

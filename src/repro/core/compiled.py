@@ -184,6 +184,7 @@ class CompiledGraph:
         self._order: Optional[np.ndarray] = None
         self._layer_starts: Optional[np.ndarray] = None
         self._reverse_dist: Optional[np.ndarray] = None
+        self._inverse_moves: Optional[np.ndarray] = None
         self._perm_cache: Dict[int, Permutation] = {}
 
     # -- construction helpers ------------------------------------------
@@ -406,11 +407,21 @@ class CompiledGraph:
                 self._reverse_dist = self._reverse_bfs()
         return self._reverse_dist
 
+    @property
+    def inverse_moves(self) -> np.ndarray:
+        """``(degree, k!)`` inverse move tables (cached): each move
+        table is a permutation of the ID space, so its inverse is one
+        ``argsort``.  ``inverse_moves[g][moves[g][r]] = r``."""
+        if self._inverse_moves is None:
+            inverse = np.empty_like(self.moves)
+            for gi in range(len(self.gen_names)):
+                inverse[gi] = np.argsort(self.moves[gi]).astype(np.int32)
+            self._inverse_moves = inverse
+        return self._inverse_moves
+
     @profiled("compiled.reverse_bfs")
     def _reverse_bfs(self) -> np.ndarray:
-        inverse_moves = np.empty_like(self.moves)
-        for gi in range(len(self.gen_names)):
-            inverse_moves[gi] = np.argsort(self.moves[gi]).astype(np.int32)
+        inverse_moves = self.inverse_moves
         n = self.num_nodes
         dist = np.full(n, -1, dtype=np.int16)
         dist[0] = 0

@@ -15,8 +15,10 @@ from .report import CheckResult, render_report, run_quick_report
 from .runners import (
     EmbeddingRow,
     EmulationRow,
+    FaultRow,
     Figure1Row,
     TaskRow,
+    fault_sweep,
     figure1_panels,
     mnb_sweep,
     properties_sweep,
@@ -32,6 +34,8 @@ __all__ = [
     "EmbeddingRow",
     "TaskRow",
     "Figure1Row",
+    "FaultRow",
+    "fault_sweep",
     "theorem4_sweep",
     "theorem5_sweep",
     "star_embedding_sweep",

@@ -1,0 +1,197 @@
+"""Deterministic fault schedules for the packet simulator.
+
+A :class:`FaultInjector` is a sorted list of :class:`FaultEvent`
+records — fail or repair a node or a directed link at a given round —
+that :class:`~repro.comm.simulator.PacketSimulator` drains at the start
+of each round.  Schedules are plain data (seeded generation, explicit
+construction, JSON round-trip), so a fault run is exactly reproducible.
+
+Repair events exist so the ``retry`` policy is meaningful: a link that
+fails at round 3 and heals at round 6 lets a bounded-backoff packet
+wait it out instead of re-routing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.cayley import CayleyGraph
+from ..core.permutations import Permutation
+
+
+class FaultPolicy(Enum):
+    """What a packet does when its next hop is faulty.
+
+    * ``DROP`` — the packet is lost (counted, never delivered);
+    * ``REROUTE`` — recompute a fault-free route from the packet's
+      current node via the fault-aware table; drop only if none exists;
+    * ``RETRY`` — wait ``backoff`` rounds and try the same link again,
+      up to ``max_retries`` times, then fall back to re-routing.
+    """
+
+    DROP = "drop"
+    REROUTE = "reroute"
+    RETRY = "retry"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled change of the fault state.
+
+    ``action`` is ``"fail"`` or ``"repair"``; ``dimension`` is ``None``
+    for node events, the link's dimension name otherwise.  ``round`` is
+    the simulator round at whose *start* the event fires (round 1 is
+    the first simulation step; round 0 events apply before injection
+    completes, i.e. to already-submitted packets at their sources).
+    """
+
+    round: int
+    action: str
+    node: Permutation
+    dimension: Optional[str] = None
+
+    def __post_init__(self):
+        if self.action not in ("fail", "repair"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.round < 0:
+            raise ValueError("events cannot fire before round 0")
+
+    @property
+    def is_link(self) -> bool:
+        return self.dimension is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round,
+            "action": self.action,
+            "node": list(self.node.symbols),
+            "dimension": self.dimension,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultEvent":
+        return FaultEvent(
+            round=data["round"],
+            action=data["action"],
+            node=Permutation(data["node"]),
+            dimension=data.get("dimension"),
+        )
+
+
+class FaultInjector:
+    """A deterministic schedule of fault events.
+
+    The simulator asks :meth:`events_at` once per round; events are
+    pre-sorted by round (ties keep construction order, so a schedule is
+    replayed byte-for-byte).
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: e.round
+        )
+        self._by_round: Dict[int, List[FaultEvent]] = {}
+        for event in self.events:
+            self._by_round.setdefault(event.round, []).append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_at(self, round_number: int) -> List[FaultEvent]:
+        return self._by_round.get(round_number, [])
+
+    def last_round(self) -> int:
+        """The latest round any event fires (``-1`` when empty)."""
+        return self.events[-1].round if self.events else -1
+
+    # -- seeded generation ---------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        graph: CayleyGraph,
+        node_rate: float = 0.0,
+        link_rate: float = 0.0,
+        seed: int = 0,
+        at_round: int = 1,
+        protect: Sequence[Permutation] = (),
+    ) -> "FaultInjector":
+        """Fail each node/link independently with the given rates, all
+        firing at ``at_round``.  ``protect`` exempts the listed nodes
+        (keep traffic endpoints alive so delivery stays well-defined).
+
+        Sampling enumerates the node set, so the graph must be
+        materialisable (``graph.can_compile()``); build explicit event
+        lists for larger instances.
+        """
+        if not graph.can_compile():
+            raise ValueError(
+                f"{graph.name} is too large for random fault sampling; "
+                "construct explicit FaultEvent lists instead"
+            )
+        rng = random.Random(seed)
+        protected = set(protect)
+        dims = [g.name for g in graph.generators]
+        events: List[FaultEvent] = []
+        for node in graph.nodes():
+            if node_rate > 0 and node not in protected \
+                    and rng.random() < node_rate:
+                events.append(FaultEvent(at_round, "fail", node))
+            for dim in dims:
+                if link_rate > 0 and rng.random() < link_rate:
+                    events.append(
+                        FaultEvent(at_round, "fail", node, dimension=dim)
+                    )
+        return cls(events)
+
+    @classmethod
+    def single_link_outage(
+        cls,
+        node: Permutation,
+        dimension: str,
+        fail_round: int = 1,
+        repair_round: Optional[int] = None,
+    ) -> "FaultInjector":
+        """One link goes down (and optionally comes back) — the minimal
+        schedule for exercising the ``retry`` policy."""
+        events = [FaultEvent(fail_round, "fail", node, dimension=dimension)]
+        if repair_round is not None:
+            if repair_round <= fail_round:
+                raise ValueError("repair must come after the failure")
+            events.append(
+                FaultEvent(repair_round, "repair", node, dimension=dimension)
+            )
+        return cls(events)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def failed_totals(self) -> Tuple[int, int]:
+        """Net ``(nodes, links)`` failed over the whole schedule
+        (failures minus repairs)."""
+        nodes = links = 0
+        for event in self.events:
+            delta = 1 if event.action == "fail" else -1
+            if event.is_link:
+                links += delta
+            else:
+                nodes += delta
+        return nodes, links
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_dicts(
+        cls, dicts: Iterable[Dict[str, object]]
+    ) -> "FaultInjector":
+        return cls(FaultEvent.from_dict(d) for d in dicts)
+
+    def __repr__(self) -> str:
+        nodes, links = self.failed_totals()
+        return (
+            f"<FaultInjector: {len(self.events)} events, "
+            f"net {nodes} nodes / {links} links failed>"
+        )

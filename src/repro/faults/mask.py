@@ -1,0 +1,436 @@
+"""Vectorized fault state over the compiled graph core.
+
+A :class:`FaultMask` holds two boolean arrays against a
+:class:`~repro.core.compiled.CompiledGraph`:
+
+* ``node_ok[r]`` — rank ``r`` is alive;
+* ``link_ok[g, r]`` — the directed link ``r -> moves[g][r]`` is alive.
+
+Masked breadth-first search then answers every fault-aware question in
+whole-frontier numpy passes: frontier expansion is one fancy-index into
+the move tables with the dead links/nodes filtered out.  Candidates are
+generated frontier-major, generator-minor — the FIFO discovery order of
+the object-path :func:`repro.routing.fault_tolerant.fault_tolerant_route`
+— so the extracted route words match the object oracle *exactly*, not
+just in length (asserted differentially in ``tests/test_faults.py``).
+
+The reverse search (:meth:`FaultMask.distances_to`) inverts each move
+table once (each is a permutation of the ID space, so its inverse is an
+``argsort``) and BFS-es backward from a target; any packet anywhere can
+then be routed to that target by greedy distance descent
+(:meth:`route_ids_via_table`), which is the simulator's re-route table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.permutations import Permutation
+from ..obs import profiled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.cayley import CayleyGraph
+    from ..routing.fault_tolerant import FaultSet
+
+
+@dataclass(frozen=True)
+class MaskedBFS:
+    """The products of one masked, source-rooted BFS.
+
+    ``distances[r]`` is ``-1`` for ranks unreachable under the mask;
+    ``parent`` / ``parent_gen`` encode the BFS tree (``-1`` at the
+    source and at unreachable ranks), with the same tie-breaks as the
+    object-path FIFO search.
+    """
+
+    source_id: int
+    distances: np.ndarray
+    parent: np.ndarray
+    parent_gen: np.ndarray
+
+    def reachable(self) -> np.ndarray:
+        """Boolean array: which ranks the source can still reach."""
+        return self.distances >= 0
+
+    def word_ids_to(self, target_id: int) -> Optional[List[int]]:
+        """Generator indices of the tree path source -> target, or
+        ``None`` when the target is unreachable under the mask."""
+        if self.distances[target_id] < 0:
+            return None
+        word: List[int] = []
+        current = int(target_id)
+        while current != self.source_id:
+            word.append(int(self.parent_gen[current]))
+            current = int(self.parent[current])
+        word.reverse()
+        return word
+
+
+class FaultMask:
+    """Node/link fault masks plus the masked searches over them.
+
+    Mutation (``fail_*`` / ``repair_*``) bumps :attr:`epoch`, which the
+    simulator uses to invalidate cached re-route tables.
+    """
+
+    def __init__(self, graph: "CayleyGraph"):
+        self.graph = graph
+        self.compiled = graph.compiled()
+        n = self.compiled.num_nodes
+        self.num_gens = len(self.compiled.gen_names)
+        self.node_ok = np.ones(n, dtype=bool)
+        self.link_ok = np.ones((self.num_gens, n), dtype=bool)
+        self.epoch = 0
+        self._inverse_moves: Optional[np.ndarray] = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_fault_set(
+        cls, graph: "CayleyGraph", faults: "FaultSet"
+    ) -> "FaultMask":
+        """Compile an object-form :class:`FaultSet` into masks."""
+        mask = cls(graph)
+        for node in faults.nodes:
+            mask.fail_node(graph.node_id(node))
+        for tail, dim in faults.links:
+            mask.fail_link(graph.node_id(tail), dim)
+        return mask
+
+    def to_fault_set(self) -> "FaultSet":
+        """The object-form view of the current masks (for the object
+        oracle in differential tests)."""
+        from ..routing.fault_tolerant import FaultSet
+
+        node = self.compiled.node
+        dead_nodes = [node(int(r)) for r in np.nonzero(~self.node_ok)[0]]
+        dead_links = [
+            (node(int(r)), self.compiled.gen_names[int(g)])
+            for g, r in zip(*np.nonzero(~self.link_ok))
+        ]
+        return FaultSet.of(nodes=dead_nodes, links=dead_links)
+
+    @classmethod
+    def random(
+        cls,
+        graph: "CayleyGraph",
+        node_rate: float = 0.0,
+        link_rate: float = 0.0,
+        seed: int = 0,
+        protect: Iterable[Permutation] = (),
+    ) -> "FaultMask":
+        """Independently fail each node/link with the given rates
+        (deterministic for a fixed seed); ``protect`` keeps the listed
+        nodes alive (e.g. traffic endpoints)."""
+        mask = cls(graph)
+        rng = np.random.default_rng(seed)
+        n = mask.compiled.num_nodes
+        if node_rate > 0:
+            mask.node_ok = rng.random(n) >= node_rate
+        if link_rate > 0:
+            mask.link_ok = rng.random((mask.num_gens, n)) >= link_rate
+        for node in protect:
+            mask.node_ok[graph.node_id(node)] = True
+        mask.epoch += 1
+        return mask
+
+    # -- mutation ------------------------------------------------------
+
+    def _gen_idx(self, dimension) -> int:
+        if isinstance(dimension, str):
+            return self.compiled.gen_index(dimension)
+        return int(dimension)
+
+    def fail_node(self, node_id: int) -> None:
+        self.node_ok[node_id] = False
+        self.epoch += 1
+
+    def repair_node(self, node_id: int) -> None:
+        self.node_ok[node_id] = True
+        self.epoch += 1
+
+    def fail_link(self, node_id: int, dimension) -> None:
+        self.link_ok[self._gen_idx(dimension), node_id] = False
+        self.epoch += 1
+
+    def repair_link(self, node_id: int, dimension) -> None:
+        self.link_ok[self._gen_idx(dimension), node_id] = True
+        self.epoch += 1
+
+    # -- inspection ----------------------------------------------------
+
+    def blocks_node(self, node_id: int) -> bool:
+        return not bool(self.node_ok[node_id])
+
+    def blocks_link(self, node_id: int, dimension) -> bool:
+        return not bool(self.link_ok[self._gen_idx(dimension), node_id])
+
+    def num_failed_nodes(self) -> int:
+        return int((~self.node_ok).sum())
+
+    def num_failed_links(self) -> int:
+        return int((~self.link_ok).sum())
+
+    def __len__(self) -> int:
+        return self.num_failed_nodes() + self.num_failed_links()
+
+    # -- forward masked BFS --------------------------------------------
+
+    @profiled("faults.masked_bfs")
+    def bfs(
+        self, source_id: int, target_id: Optional[int] = None
+    ) -> MaskedBFS:
+        """Masked BFS from ``source_id`` over the live sub-network.
+
+        With ``target_id`` the sweep stops after the layer that claims
+        the target (the parent assignments made so far are final, so
+        the extracted word is unaffected by the early exit).
+        """
+        compiled = self.compiled
+        moves = compiled.moves
+        n = compiled.num_nodes
+        n_gens = self.num_gens
+        dist = np.full(n, -1, dtype=np.int16)
+        parent = np.full(n, -1, dtype=np.int32)
+        parent_gen = np.full(n, -1, dtype=np.int16)
+        if self.node_ok[source_id]:
+            dist[source_id] = 0
+            frontier = np.asarray([source_id], dtype=np.int32)
+            depth = 0
+            while frontier.size:
+                # (f, g) then ravel: frontier-major, generator-minor —
+                # the object path's FIFO discovery order.
+                cand = moves[:, frontier].T.ravel()
+                live = self.link_ok[:, frontier].T.ravel()
+                ok = np.nonzero(
+                    live & (dist[cand] < 0) & self.node_ok[cand]
+                )[0]
+                if ok.size:
+                    _, first_pos = np.unique(cand[ok], return_index=True)
+                    first_pos.sort()
+                    sel = ok[first_pos]
+                else:
+                    sel = ok
+                if not sel.size:
+                    break
+                new = cand[sel].astype(np.int32)
+                depth += 1
+                dist[new] = depth
+                parent[new] = frontier[sel // n_gens]
+                parent_gen[new] = (sel % n_gens).astype(np.int16)
+                if target_id is not None and dist[target_id] >= 0:
+                    break
+                frontier = new
+        return MaskedBFS(
+            source_id=int(source_id),
+            distances=dist,
+            parent=parent,
+            parent_gen=parent_gen,
+        )
+
+    def route_ids(
+        self, source_id: int, target_id: int
+    ) -> Optional[List[int]]:
+        """Generator indices of a shortest fault-free route, or ``None``
+        when no such route exists (endpoints must be alive)."""
+        if not (self.node_ok[source_id] and self.node_ok[target_id]):
+            return None
+        if source_id == target_id:
+            return []
+        return self.bfs(source_id, target_id=target_id).word_ids_to(
+            target_id
+        )
+
+    def route(
+        self, source: Permutation, target: Permutation
+    ) -> Optional[List[str]]:
+        """Dimension names of a shortest fault-free route (or ``None``)."""
+        word = self.route_ids(
+            self.graph.node_id(source), self.graph.node_id(target)
+        )
+        if word is None:
+            return None
+        return [self.compiled.gen_names[g] for g in word]
+
+    def reachable_from(self, source_id: int) -> np.ndarray:
+        """Boolean array: ranks reachable from ``source_id`` under the
+        mask (the source itself included when alive)."""
+        return self.bfs(source_id).reachable()
+
+    # -- reverse masked BFS (the re-route table) -----------------------
+
+    @property
+    def inverse_moves(self) -> np.ndarray:
+        """Per-generator inverse move tables (cached argsorts)."""
+        if self._inverse_moves is None:
+            self._inverse_moves = self.compiled.inverse_moves
+        return self._inverse_moves
+
+    @profiled("faults.masked_reverse_bfs")
+    def distances_to(self, target_id: int) -> np.ndarray:
+        """Distance from every rank *to* ``target_id`` over the live
+        sub-network (``-1`` where the target is unreachable).
+
+        Expanding backward from ``v`` via generator ``g`` lands on
+        ``u = inverse_moves[g][v]`` and traverses the forward arc
+        ``(u, g)``, so the link mask is evaluated at the *candidate*,
+        not the frontier.
+        """
+        inverse_moves = self.inverse_moves
+        n = self.compiled.num_nodes
+        dist = np.full(n, -1, dtype=np.int16)
+        if not self.node_ok[target_id]:
+            return dist
+        dist[target_id] = 0
+        frontier = np.asarray([target_id], dtype=np.int32)
+        depth = 0
+        while frontier.size:
+            cand = inverse_moves[:, frontier]          # (g, f)
+            gen_row = np.broadcast_to(
+                np.arange(self.num_gens, dtype=np.int64)[:, None],
+                cand.shape,
+            )
+            live = self.link_ok[gen_row.ravel(), cand.ravel()]
+            flat = cand.ravel()
+            ok = live & (dist[flat] < 0) & self.node_ok[flat]
+            new = np.unique(flat[ok]).astype(np.int32)
+            if not new.size:
+                break
+            depth += 1
+            dist[new] = depth
+            frontier = new
+        return dist
+
+    def route_ids_via_table(
+        self, source_id: int, target_id: int, dist_to: np.ndarray
+    ) -> Optional[List[int]]:
+        """Greedy distance descent on a :meth:`distances_to` table.
+
+        At each node, pick the first generator (in generator order)
+        whose link is alive and whose head strictly decreases the
+        distance to the target.  Yields a shortest fault-free route
+        without re-running BFS per source — the simulator's per-target
+        re-route table.
+        """
+        if not self.node_ok[source_id] or dist_to[source_id] < 0:
+            return None
+        word: List[int] = []
+        current = int(source_id)
+        moves = self.compiled.moves
+        while current != target_id:
+            remaining = int(dist_to[current])
+            for g in range(self.num_gens):
+                if not self.link_ok[g, current]:
+                    continue
+                head = int(moves[g][current])
+                if self.node_ok[head] and dist_to[head] == remaining - 1:
+                    word.append(g)
+                    current = head
+                    break
+            else:  # pragma: no cover - table guarantees progress
+                return None
+        return word
+
+    # -- whole-network statistics --------------------------------------
+
+    def survives(
+        self, samples: int = 20, seed: int = 0
+    ) -> bool:
+        """Spot-check that random live pairs remain routable (the
+        compiled counterpart of
+        :func:`repro.routing.fault_tolerant.survives_faults`, sampling
+        with the same rng stream)."""
+        rng = random.Random(seed)
+        k = self.compiled.k
+        for _ in range(samples):
+            source = Permutation.random(k, rng)
+            target = Permutation.random(k, rng)
+            source_id = self.graph.node_id(source)
+            target_id = self.graph.node_id(target)
+            if not (self.node_ok[source_id] and self.node_ok[target_id]):
+                continue
+            if self.route_ids(source_id, target_id) is None:
+                return False
+        return True
+
+    def largest_live_component(self) -> int:
+        """Size of the largest mutually-reachable live set, probing
+        from live ranks until every live rank is accounted for.
+
+        On undirected families this is the usual component size; on
+        directed families it counts forward-reachable sets per probe
+        (an upper bound on strongly-connected component size).
+        """
+        live = np.nonzero(self.node_ok)[0]
+        best = 0
+        unseen = np.ones(self.compiled.num_nodes, dtype=bool)
+        unseen[~self.node_ok] = False
+        for root in live:
+            if not unseen[root]:
+                continue
+            reach = self.reachable_from(int(root))
+            unseen[reach] = False
+            best = max(best, int(reach.sum()))
+        return best
+
+    def disjoint_route_words(
+        self, source: Permutation, target: Permutation
+    ) -> List[List[str]]:
+        """Greedy internally node-disjoint routes on the masked arrays
+        (the compiled counterpart of
+        :func:`repro.routing.fault_tolerant.disjoint_paths`).
+
+        Matches the object path's extraction order: each accepted route
+        blocks its interior nodes, its first link, and its last link,
+        then re-searches.  The mask is restored before returning.
+        """
+        source_id = self.graph.node_id(source)
+        target_id = self.graph.node_id(target)
+        if source_id == target_id:
+            return []
+        saved_nodes = self.node_ok.copy()
+        saved_links = self.link_ok.copy()
+        saved_epoch = self.epoch
+        moves = self.compiled.moves
+        words: List[List[str]] = []
+        try:
+            while True:
+                word = self.route_ids(source_id, target_id)
+                if word is None:
+                    return [
+                        [self.compiled.gen_names[g] for g in w]
+                        for w in words
+                    ]
+                words.append(word)
+                current = source_id
+                interior: List[int] = []
+                for g in word[:-1]:
+                    current = int(moves[g][current])
+                    interior.append(current)
+                self.node_ok[interior] = False
+                self.link_ok[word[0], source_id] = False
+                last_interior = interior[-1] if interior else source_id
+                self.link_ok[word[-1], last_interior] = False
+        finally:
+            self.node_ok = saved_nodes
+            self.link_ok = saved_links
+            self.epoch = saved_epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultMask {self.graph.name}: {self.num_failed_nodes()} "
+            f"dead nodes, {self.num_failed_links()} dead links, "
+            f"epoch {self.epoch}>"
+        )
+
+
+def endpoints_alive(
+    mask: FaultMask, pairs: Iterable[Tuple[int, int]]
+) -> np.ndarray:
+    """Boolean per pair: both endpoints live under the mask."""
+    pairs = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    return mask.node_ok[pairs[:, 0]] & mask.node_ok[pairs[:, 1]]

@@ -25,6 +25,7 @@ arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -187,9 +188,9 @@ def use_table_cache(
     """Load ``<cache_dir>/<graph.name>.npz`` if present, else compute
     the compiled tables and save them there.
 
-    Returns ``"loaded"``, ``"saved"``, or ``None`` (graph not
-    materialisable).  Stale or mismatched cache files are recomputed and
-    overwritten rather than trusted.  Shared by the CLI's
+    Returns ``"loaded"``, ``"saved"``, ``"refreshed"`` (a stale,
+    mismatched, or corrupt cache file was recomputed and overwritten),
+    or ``None`` (graph not materialisable).  Shared by the CLI's
     ``--table-cache`` flag and the experiment sweeps.
     """
     if not graph.can_compile():
@@ -202,8 +203,13 @@ def use_table_cache(
         try:
             load_compiled_tables(graph, path)
             return "loaded"
-        except ValueError:
-            stale = True  # fall through and recompute
+        except (ValueError, KeyError, EOFError, OSError,
+                zipfile.BadZipFile):
+            # ValueError: format/metadata mismatch.  BadZipFile /
+            # OSError / EOFError: truncated or corrupt archive.
+            # KeyError: an expected array is missing.  All mean the
+            # same thing here: recompute and overwrite the file.
+            stale = True
     graph.compiled().distances  # run the shared BFS once
     save_compiled_tables(graph, path)
     return "refreshed" if stale else "saved"

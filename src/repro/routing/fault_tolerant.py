@@ -7,13 +7,18 @@ node-disjoint source-destination paths (Menger), so up to ``d - 1``
 faults leave it routable.  This module provides:
 
 * :class:`FaultSet` — failed nodes and failed (directed) links;
-* :func:`fault_tolerant_route` — shortest route avoiding the faults
-  (exact BFS, the correctness oracle);
+* :func:`fault_tolerant_route` — shortest route avoiding the faults.
+  On materialisable graphs it runs on the compiled core's move tables
+  (one vectorized masked BFS, see :mod:`repro.faults.mask`); the
+  object-path implementation remains the correctness oracle and the
+  only route for large ``k`` (``use_compiled=False`` forces it);
 * :func:`valiant_route` — two-phase randomized routing via an
   intermediate node, a classic congestion-smoothing technique that also
   tolerates faults by resampling intermediates;
 * :func:`disjoint_paths` — a maximal set of pairwise internally
-  node-disjoint shortest-ish paths, greedily extracted;
+  node-disjoint paths, greedily extracted (link-disjoint too: each
+  accepted path blocks its first *and last* links, so no later path can
+  reuse the final link into the target on the directed families);
 * :func:`node_connectivity` — exact vertex connectivity via networkx
   (small instances), verifying connectivity = degree for the undirected
   families.
@@ -55,18 +60,58 @@ class RoutingError(RuntimeError):
     """No fault-free route exists (or none within the search budget)."""
 
 
+def _use_compiled(graph: CayleyGraph, use_compiled: Optional[bool]) -> bool:
+    if use_compiled is None:
+        return graph.can_compile()
+    if use_compiled and not graph.can_compile():
+        raise ValueError(
+            f"{graph.name} is not materialisable; compiled fault "
+            "routing needs k <= MAX_COMPILE_K"
+        )
+    return use_compiled
+
+
 def fault_tolerant_route(
     graph: CayleyGraph,
     source: Permutation,
     target: Permutation,
     faults: FaultSet,
+    use_compiled: Optional[bool] = None,
 ) -> List[str]:
     """A shortest route from ``source`` to ``target`` avoiding all
-    faults (exact BFS; endpoints themselves must be alive)."""
+    faults (endpoints themselves must be alive).
+
+    Dispatches to the vectorized masked BFS of
+    :class:`repro.faults.FaultMask` on materialisable graphs (default),
+    or the per-call dict BFS reference with ``use_compiled=False``.
+    Both return the *same word* (the masked BFS replays the object
+    path's FIFO tie-breaks), asserted differentially in
+    ``tests/test_faults.py``.
+    """
     if faults.blocks_node(source) or faults.blocks_node(target):
         raise RoutingError("source or target node has failed")
     if source == target:
         return []
+    if _use_compiled(graph, use_compiled):
+        from ..faults.mask import FaultMask
+
+        word = FaultMask.from_fault_set(graph, faults).route(source, target)
+        if word is None:
+            raise RoutingError(
+                f"no fault-free route {source} -> {target} "
+                f"({len(faults)} faults)"
+            )
+        return word
+    return _fault_tolerant_route_object(graph, source, target, faults)
+
+
+def _fault_tolerant_route_object(
+    graph: CayleyGraph,
+    source: Permutation,
+    target: Permutation,
+    faults: FaultSet,
+) -> List[str]:
+    """The object-path reference: exact FIFO BFS over Permutations."""
     parents = {source: None}
     queue = deque([source])
     while queue:
@@ -113,6 +158,18 @@ def route_is_fault_free(
     return True
 
 
+def _endpoint_rng(source: Permutation, target: Permutation) -> random.Random:
+    """A deterministic rng seeded from the endpoints.
+
+    ``valiant_route`` used to default to ``random.Random(0)`` per call,
+    so every pair sampled the *same* intermediate sequence — defeating
+    Valiant's congestion smoothing (all detours funnel through one
+    region).  Hashing the endpoint ranks into the seed keeps runs
+    reproducible while giving distinct pairs distinct intermediates.
+    """
+    return random.Random(source.rank() * 0x9E3779B9 + target.rank())
+
+
 def valiant_route(
     graph: CayleyGraph,
     source: Permutation,
@@ -120,6 +177,7 @@ def valiant_route(
     faults: Optional[FaultSet] = None,
     rng: Optional[random.Random] = None,
     attempts: int = 32,
+    use_compiled: Optional[bool] = None,
 ) -> List[str]:
     """Two-phase Valiant routing: route to a random intermediate, then to
     the target.  With faults, intermediates are resampled until both
@@ -127,10 +185,12 @@ def valiant_route(
 
     On fault-free networks this trades ~2x path length for provably
     smooth link loads under adversarial traffic — the standard trick for
-    the paper's uniform-traffic regime.
+    the paper's uniform-traffic regime.  Without an explicit ``rng`` the
+    intermediate stream is seeded from the endpoints (deterministic per
+    pair, different across pairs).
     """
     faults = faults or FaultSet()
-    rng = rng or random.Random(0)
+    rng = rng or _endpoint_rng(source, target)
     if source == target:
         return []
     for _ in range(attempts):
@@ -138,16 +198,25 @@ def valiant_route(
         if faults.blocks_node(middle):
             continue
         try:
-            first = fault_tolerant_route(graph, source, middle, faults)
-            second = fault_tolerant_route(graph, middle, target, faults)
+            first = fault_tolerant_route(
+                graph, source, middle, faults, use_compiled=use_compiled
+            )
+            second = fault_tolerant_route(
+                graph, middle, target, faults, use_compiled=use_compiled
+            )
         except RoutingError:
             continue
         return first + second
-    return fault_tolerant_route(graph, source, target, faults)
+    return fault_tolerant_route(
+        graph, source, target, faults, use_compiled=use_compiled
+    )
 
 
 def disjoint_paths(
-    graph: CayleyGraph, source: Permutation, target: Permutation
+    graph: CayleyGraph,
+    source: Permutation,
+    target: Permutation,
+    use_compiled: Optional[bool] = None,
 ) -> List[List[str]]:
     """A maximal greedy set of internally node-disjoint routes.
 
@@ -155,24 +224,37 @@ def disjoint_paths(
     paths as failed.  Cayley-graph connectivity theory promises up to
     ``degree`` such paths for the undirected families; the greedy
     extraction is a lower bound witness, checked against networkx in the
-    tests.
+    tests.  The returned paths are also pairwise *link*-disjoint: each
+    accepted path blocks its first link (so a zero-interior direct path
+    cannot be extracted twice) and its last link (so on the directed
+    families a later path cannot reuse an earlier path's final link
+    into the target — interior-node blocking alone does not forbid
+    that).
     """
     if source == target:
         return []
+    if _use_compiled(graph, use_compiled):
+        from ..faults.mask import FaultMask
+
+        return FaultMask(graph).disjoint_route_words(source, target)
     paths: List[List[str]] = []
     blocked_nodes: Set[Permutation] = set()
     blocked_links: Set[Tuple[Permutation, str]] = set()
     while True:
         faults = FaultSet.of(nodes=blocked_nodes, links=blocked_links)
         try:
-            word = fault_tolerant_route(graph, source, target, faults)
+            word = _fault_tolerant_route_object(
+                graph, source, target, faults
+            )
         except RoutingError:
             return paths
         paths.append(word)
-        # Interior nodes become unusable; the first link too, so a
-        # zero-interior (direct) path cannot be extracted twice.
-        blocked_nodes.update(graph.path_nodes(source, word)[1:-1])
+        nodes = graph.path_nodes(source, word)
+        # Interior nodes become unusable; the first and last links too,
+        # so neither endpoint link can be reused by a later path.
+        blocked_nodes.update(nodes[1:-1])
         blocked_links.add((source, word[0]))
+        blocked_links.add((nodes[-2], word[-1]))
 
 
 def node_connectivity(graph: CayleyGraph) -> int:
@@ -184,18 +266,31 @@ def node_connectivity(graph: CayleyGraph) -> int:
 
 
 def survives_faults(
-    graph: CayleyGraph, faults: FaultSet, samples: int = 20, seed: int = 0
+    graph: CayleyGraph,
+    faults: FaultSet,
+    samples: int = 20,
+    seed: int = 0,
+    use_compiled: Optional[bool] = None,
 ) -> bool:
     """Spot-check that random live pairs remain routable under the
-    fault set."""
+    fault set (same rng stream on both the compiled and object paths,
+    so the two are exactly comparable)."""
+    if _use_compiled(graph, use_compiled):
+        from ..faults.mask import FaultMask
+
+        return FaultMask.from_fault_set(graph, faults).survives(
+            samples=samples, seed=seed
+        )
     rng = random.Random(seed)
     for _ in range(samples):
         source = Permutation.random(graph.k, rng)
         target = Permutation.random(graph.k, rng)
         if faults.blocks_node(source) or faults.blocks_node(target):
             continue
+        if source == target:
+            continue
         try:
-            fault_tolerant_route(graph, source, target, faults)
+            _fault_tolerant_route_object(graph, source, target, faults)
         except RoutingError:
             return False
     return True

@@ -113,6 +113,29 @@ class TestValiant:
     def test_trivial(self, star4):
         assert valiant_route(star4, star4.identity, star4.identity) == []
 
+    def test_distinct_pairs_use_distinct_intermediates(self, star4):
+        """The default rng is seeded from the endpoints, so different
+        pairs detour through different intermediates (the old
+        ``random.Random(0)``-per-call default sent every pair through
+        the same one, defeating Valiant's congestion smoothing)."""
+        from repro.routing.fault_tolerant import _endpoint_rng
+
+        u = star4.identity
+        v1 = Permutation([4, 3, 2, 1])
+        v2 = Permutation([3, 4, 1, 2])
+        m1 = Permutation.random(4, _endpoint_rng(u, v1))
+        m2 = Permutation.random(4, _endpoint_rng(u, v2))
+        assert m1 != m2
+        # Fault-free, so the first sampled intermediate is accepted:
+        # the returned route actually passes through it.
+        word1 = valiant_route(star4, u, v1)
+        assert m1 in star4.path_nodes(u, word1)
+
+    def test_default_rng_is_deterministic_per_pair(self, star4):
+        u = star4.identity
+        v = Permutation([4, 3, 2, 1])
+        assert valiant_route(star4, u, v) == valiant_route(star4, u, v)
+
 
 class TestDisjointPaths:
     def test_full_fan_between_far_nodes(self, star4):
@@ -145,6 +168,44 @@ class TestDisjointPaths:
         v = Permutation([5, 4, 3, 2, 1])
         paths = disjoint_paths(net, u, v)
         assert len(paths) == net.degree  # connectivity = degree
+
+    @staticmethod
+    def _directed_links(graph, source, word):
+        nodes = graph.path_nodes(source, word)
+        return {(nodes[i], word[i]) for i in range(len(word))}
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_paths_are_pairwise_link_disjoint(self, use_compiled):
+        """Each accepted path blocks its first *and last* links, so the
+        extracted set is link-disjoint as well as internally
+        node-disjoint — on the directed rotator families too, where
+        interior-node blocking alone would let two paths share the
+        final link into the target."""
+        from repro.networks import make_network
+
+        cases = [
+            (StarGraph(4), Permutation([4, 3, 2, 1])),
+            (make_network("MR", l=2, n=2), Permutation([5, 4, 3, 2, 1])),
+            (make_network("MS", l=2, n=2), Permutation([2, 1, 3, 4, 5])),
+        ]
+        for net, v in cases:
+            u = net.identity
+            paths = disjoint_paths(net, u, v, use_compiled=use_compiled)
+            assert paths
+            seen_links = set()
+            for word in paths:
+                links = self._directed_links(net, u, word)
+                assert not links & seen_links, (
+                    f"{net.name}: paths share a link"
+                )
+                seen_links |= links
+
+    def test_compiled_and_object_paths_agree(self):
+        net = MacroStar(2, 2)
+        u = net.identity
+        v = Permutation([5, 4, 3, 2, 1])
+        assert disjoint_paths(net, u, v, use_compiled=True) \
+            == disjoint_paths(net, u, v, use_compiled=False)
 
 
 class TestConnectivity:

@@ -8,6 +8,7 @@ from repro.embeddings import embed_star, embed_transposition_network
 from repro.emulation import allport_schedule
 from repro.io import (
     load_schedule,
+    use_table_cache,
     load_word_embedding,
     network_from_spec,
     network_spec,
@@ -60,6 +61,44 @@ class TestScheduleIo:
         data["entries"] = data["entries"][:-1]  # drop a transmission
         with pytest.raises(AssertionError):
             schedule_from_dict(data)
+
+
+class TestTableCache:
+    def test_save_then_load(self, tmp_path):
+        assert use_table_cache(InsertionSelection(4), tmp_path) == "saved"
+        assert use_table_cache(InsertionSelection(4), tmp_path) == "loaded"
+
+    def test_corrupt_cache_is_refreshed(self, tmp_path):
+        """A cache file that is not even a zip archive must be
+        recomputed and overwritten, not crash the run."""
+        net = InsertionSelection(4)
+        use_table_cache(net, tmp_path)
+        path = tmp_path / f"{net.name}.npz"
+        path.write_bytes(b"this is not a zip archive")
+        assert use_table_cache(InsertionSelection(4), tmp_path) \
+            == "refreshed"
+        # The rewritten file is healthy again.
+        assert use_table_cache(InsertionSelection(4), tmp_path) == "loaded"
+
+    def test_truncated_cache_is_refreshed(self, tmp_path):
+        """A partially-written archive (killed mid-save) is refreshed."""
+        net = InsertionSelection(4)
+        use_table_cache(net, tmp_path)
+        path = tmp_path / f"{net.name}.npz"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert use_table_cache(InsertionSelection(4), tmp_path) \
+            == "refreshed"
+
+    def test_mismatched_cache_is_refreshed(self, tmp_path):
+        """Tables saved under one network's name but for a different
+        graph fail validation and are recomputed."""
+        other = MacroStar(3, 1)  # also k = 4, different generators
+        use_table_cache(other, tmp_path)
+        net = InsertionSelection(4)
+        wrong = tmp_path / f"{net.name}.npz"
+        (tmp_path / f"{other.name}.npz").rename(wrong)
+        assert use_table_cache(net, tmp_path) == "refreshed"
 
 
 class TestWordEmbeddingIo:

@@ -76,6 +76,41 @@ class TestContention:
         sim.submit(b, ["T3"])
         assert sim.run().rounds == 2
 
+    @pytest.mark.parametrize("use_ids", [True, False])
+    def test_single_port_phase_pinned(self, star4, use_ids):
+        """Round 1's single-port send is dimension order 0 (``T2``) —
+        the selector indexes with ``round - 1``, matching the SDC
+        round-robin's phase.  A round-trace pin on both the compiled
+        and object paths: the ``T2`` packet goes first, the ``T3``
+        packet the round after."""
+        sim = PacketSimulator(
+            star4, CommModel.SINGLE_PORT, use_ids=use_ids,
+            record_rounds=True,
+        )
+        sim.submit(star4.identity, ["T2"])
+        sim.submit(star4.identity, ["T3"])
+        result = sim.run()
+        assert result.rounds == 2
+        assert sim.packets[0].delivered_round == 1  # T2 first
+        assert sim.packets[1].delivered_round == 2
+        assert [rt.per_dimension for rt in result.round_traces] == [
+            {}, {"T2": 1}, {"T3": 1},
+        ]
+
+    @pytest.mark.parametrize("use_ids", [True, False])
+    def test_single_port_phase_matches_sdc(self, star4, use_ids):
+        """With one queued dimension per round the two models make the
+        same choice each round, so their delivery schedules coincide."""
+        workload = [(star4.identity, ["T2"]), (star4.identity, ["T3"])]
+        schedules = []
+        for model in (CommModel.SINGLE_PORT, CommModel.SDC):
+            sim = PacketSimulator(star4, model, use_ids=use_ids)
+            for source, path in workload:
+                sim.submit(source, path)
+            sim.run()
+            schedules.append([p.delivered_round for p in sim.packets])
+        assert schedules[0] == schedules[1] == [1, 2]
+
     def test_sdc_one_dimension_per_round(self, star4):
         sim = PacketSimulator(star4, CommModel.SDC)
         sim.submit(star4.identity, ["T2"])
