@@ -1,0 +1,115 @@
+"""Serving-layer benchmark: batched engine vs single-query loop.
+
+Answers ``NUM_PAIRS`` random distance queries on MS(7,1) (``k = 8``,
+``8! = 40320`` nodes, the same instance as ``bench_compiled.py`` and
+``bench_faults.py``) two ways:
+
+* **single-query loop**: decode each wire pair with
+  :func:`~repro.serve.engine.parse_node` and answer it with one
+  :meth:`CompiledGraph.distance` call — a Python-level permutation
+  parse, inverse, compose, and Lehmer rank per query (what a naive
+  request handler does with the same JSON input);
+* **batched engine**: one :class:`repro.serve.QueryEngine` ``distance``
+  request carrying every pair — one vectorised
+  :func:`~repro.serve.engine.parse_symbols` decode and one
+  :func:`~repro.serve.engine.relative_ranks_of_symbols` pass.
+
+Both paths consume the identical wire-form pair list.
+
+Both must return identical distances before the clocks are compared.
+Asserts the batched path is at least 10x faster, then runs a short
+end-to-end server/loadgen pass on the same instance for p50/p99 context
+lines.  Records everything via the ``report`` fixture
+(``benchmarks/results/BENCH_serve.json``).
+"""
+
+import random
+import time
+
+from repro.core.permutations import Permutation
+from repro.io import network_spec
+from repro.networks import MacroStar
+from repro.serve import (
+    QueryEngine,
+    ServerThread,
+    make_workload,
+    node_str,
+    parse_node,
+    run_loadgen,
+)
+
+REQUIRED_SPEEDUP = 10.0
+NUM_PAIRS = 20_000
+LOADGEN_COUNT = 400
+LOADGEN_BATCH = 16
+
+
+def test_batched_engine_speedup_k8(report):
+    rng = random.Random(31)
+    net = MacroStar(7, 1)
+    compiled = net.compiled()
+    compiled.distances  # warm the shared BFS outside both clocks
+    wire_pairs = [
+        [node_str(Permutation.random(8, rng)),
+         node_str(Permutation.random(8, rng))]
+        for _ in range(NUM_PAIRS)
+    ]
+
+    # -- single-query loop: parse + object-path distance per pair ------
+    t0 = time.perf_counter()
+    single = [
+        compiled.distance(parse_node(s, 8), parse_node(t, 8))
+        for s, t in wire_pairs
+    ]
+    single_total = time.perf_counter() - t0
+
+    # -- batched engine: every pair in one protocol request ------------
+    engine = QueryEngine()
+    spec = network_spec(net)
+    # warm the engine's own instance (its BFS tables) outside the clock,
+    # like the single-query path above — this measures query answering,
+    # not first-request compilation
+    engine.execute({
+        "op": "distance", "network": spec, "pairs": wire_pairs[:1],
+    })
+    t0 = time.perf_counter()
+    response = engine.execute({
+        "op": "distance", "network": spec, "pairs": wire_pairs,
+    })
+    batched_total = time.perf_counter() - t0
+
+    # same answers before we compare clocks
+    assert response["ok"], response
+    assert response["result"]["distances"] == single
+
+    speedup = single_total / batched_total
+    lines = [
+        f"workload: MS(7,1)  k=8  {net.num_nodes} nodes  "
+        f"{NUM_PAIRS} distance queries",
+        f"{'single-query loop':<32s} {single_total * 1000:10.1f} ms",
+        f"{'batched engine':<32s} {batched_total * 1000:10.1f} ms",
+        f"speedup: {speedup:.1f}x (required >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]
+
+    # -- end-to-end context: server + loadgen on the same instance -----
+    requests = make_workload(
+        "uniform", spec, k=net.k, count=LOADGEN_COUNT,
+        seed=7, batch=LOADGEN_BATCH,
+    )
+    with ServerThread(engine) as server:
+        result = run_loadgen(
+            server.host, server.port, requests, concurrency=4
+        )
+    assert result.closed, result.to_dict()
+    assert result.ok == result.sent, result.to_dict()
+    lines += [
+        f"loadgen: {result.sent} requests x {LOADGEN_BATCH} pairs  "
+        f"{result.qps:.0f} req/s  "
+        f"p50 {result.p50_ms:.2f} ms  p99 {result.p99_ms:.2f} ms  "
+        f"closed={result.closed}",
+    ]
+    report("serve", lines)
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched engine only {speedup:.1f}x faster "
+        f"(single {single_total:.2f}s vs batched {batched_total:.2f}s)"
+    )

@@ -41,7 +41,7 @@ from .obs import (
     use_tracer,
     write_spans_jsonl,
 )
-from .routing import sc_route, star_distance_between, walk_route
+from .routing import star_distance_between, walk_route
 
 
 def _parse_permutation(text: str, k: int) -> Permutation:
@@ -151,9 +151,6 @@ def cmd_properties(args) -> int:
 
 
 def cmd_route(args) -> int:
-    from .routing import rotator_family_route
-    from .routing.rotator_routing import ROTATOR_FAMILIES
-
     net = _build_network(args)
     _apply_table_cache(net, args)
     source = _parse_permutation(args.source, net.k)
@@ -164,12 +161,11 @@ def cmd_route(args) -> int:
     tracer = get_tracer()
     with tracer.span("cli.route", network=net.name, source=str(source),
                      target=str(target)) as sp:
-        if net.family in ROTATOR_FAMILIES:
-            word = rotator_family_route(
-                net, source, target, simplify=not args.raw
-            )
-        else:
-            word = sc_route(net, source, target, simplify=not args.raw)
+        from .serve.engine import algorithmic_route, route_payload
+
+        word = algorithmic_route(
+            net, source, target, simplify=not args.raw
+        )
         sp.set(hops=len(word))
         # One walk feeds both trace sinks: hop spans in the JSONL trace
         # (--trace-out) and the printed hop list (--trace).
@@ -177,6 +173,14 @@ def cmd_route(args) -> int:
         for dim, node in walk_route(net, source, word):
             with tracer.span("cli.route.hop", dim=dim, node=str(node)):
                 hops.append((dim, node))
+    if args.json:
+        # The exact per-pair payload the serve engine's route op emits
+        # (algorithm "algorithmic"), so the two paths diff cleanly.
+        print(json.dumps(
+            route_payload(net, source, target, word, "algorithmic"),
+            indent=1,
+        ))
+        return 0
     print(f"network       : {net.name}")
     print(f"star distance : {star_distance_between(source, target)}")
     print(f"route ({len(word)} hops): {' '.join(word) if word else '(empty)'}")
@@ -330,6 +334,116 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the JSON-over-TCP query server until interrupted."""
+    import asyncio
+
+    from .serve import QueryEngine, QueryServer, ShardPool
+
+    if args.shards > 0:
+        backend = ShardPool(
+            num_shards=args.shards,
+            queue_depth=args.queue_depth,
+            table_cache=args.table_cache,
+        ).start()
+    else:
+        backend = QueryEngine(table_cache=args.table_cache)
+    if args.warm:
+        engine = backend if isinstance(backend, QueryEngine) \
+            else QueryEngine(table_cache=args.table_cache)
+        for spec_text in args.warm:
+            spec = json.loads(spec_text)
+            net = engine.network(spec)
+            print(f"warmed {net.name}", file=sys.stderr)
+    server = QueryServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(backend: {type(backend).__name__})", file=sys.stderr)
+        await server._server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; final stats:", file=sys.stderr)
+        print(json.dumps(server.stats(), indent=1), file=sys.stderr)
+    finally:
+        if isinstance(backend, ShardPool):
+            backend.close()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Generate a deterministic workload and fire it at a server."""
+    from .io import network_spec
+    from .serve import (
+        QueryEngine,
+        ServerThread,
+        make_workload,
+        replay_trace,
+        run_loadgen,
+        save_trace,
+    )
+
+    net = _build_network(args)
+    spec = network_spec(net)
+    if args.replay:
+        requests = list(replay_trace(args.replay))
+    else:
+        requests = make_workload(
+            args.workload, spec, k=net.k, count=args.count,
+            seed=args.seed, batch=args.batch, op=args.op,
+        )
+    if args.save_trace:
+        count = save_trace(requests, args.save_trace)
+        print(f"wrote {count} requests to {args.save_trace}",
+              file=sys.stderr)
+        if args.host is None and not args.self_serve:
+            return 0
+
+    def _fire(host: str, port: int):
+        return run_loadgen(
+            host, port, requests,
+            concurrency=args.concurrency, timeout=args.timeout,
+        )
+
+    if args.self_serve:
+        engine = QueryEngine(table_cache=args.table_cache)
+        with ServerThread(engine) as srv:
+            result = _fire(srv.host, srv.port)
+    elif args.host is not None:
+        result = _fire(args.host, args.port)
+    else:
+        raise SystemExit(
+            "error: loadgen needs --host (a running `repro serve`) or "
+            "--self-serve"
+        )
+    summary = result.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=1))
+    else:
+        for key, value in summary.items():
+            if isinstance(value, float):
+                print(f"{key:<10}: {value:.3f}")
+            else:
+                print(f"{key:<10}: {value}")
+    if not result.closed:
+        print("error: accounting did not close "
+              f"(sent {result.sent} != ok {result.ok} + errors "
+              f"{result.errors} + timeouts {result.timeouts})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -361,6 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--raw", action="store_true",
                    help="skip peephole simplification")
     p.add_argument("--trace", action="store_true", help="print every hop")
+    p.add_argument("--json", action="store_true",
+                   help="emit the serve-engine route payload as JSON")
 
     p = add_command("schedule", help="Figure-1-style all-port schedule")
     _add_network_args(p)
@@ -400,6 +516,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the sweep rows as JSON")
 
+    p = add_command("serve", help="serve batched graph queries over TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="worker processes (0 = in-process engine)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="per-shard dispatch queue bound (backpressure)")
+    p.add_argument("--batch-window", type=float, default=0.002,
+                   help="micro-batching window in seconds")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="admission-control bound on parked requests")
+    p.add_argument("--request-timeout", type=float, default=5.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--warm", action="append", metavar="SPEC",
+                   help='prewarm a network, e.g. '
+                        '\'{"family": "MS", "l": 2, "n": 3}\'')
+    _add_table_cache_arg(p)
+
+    p = add_command("loadgen", help="fire a seeded workload at a server")
+    _add_network_args(p)
+    _add_table_cache_arg(p)
+    p.add_argument("--host", help="server host (omit with --self-serve)")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--self-serve", action="store_true",
+                   help="spin up an in-process server for the run")
+    p.add_argument("--workload",
+                   choices=("uniform", "hotspot", "transpose"),
+                   default="uniform")
+    p.add_argument("--op", default="distance",
+                   help="request op for generated pairs")
+    p.add_argument("--count", type=int, default=200,
+                   help="total pairs to generate")
+    p.add_argument("--batch", type=int, default=8,
+                   help="pairs per request")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent closed-loop connections")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-response client timeout in seconds")
+    p.add_argument("--replay", metavar="FILE",
+                   help="replay a JSONL trace instead of generating")
+    p.add_argument("--save-trace", metavar="FILE",
+                   help="write the generated workload as a JSONL trace")
+    p.add_argument("--json", action="store_true",
+                   help="emit the loadgen summary as JSON")
+
     p = add_command("girth", help="girth + bipartiteness")
     _add_network_args(p)
 
@@ -423,6 +586,8 @@ COMMANDS = {
     "game": cmd_game,
     "mnb": cmd_mnb,
     "faults": cmd_faults,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "girth": cmd_girth,
     "connectivity": cmd_connectivity,
     "report": cmd_report,

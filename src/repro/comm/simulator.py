@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.cayley import CayleyGraph
+from ..core.lru import EVICTION_METRIC, LRUCache
 from ..core.permutations import Permutation
 from ..emulation.models import CommModel
 from ..faults.injector import FaultInjector, FaultPolicy
@@ -257,7 +258,7 @@ class _FaultState:
     epoch: int = 0
     mask: Optional[object] = None                 # FaultMask (compiled path)
     fault_set: Optional[object] = None            # FaultSet cache (object path)
-    route_tables: Dict[int, object] = field(default_factory=dict)
+    route_tables: Optional[LRUCache] = None       # per-target reverse-BFS LRU
     tables_epoch: int = -1
 
 
@@ -289,6 +290,7 @@ class PacketSimulator:
         fault_policy: Union[FaultPolicy, str] = FaultPolicy.REROUTE,
         max_retries: int = 3,
         retry_backoff: int = 1,
+        route_table_capacity: int = 64,
     ):
         self.graph = graph
         self.model = model
@@ -312,7 +314,16 @@ class PacketSimulator:
         self._policy = FaultPolicy(fault_policy)
         self._max_retries = max_retries
         self._retry_backoff = max(1, retry_backoff)
-        self._faults = _FaultState() if injector is not None else None
+        self._faults = None
+        if injector is not None:
+            # Bounded like the serve engine's route-table cache: hotspot
+            # traffic touches few targets, uniform traffic must not
+            # accumulate one table per node.
+            self._faults = _FaultState(route_tables=LRUCache(
+                route_table_capacity,
+                metric=EVICTION_METRIC,
+                cache="sim-route-tables",
+            ))
         self._dropped = 0
         self._rerouted = 0
         self._retries = 0
@@ -451,16 +462,14 @@ class PacketSimulator:
         self._dropped += 1
 
     def _route_table(self, target_id: int):
-        """Per-target reverse-BFS distance table, cached per epoch."""
+        """Per-target reverse-BFS distance table, LRU-cached per epoch."""
         state = self._faults
         if state.tables_epoch != state.epoch:
             state.route_tables.clear()
             state.tables_epoch = state.epoch
-        table = state.route_tables.get(target_id)
-        if table is None:
-            table = state.mask.distances_to(target_id)
-            state.route_tables[target_id] = table
-        return table
+        return state.route_tables.get_or_create(
+            target_id, lambda: state.mask.distances_to(target_id)
+        )
 
     def _reroute_word(self, packet: Packet) -> Optional[List[str]]:
         """A fault-free route from the packet's current node to its

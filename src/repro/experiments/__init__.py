@@ -17,11 +17,13 @@ from .runners import (
     EmulationRow,
     FaultRow,
     Figure1Row,
+    ServeRow,
     TaskRow,
     fault_sweep,
     figure1_panels,
     mnb_sweep,
     properties_sweep,
+    serve_sweep,
     star_embedding_sweep,
     te_sweep,
     theorem4_sweep,
@@ -35,7 +37,9 @@ __all__ = [
     "TaskRow",
     "Figure1Row",
     "FaultRow",
+    "ServeRow",
     "fault_sweep",
+    "serve_sweep",
     "theorem4_sweep",
     "theorem5_sweep",
     "star_embedding_sweep",

@@ -415,3 +415,85 @@ def properties_sweep(
                     sp.set(table_cache=status)
             row = network_profile(net, exact=exact)
         yield row
+
+
+@dataclass(frozen=True)
+class ServeRow:
+    """One workload's serving measurement (qps + latency quantiles)."""
+
+    network: str
+    workload: str
+    requests: int
+    batch: int
+    concurrency: int
+    ok: int
+    errors: int
+    timeouts: int
+    qps: float
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+
+    @property
+    def closed(self) -> bool:
+        """Loadgen accounting closes: every request sent came back."""
+        return self.requests == self.ok + self.errors + self.timeouts
+
+
+def serve_sweep(
+    family: str = "MS",
+    l: Optional[int] = 2,
+    n: Optional[int] = 2,
+    k: Optional[int] = None,
+    workloads: Sequence[str] = ("uniform", "hotspot", "transpose"),
+    count: int = 200,
+    batch: int = 8,
+    concurrency: int = 4,
+    seed: int = 0,
+    table_cache: Optional[str] = None,
+) -> Iterator[ServeRow]:
+    """Serve one network instance through a live in-process server and
+    drive each workload shape through the loadgen, row per workload.
+
+    Every row's accounting must close (``ServeRow.closed``) — the sweep
+    is as much a correctness probe of the serving path as a throughput
+    measurement.
+    """
+    from ..io import network_spec
+    from ..serve import (
+        QueryEngine,
+        ServerThread,
+        make_workload,
+        run_loadgen,
+    )
+
+    net = (make_network("IS", k=k) if family == "IS"
+           else make_network(family, l=l, n=n))
+    spec = network_spec(net)
+    engine = QueryEngine(table_cache=table_cache)
+    with ServerThread(engine) as server:
+        for workload in workloads:
+            with get_tracer().span(
+                "sweep.serve", network=net.name, workload=workload,
+            ) as sp:
+                requests = make_workload(
+                    workload, spec, k=net.k, count=count,
+                    seed=seed, batch=batch,
+                )
+                result = run_loadgen(
+                    server.host, server.port, requests,
+                    concurrency=concurrency,
+                )
+                sp.set(qps=result.qps, ok=result.ok)
+            yield ServeRow(
+                network=net.name,
+                workload=workload,
+                requests=result.sent,
+                batch=batch,
+                concurrency=concurrency,
+                ok=result.ok,
+                errors=result.errors,
+                timeouts=result.timeouts,
+                qps=result.qps,
+                p50_ms=result.p50_ms,
+                p99_ms=result.p99_ms,
+            )

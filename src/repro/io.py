@@ -25,6 +25,8 @@ arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -167,19 +169,39 @@ def save_compiled_tables(
     :func:`load_compiled_tables` to refuse tables that do not match the
     graph they are offered to.  Move tables are *not* stored — they are
     cheap to recompile lazily and only needed for frontier expansion.
+
+    The write is atomic: the archive is written to a temporary file in
+    the destination directory and moved into place with ``os.replace``,
+    so concurrent writers (several serve shards warming the same cache
+    directory) race to an identical complete file and readers never see
+    a truncated archive.
     """
     compiled = graph.compiled()
     arrays = compiled.to_arrays()
-    np.savez_compressed(
-        Path(path),
-        format=np.int64(_TABLE_FORMAT),
-        k=np.int64(graph.k),
-        gen_names=np.array(list(compiled.gen_names)),
-        gen_perms=np.array(
-            [g.perm.symbols for g in graph.generators], dtype=np.int16
-        ),
-        **arrays,
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
     )
+    try:
+        with os.fdopen(fd, "wb") as tmp:
+            np.savez_compressed(
+                tmp,
+                format=np.int64(_TABLE_FORMAT),
+                k=np.int64(graph.k),
+                gen_names=np.array(list(compiled.gen_names)),
+                gen_perms=np.array(
+                    [g.perm.symbols for g in graph.generators],
+                    dtype=np.int16,
+                ),
+                **arrays,
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def use_table_cache(

@@ -1,0 +1,73 @@
+"""Production-style serving layer over the compiled graph core.
+
+``repro.serve`` turns the repository's compiled Cayley-graph tables
+into an online query service:
+
+* :mod:`~repro.serve.engine` — :class:`QueryEngine`, answering batched
+  distance / route / neighbor / embedding / properties queries as
+  single vectorised array operations over warm
+  :class:`~repro.core.compiled.CompiledGraph` tables;
+* :mod:`~repro.serve.shard` — :class:`ShardPool`, a crash-tolerant
+  multiprocessing back end pinning graph families to worker shards;
+* :mod:`~repro.serve.server` — :class:`QueryServer`, an asyncio
+  JSON-over-TCP front end with micro-batching, admission control, and
+  per-request timeouts;
+* :mod:`~repro.serve.workload` — deterministic seeded workload
+  generators and the closed-accounting load generator.
+
+See ``docs/serving.md`` for the wire protocol and operational story.
+"""
+
+from .engine import (
+    QueryEngine,
+    QueryError,
+    algorithmic_route,
+    node_str,
+    parse_ids,
+    parse_node,
+    parse_symbols,
+    relative_ranks,
+    reverse_table,
+    route_payload,
+)
+from .server import QueryServer, ServerThread
+from .shard import ShardOverload, ShardPool
+from .workload import (
+    LoadGenResult,
+    hotspot_pairs,
+    make_workload,
+    percentile,
+    replay_trace,
+    requests_from_pairs,
+    run_loadgen,
+    save_trace,
+    transpose_pairs,
+    uniform_pairs,
+)
+
+__all__ = [
+    "QueryEngine",
+    "QueryError",
+    "QueryServer",
+    "ServerThread",
+    "ShardOverload",
+    "ShardPool",
+    "LoadGenResult",
+    "algorithmic_route",
+    "hotspot_pairs",
+    "make_workload",
+    "node_str",
+    "parse_ids",
+    "parse_node",
+    "parse_symbols",
+    "percentile",
+    "relative_ranks",
+    "replay_trace",
+    "requests_from_pairs",
+    "reverse_table",
+    "route_payload",
+    "run_loadgen",
+    "save_trace",
+    "transpose_pairs",
+    "uniform_pairs",
+]

@@ -1,0 +1,677 @@
+"""Batched query engine over compiled graph arrays.
+
+One :class:`QueryEngine` answers the query mix an interconnection
+network exists to serve — pairwise distance, route extraction, first
+hops, neighbourhoods, embedding images, whole-graph properties — as
+*batched* requests: a thousand distance queries are one vectorised
+relative-rank computation over the
+:class:`~repro.core.compiled.CompiledGraph` arrays instead of a
+thousand object-path BFS walks.
+
+The engine is the shared back end of the whole serving stack: the
+asyncio front end (:mod:`repro.serve.server`) coalesces concurrent TCP
+requests into its batch calls, the worker pool
+(:mod:`repro.serve.shard`) runs one engine per shard process, and
+``repro route --json`` emits exactly the per-route payload the engine
+returns so the CLI and the server are diff-testable against each other.
+
+Two bounded LRU caches (:class:`~repro.core.lru.LRUCache`) keep a
+long-running process flat: warm compiled graphs (optionally loaded from
+a ``.npz`` table cache via :func:`repro.io.use_table_cache`) and
+per-target reverse-BFS route tables for hotspot traffic.  Evictions
+surface on the ``serve.table_evictions`` counter.
+
+Request/response protocol (JSON-able dicts, shared with the TCP
+server's newline-delimited framing)::
+
+    {"op": "distance", "network": {"family": "MS", "l": 2, "n": 2},
+     "pairs": [["34251", "12345"], ...]}
+    -> {"ok": true, "op": "distance", "result": {"distances": [4, ...]}}
+
+Nodes are one-line permutation labels, written as digit strings
+(``"34251"``) or symbol lists (``[3, 4, 2, 5, 1]``); the engine only
+serves materialisable instances (``k <= MAX_COMPILE_K``), which is
+every instance the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.compiled import CompiledGraph, rank_array
+from ..core.lru import EVICTION_METRIC, LRUCache
+from ..core.permutations import Permutation
+from ..core.super_cayley import SuperCayleyNetwork
+from ..networks import make_network
+from ..obs import get_registry, get_tracer
+from ..routing import star_distance_between
+
+NodeSpec = Union[str, Sequence[int]]
+
+#: default LRU capacities: graphs are megabytes, route tables kilobytes.
+DEFAULT_MAX_GRAPHS = 8
+DEFAULT_MAX_ROUTE_TABLES = 64
+DEFAULT_MAX_EMBEDDINGS = 8
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable request (reported, not raised, at
+    the protocol boundary)."""
+
+
+# ----------------------------------------------------------------------
+# Node codec
+# ----------------------------------------------------------------------
+
+
+def parse_node(value: NodeSpec, k: int) -> Permutation:
+    """Decode a protocol node — ``"34251"``, ``"3,4,2,5,1"``, or
+    ``[3, 4, 2, 5, 1]`` — into a :class:`Permutation` of size ``k``."""
+    if isinstance(value, str):
+        symbols = (
+            [int(part) for part in value.split(",")]
+            if "," in value else [int(ch) for ch in value]
+        )
+    else:
+        symbols = [int(s) for s in value]
+    if len(symbols) != k:
+        raise QueryError(
+            f"node {value!r} has {len(symbols)} symbols, network needs {k}"
+        )
+    try:
+        return Permutation(symbols)
+    except (ValueError, AssertionError) as exc:
+        raise QueryError(f"bad node {value!r}: {exc}") from exc
+
+
+def node_str(node: Union[Permutation, Sequence[int]]) -> str:
+    """The protocol's canonical node encoding (digit string; engine
+    instances have ``k <= 9`` so every symbol is one digit)."""
+    symbols = node.symbols if isinstance(node, Permutation) else node
+    return "".join(str(int(s)) for s in symbols)
+
+
+def spec_key(spec: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical hashable form of a network spec dict."""
+    return tuple(sorted((k, str(v)) for k, v in spec.items()))
+
+
+# ----------------------------------------------------------------------
+# Batched array kernels
+# ----------------------------------------------------------------------
+
+
+def parse_symbols(nodes: Sequence[NodeSpec], k: int) -> np.ndarray:
+    """Whole-batch node decoding: an ``(m, k)`` symbol matrix for a
+    list of protocol nodes.
+
+    The canonical wire form — ``k``-digit strings — takes a fully
+    vectorised path: one joined byte buffer reshaped to the matrix, one
+    range check, one scatter-based permutation-validity check.  No
+    per-node :class:`Permutation` objects, which is what makes a
+    20k-pair batch an array operation instead of 40k object
+    constructions.  Comma/list forms fall back to :func:`parse_node`
+    per entry.
+    """
+    nodes = list(nodes)
+    if nodes and all(
+        isinstance(v, str) and len(v) == k and "," not in v for v in nodes
+    ):
+        try:
+            buf = np.frombuffer(
+                "".join(nodes).encode("ascii"), dtype=np.uint8
+            )
+        except UnicodeEncodeError:
+            buf = None
+        if buf is not None:
+            symbols = (buf.reshape(len(nodes), k) - 48).astype(np.int64)
+            ok = ((symbols >= 1) & (symbols <= k)).all(axis=1)
+            if bool(ok.all()):
+                # each row must hit every position 1..k exactly once
+                seen = np.zeros_like(symbols)
+                np.put_along_axis(seen, symbols - 1, 1, axis=1)
+                ok = seen.all(axis=1)
+            if not bool(ok.all()):
+                bad = nodes[int(np.argmin(ok))]
+                parse_node(bad, k)  # raises the precise QueryError
+                raise QueryError(f"bad node {bad!r}")
+            return symbols
+    out = np.empty((len(nodes), k), dtype=np.int64)
+    for i, v in enumerate(nodes):
+        out[i] = parse_node(v, k).symbols
+    return out
+
+
+def parse_ids(nodes: Sequence[NodeSpec], k: int) -> np.ndarray:
+    """Node IDs (Lehmer ranks) for a batch of protocol nodes — one
+    :func:`parse_symbols` pass, one :func:`rank_array` pass."""
+    return rank_array(parse_symbols(nodes, k))
+
+
+def relative_ranks_of_symbols(
+    s: np.ndarray, t: np.ndarray
+) -> np.ndarray:
+    """Ranks of ``s^-1 * t`` row-wise over two symbol matrices: one
+    vectorised label inversion, one composition gather, one
+    :func:`rank_array` — no Python-level permutation arithmetic."""
+    m, k = s.shape
+    s_inv = np.empty_like(s)
+    rows = np.arange(m)[:, None]
+    s_inv[rows, s - 1] = np.arange(1, k + 1, dtype=np.int64)[None, :]
+    # (s^-1 * t)(i) = s^-1(t(i)): gather the inverse at t's columns.
+    rel = np.take_along_axis(s_inv, t - 1, axis=1)
+    return rank_array(rel)
+
+
+def relative_ranks(
+    compiled: CompiledGraph,
+    source_ids: np.ndarray,
+    target_ids: np.ndarray,
+) -> np.ndarray:
+    """Ranks of ``source^-1 * target`` for a whole batch of ID pairs.
+
+    ``distances[result]`` is then the batch of pairwise distances (left
+    translation maps the identity-rooted tables onto every source).
+    """
+    labels = compiled.labels
+    s = labels[np.asarray(source_ids, dtype=np.int64)].astype(np.int64)
+    t = labels[np.asarray(target_ids, dtype=np.int64)].astype(np.int64)
+    return relative_ranks_of_symbols(s, t)
+
+
+def reverse_table(compiled: CompiledGraph, target_id: int) -> np.ndarray:
+    """Distance from every rank *to* ``target_id`` (fault-free).
+
+    A whole-frontier BFS over the inverted move tables rooted at the
+    target — the serving counterpart of the simulator's per-target
+    re-route tables (:meth:`repro.faults.FaultMask.distances_to`
+    without the masks).  Any source is then routed to the target by
+    greedy distance descent without another search.
+    """
+    inverse_moves = compiled.inverse_moves
+    n = compiled.num_nodes
+    dist = np.full(n, -1, dtype=np.int16)
+    dist[target_id] = 0
+    frontier = np.asarray([target_id], dtype=np.int32)
+    depth = 0
+    while frontier.size:
+        cand = inverse_moves[:, frontier].ravel()
+        new = np.unique(cand[dist[cand] < 0]).astype(np.int32)
+        if not new.size:
+            break
+        depth += 1
+        dist[new] = depth
+        frontier = new
+    return dist
+
+
+def descend_word_ids(
+    compiled: CompiledGraph,
+    source_id: int,
+    target_id: int,
+    dist_to: np.ndarray,
+) -> Optional[List[int]]:
+    """Shortest-route generator indices by greedy descent on a
+    :func:`reverse_table` (first strictly-decreasing generator wins, as
+    in :meth:`repro.faults.FaultMask.route_ids_via_table`)."""
+    if dist_to[source_id] < 0:
+        return None
+    word: List[int] = []
+    current = int(source_id)
+    moves = compiled.moves
+    num_gens = len(compiled.gen_names)
+    while current != target_id:
+        remaining = int(dist_to[current])
+        for g in range(num_gens):
+            head = int(moves[g][current])
+            if dist_to[head] == remaining - 1:
+                word.append(g)
+                current = head
+                break
+        else:  # pragma: no cover - table guarantees progress
+            return None
+    return word
+
+
+# ----------------------------------------------------------------------
+# Shared route payload (CLI `route --json` parity)
+# ----------------------------------------------------------------------
+
+
+def algorithmic_route(
+    network: SuperCayleyNetwork,
+    source: Permutation,
+    target: Permutation,
+    simplify: bool = True,
+) -> List[str]:
+    """The per-family algorithmic router — star emulation
+    (:func:`~repro.routing.sc_route`) or rotator-sequence routing for
+    the pure-rotator nuclei — exactly the dispatch ``repro route``
+    performs."""
+    from ..routing import rotator_family_route, sc_route
+    from ..routing.rotator_routing import ROTATOR_FAMILIES
+
+    if network.family in ROTATOR_FAMILIES:
+        return rotator_family_route(network, source, target,
+                                    simplify=simplify)
+    return sc_route(network, source, target, simplify=simplify)
+
+
+def route_payload(
+    network: SuperCayleyNetwork,
+    source: Permutation,
+    target: Permutation,
+    word: Sequence[str],
+    algorithm: str,
+) -> Dict[str, object]:
+    """One route in wire form — the exact dict the engine's ``route``
+    op emits per pair and ``repro route --json`` prints, so the two
+    paths can be diffed byte-for-byte."""
+    optimal = (
+        int(network.compiled().distance(source, target))
+        if network.can_compile() else None
+    )
+    return {
+        "network": network.name,
+        "source": node_str(source),
+        "target": node_str(target),
+        "algorithm": algorithm,
+        "word": list(word),
+        "hops": len(word),
+        "star_distance": star_distance_between(source, target),
+        "optimal": optimal,
+    }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class QueryEngine:
+    """Answer batched protocol requests over warm compiled graphs.
+
+    Parameters
+    ----------
+    table_cache:
+        Optional directory of persisted ``.npz`` BFS tables
+        (:func:`repro.io.use_table_cache`); warm graphs load from it
+        and newly compiled graphs are saved back.
+    max_graphs / max_route_tables / max_embeddings:
+        LRU capacities for the three caches.  Evictions increment
+        ``serve.table_evictions`` with a ``cache`` label.
+    """
+
+    def __init__(
+        self,
+        table_cache: Optional[str] = None,
+        max_graphs: int = DEFAULT_MAX_GRAPHS,
+        max_route_tables: int = DEFAULT_MAX_ROUTE_TABLES,
+        max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+    ):
+        self.table_cache = table_cache
+        self._graphs = LRUCache(
+            max_graphs, metric=EVICTION_METRIC, cache="serve-graphs"
+        )
+        self._route_tables = LRUCache(
+            max_route_tables, metric=EVICTION_METRIC,
+            cache="serve-route-tables",
+        )
+        self._embeddings = LRUCache(
+            max_embeddings, metric=EVICTION_METRIC, cache="serve-embeddings"
+        )
+
+    # -- cache plumbing -------------------------------------------------
+
+    def network(self, spec: Dict[str, object]) -> SuperCayleyNetwork:
+        """The warm network for a spec dict (LRU-cached, optionally
+        table-cache loaded)."""
+        if not isinstance(spec, dict) or "family" not in spec:
+            raise QueryError(f"bad network spec {spec!r}")
+        key = spec_key(spec)
+        net = self._graphs.get(key)
+        if net is None:
+            params = {
+                k: v for k, v in spec.items()
+                if k != "family" and v is not None
+            }
+            try:
+                net = make_network(spec["family"], **params)
+            except (TypeError, ValueError) as exc:
+                raise QueryError(f"bad network spec {spec!r}: {exc}") from exc
+            if not net.can_compile():
+                raise QueryError(
+                    f"{net.name} is not materialisable (k = {net.k}); "
+                    "the serve engine only answers compiled instances"
+                )
+            if self.table_cache is not None:
+                from ..io import use_table_cache
+
+                use_table_cache(net, self.table_cache)
+            self._graphs.put(key, net)
+        return net
+
+    def route_table(
+        self, net: SuperCayleyNetwork, target_id: int
+    ) -> np.ndarray:
+        """The per-target reverse-BFS table, LRU-cached across requests
+        (hotspot traffic keeps hitting the same handful of targets)."""
+        key = (net.name, int(target_id))
+        return self._route_tables.get_or_create(
+            key, lambda: reverse_table(net.compiled(), target_id)
+        )
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Sizes and lifetime evictions of the engine caches."""
+        return {
+            "graphs": len(self._graphs),
+            "route_tables": len(self._route_tables),
+            "embeddings": len(self._embeddings),
+            "evictions": (
+                self._graphs.evictions + self._route_tables.evictions
+                + self._embeddings.evictions
+            ),
+        }
+
+    # -- protocol entry points ------------------------------------------
+
+    def execute(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one request; errors come back as ``ok: false``
+        responses, never exceptions (the protocol boundary)."""
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.queries").inc(1, op=str(op))
+        if handler is None:
+            return self._fail(request, f"unknown op {op!r}")
+        with get_tracer().span("serve.execute", op=str(op)):
+            try:
+                result = handler(self, request)
+            except QueryError as exc:
+                return self._fail(request, str(exc))
+            except NotImplementedError as exc:
+                return self._fail(request, f"unsupported: {exc}")
+        response = {"ok": True, "op": op, "result": result}
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def execute_many(
+        self, requests: Sequence[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Answer a batch, coalescing same-network ``distance``
+        requests into single vectorised calls.
+
+        This is the micro-batching kernel behind the TCP server: ``m``
+        concurrent distance requests over one network become one
+        :func:`relative_ranks` pass, then split back per request.
+        Responses come back in request order.
+        """
+        responses: List[Optional[Dict[str, object]]] = [None] * len(requests)
+        groups: Dict[Tuple, List[int]] = {}
+        for i, request in enumerate(requests):
+            if request.get("op") == "distance" and "pairs" in request:
+                try:
+                    key = spec_key(request.get("network") or {})
+                except TypeError:
+                    key = ("<bad spec>",)
+                groups.setdefault(key, []).append(i)
+        for indices in groups.values():
+            if len(indices) < 2:
+                continue
+            merged = self._coalesced_distance(
+                [requests[i] for i in indices]
+            )
+            if merged is None:
+                continue
+            for i, response in zip(indices, merged):
+                responses[i] = response
+        for i, request in enumerate(requests):
+            if responses[i] is None:
+                responses[i] = self.execute(request)
+        return responses
+
+    def _coalesced_distance(
+        self, requests: List[Dict[str, object]]
+    ) -> Optional[List[Dict[str, object]]]:
+        """One vectorised distance pass for several same-network
+        requests, or ``None`` to fall back to per-request execution
+        (any malformed member poisons the merge)."""
+        try:
+            net = self.network(requests[0].get("network"))
+            sizes: List[int] = []
+            all_pairs: List[Tuple[NodeSpec, NodeSpec]] = []
+            for request in requests:
+                pairs = request["pairs"]
+                sizes.append(len(pairs))
+                all_pairs.extend(pairs)
+            distances = self._distance_batch(net, all_pairs)
+        except (QueryError, KeyError, TypeError, ValueError):
+            return None
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.queries").inc(
+                len(requests), op="distance"
+            )
+            registry.counter("serve.coalesced_requests").inc(len(requests))
+        responses = []
+        offset = 0
+        for request, size in zip(requests, sizes):
+            chunk = distances[offset:offset + size]
+            offset += size
+            response = {
+                "ok": True, "op": "distance",
+                "result": {"network": net.name, "distances": chunk},
+            }
+            if "id" in request:
+                response["id"] = request["id"]
+            responses.append(response)
+        return responses
+
+    @staticmethod
+    def _fail(
+        request: Dict[str, object], message: str
+    ) -> Dict[str, object]:
+        response = {"ok": False, "op": request.get("op"), "error": message}
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    # -- op: distance ---------------------------------------------------
+
+    def _parse_ids(
+        self, net: SuperCayleyNetwork, nodes: Sequence[NodeSpec]
+    ) -> np.ndarray:
+        return parse_ids(nodes, net.k)
+
+    def _distance_batch(
+        self,
+        net: SuperCayleyNetwork,
+        pairs: Sequence[Tuple[NodeSpec, NodeSpec]],
+    ) -> List[int]:
+        if not pairs:
+            return []
+        compiled = net.compiled()
+        # straight from wire symbols to relative ranks — no node-ID
+        # ranking round-trip for the hottest op
+        s = parse_symbols([p[0] for p in pairs], net.k)
+        t = parse_symbols([p[1] for p in pairs], net.k)
+        rel = relative_ranks_of_symbols(s, t)
+        return compiled.distances[rel].tolist()
+
+    def _op_distance(self, request: Dict[str, object]) -> Dict[str, object]:
+        net = self.network(request.get("network"))
+        pairs = request.get("pairs")
+        if pairs is None:
+            raise QueryError("distance needs \"pairs\"")
+        return {
+            "network": net.name,
+            "distances": self._distance_batch(net, pairs),
+        }
+
+    # -- op: route ------------------------------------------------------
+
+    def _op_route(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Route extraction.
+
+        Two request shapes: ``pairs`` (independent source/target pairs,
+        answered from the identity-rooted parent chain via left
+        translation) or ``target`` + ``sources`` (hotspot form, answered
+        by greedy descent on the LRU-cached per-target reverse-BFS
+        table).  ``algorithm`` selects ``"table"`` (shortest, default)
+        or ``"algorithmic"`` (the per-family router ``repro route``
+        uses).
+        """
+        net = self.network(request.get("network"))
+        algorithm = request.get("algorithm", "table")
+        if algorithm not in ("table", "algorithmic"):
+            raise QueryError(f"unknown route algorithm {algorithm!r}")
+        if "target" in request and "sources" in request:
+            pairs = [
+                (source, request["target"]) for source in request["sources"]
+            ]
+            hotspot = True
+        elif "pairs" in request:
+            pairs = [tuple(p) for p in request["pairs"]]
+            hotspot = False
+        else:
+            raise QueryError(
+                "route needs \"pairs\" or \"target\" + \"sources\""
+            )
+        routes = []
+        for source_spec, target_spec in pairs:
+            source = parse_node(source_spec, net.k)
+            target = parse_node(target_spec, net.k)
+            if algorithm == "algorithmic":
+                word = algorithmic_route(net, source, target)
+            else:
+                word = self._table_word(net, source, target, hotspot)
+            routes.append(
+                route_payload(net, source, target, word, algorithm)
+            )
+        return {"network": net.name, "routes": routes}
+
+    def _table_word(
+        self,
+        net: SuperCayleyNetwork,
+        source: Permutation,
+        target: Permutation,
+        hotspot: bool,
+    ) -> List[str]:
+        compiled = net.compiled()
+        source_id = compiled.node_id(source)
+        target_id = compiled.node_id(target)
+        if hotspot:
+            table = self.route_table(net, target_id)
+            word_ids = descend_word_ids(
+                compiled, source_id, target_id, table
+            )
+        else:
+            rel = int(
+                relative_ranks(compiled, [source_id], [target_id])[0]
+            )
+            if compiled.distances[rel] < 0:
+                word_ids = None
+            else:
+                word_ids = compiled.path_gen_ids(rel)
+        if word_ids is None:
+            raise QueryError(
+                f"{node_str(target)} unreachable from {node_str(source)} "
+                f"in {net.name}"
+            )
+        return [compiled.gen_names[g] for g in word_ids]
+
+    # -- op: neighbors --------------------------------------------------
+
+    def _op_neighbors(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        net = self.network(request.get("network"))
+        nodes = request.get("nodes")
+        if nodes is None:
+            raise QueryError("neighbors needs \"nodes\"")
+        compiled = net.compiled()
+        ids = self._parse_ids(net, nodes)
+        # moves[:, ids] is one gather for the whole batch.
+        heads = compiled.moves[:, ids] if len(ids) else None
+        labels = compiled.labels
+        out = []
+        for col in range(len(ids)):
+            out.append({
+                dim: node_str(labels[int(heads[g, col])])
+                for g, dim in enumerate(compiled.gen_names)
+            })
+        return {"network": net.name, "neighbors": out}
+
+    # -- op: embedding --------------------------------------------------
+
+    def _op_embedding(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Guest-address -> host-node lookup through a Section 5
+        embedding (Lavault-style: serve the node map itself)."""
+        net = self.network(request.get("network"))
+        guest = request.get("guest", "star")
+        embedding = self._embedding_for(net, guest)
+        images = [
+            node_str(embedding.map_node(parse_node(v, net.k)))
+            for v in request.get("nodes", [])
+        ]
+        return {
+            "network": net.name,
+            "guest": guest,
+            "name": embedding.name,
+            "images": images,
+        }
+
+    def _embedding_for(self, net: SuperCayleyNetwork, guest: str):
+        from ..embeddings import embed_star, embed_transposition_network
+
+        builders = {
+            "star": embed_star,
+            "tn": embed_transposition_network,
+        }
+        if guest not in builders:
+            raise QueryError(
+                f"unknown guest {guest!r} (expected one of "
+                f"{sorted(builders)})"
+            )
+        return self._embeddings.get_or_create(
+            (net.name, guest), lambda: builders[guest](net)
+        )
+
+    # -- op: properties -------------------------------------------------
+
+    def _op_properties(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        net = self.network(request.get("network"))
+        compiled = net.compiled()
+        return {
+            "network": net.name,
+            "family": net.family,
+            "k": net.k,
+            "nodes": net.num_nodes,
+            "degree": net.degree,
+            "diameter": compiled.diameter(),
+            "average_distance": compiled.average_distance(),
+            "connected": compiled.is_connected(),
+        }
+
+    _HANDLERS = {
+        "distance": _op_distance,
+        "route": _op_route,
+        "neighbors": _op_neighbors,
+        "embedding": _op_embedding,
+        "properties": _op_properties,
+    }
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryEngine: {len(self._graphs)} warm graphs, "
+            f"{len(self._route_tables)} route tables, "
+            f"table_cache={self.table_cache!r}>"
+        )

@@ -1,0 +1,368 @@
+"""Asyncio JSON-over-TCP front end with micro-batching.
+
+:class:`QueryServer` speaks newline-delimited JSON: each line in is one
+engine request (see :mod:`repro.serve.engine`), each line out is the
+matching response (clients correlate by the echoed ``id``).  Requests
+are not answered one at a time — arrivals are parked for a short
+*batching window* and then handed to the back end as one
+``execute_many`` call, which coalesces same-network distance queries
+into single vectorised passes.  Under concurrency the window converts
+``n`` socket round-trips into one array operation; when traffic is
+sparse the window is the only added latency.
+
+Two protections keep the server well-behaved under overload:
+
+* **admission control** — when more than ``max_pending`` requests are
+  parked, new arrivals are rejected immediately with an ``overloaded``
+  error instead of growing the queue;
+* **per-request timeouts** — requests that sit past
+  ``request_timeout`` (e.g. behind a stuck back end) are answered with
+  a ``timeout`` error when their batch is cut.
+
+Every request is answered exactly once: ``received == completed +
+rejected + timeouts + malformed`` is asserted by :meth:`QueryServer.stats`
+and checked end-to-end by the loadgen smoke tests.  Metrics flow
+through :mod:`repro.obs` under ``serve.*`` (requests, batch sizes,
+queue depth, latency); latency quantiles (p50/p99) come from a bounded
+in-server reservoir.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..obs import get_registry, get_tracer
+from .workload import percentile
+
+DEFAULT_BATCH_WINDOW = 0.002
+DEFAULT_MAX_PENDING = 1024
+DEFAULT_REQUEST_TIMEOUT = 5.0
+LATENCY_RESERVOIR = 10_000
+
+
+@dataclass
+class _Pending:
+    """One parked request: payload, its client, and its arrival time."""
+
+    request: Dict[str, object]
+    writer: asyncio.StreamWriter
+    arrived: float
+    deadline: float
+
+
+@dataclass
+class ServerStats:
+    """Closed request/response accounting plus latency quantiles."""
+
+    received: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    malformed: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    started: float = field(default_factory=time.monotonic)
+
+    def answered(self) -> int:
+        return self.completed + self.rejected + self.timeouts \
+            + self.malformed
+
+    @property
+    def closed(self) -> bool:
+        """Every received request has exactly one response."""
+        return self.received == self.answered()
+
+
+class QueryServer:
+    """Serve a query back end over TCP with micro-batched dispatch.
+
+    ``backend`` is anything with ``execute_many(requests) ->
+    responses`` — a :class:`~repro.serve.engine.QueryEngine` (in-process
+    vectorised batching) or a :class:`~repro.serve.shard.ShardPool`
+    (family-sharded worker processes).  ``port=0`` binds an ephemeral
+    port (read :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.batch_window = batch_window
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.stats_counters = ServerStats()
+        self._pending: List[_Pending] = []
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._wake: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "QueryServer":
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.stats_counters.started = time.monotonic()
+        self._batcher = asyncio.create_task(self._batch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, answer every parked request (as timeouts),
+        and shut the batcher down — accounting stays closed."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._wake is not None:
+            self._wake.set()
+        if self._batcher is not None:
+            await self._batcher
+        for item in self._pending:
+            self.stats_counters.timeouts += 1
+            await self._send(item.writer, self._error_response(
+                item.request, "server shutting down"
+            ))
+        self._pending.clear()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- client handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stats = self.stats_counters
+        registry = get_registry()
+        while not self._closing:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            stats.received += 1
+            if registry.enabled:
+                registry.counter("serve.requests").inc(1)
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                stats.malformed += 1
+                await self._send(writer, {
+                    "ok": False, "error": f"malformed request: {exc}",
+                })
+                continue
+            if request.get("op") == "stats":
+                # Answered inline so it works even with a wedged backend.
+                stats.completed += 1
+                await self._send(writer, {
+                    "ok": True, "op": "stats", "result": self.stats(),
+                    **({"id": request["id"]} if "id" in request else {}),
+                })
+                continue
+            if len(self._pending) >= self.max_pending:
+                stats.rejected += 1
+                if registry.enabled:
+                    registry.counter("serve.rejected").inc(1)
+                await self._send(writer, self._error_response(
+                    request, "overloaded"
+                ))
+                continue
+            now = time.monotonic()
+            self._pending.append(_Pending(
+                request=request, writer=writer, arrived=now,
+                deadline=now + self.request_timeout,
+            ))
+            if registry.enabled:
+                registry.gauge("serve.queue_depth").set(
+                    len(self._pending)
+                )
+            self._wake.set()
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+    @staticmethod
+    def _error_response(
+        request: Dict[str, object], message: str
+    ) -> Dict[str, object]:
+        response = {
+            "ok": False, "op": request.get("op"), "error": message,
+        }
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, response: Dict[str, object]
+    ) -> None:
+        try:
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; accounting already counted it
+
+    # -- the batching window --------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        registry = get_registry()
+        loop = asyncio.get_event_loop()
+        while not self._closing:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._closing:
+                break
+            # The micro-batching window: let concurrent arrivals pile
+            # into this batch before cutting it.
+            await asyncio.sleep(self.batch_window)
+            batch, self._pending = self._pending, []
+            if not batch:
+                continue
+            now = time.monotonic()
+            live: List[_Pending] = []
+            for item in batch:
+                if item.deadline < now:
+                    self.stats_counters.timeouts += 1
+                    if registry.enabled:
+                        registry.counter("serve.timeouts").inc(1)
+                    await self._send(item.writer, self._error_response(
+                        item.request, "timeout"
+                    ))
+                else:
+                    live.append(item)
+            if not live:
+                continue
+            self.stats_counters.batches += 1
+            self.stats_counters.max_batch = max(
+                self.stats_counters.max_batch, len(live)
+            )
+            if registry.enabled:
+                registry.histogram("serve.batch_size").observe(len(live))
+            with get_tracer().span("serve.batch", size=len(live)):
+                # Off the event loop so new arrivals keep accumulating
+                # (and stats stays answerable) while arrays crunch.
+                responses = await loop.run_in_executor(
+                    None,
+                    self.backend.execute_many,
+                    [item.request for item in live],
+                )
+            done = time.monotonic()
+            for item, response in zip(live, responses):
+                latency_ms = (done - item.arrived) * 1000.0
+                self._latencies.append(latency_ms)
+                self.stats_counters.completed += 1
+                if registry.enabled:
+                    registry.histogram("serve.latency_ms").observe(
+                        latency_ms
+                    )
+                await self._send(item.writer, response)
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-able accounting + latency summary (the ``stats`` op)."""
+        stats = self.stats_counters
+        elapsed = max(time.monotonic() - stats.started, 1e-9)
+        latencies = list(self._latencies)
+        return {
+            "received": stats.received,
+            "completed": stats.completed,
+            "rejected": stats.rejected,
+            "timeouts": stats.timeouts,
+            "malformed": stats.malformed,
+            "closed": stats.closed,
+            "batches": stats.batches,
+            "max_batch": stats.max_batch,
+            "pending": len(self._pending),
+            "qps": stats.completed / elapsed,
+            "p50_ms": percentile(latencies, 50.0),
+            "p99_ms": percentile(latencies, 99.0),
+        }
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a private event loop thread.
+
+    The synchronous harness the tests, the benchmark, and ``repro
+    loadgen --self-serve`` use::
+
+        with ServerThread(QueryEngine()) as server:
+            run_loadgen("127.0.0.1", server.port, requests)
+    """
+
+    def __init__(self, backend, **kwargs):
+        self.server = QueryServer(backend, **kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def __enter__(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self._loop.run_forever()
+        # Cancel lingering client handlers (idle readline waits) and
+        # drain everything the stop() coroutine left behind.
+        tasks = asyncio.all_tasks(self._loop)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            self._loop.run_until_complete(
+                asyncio.gather(*tasks, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def __exit__(self, *_exc) -> None:
+        async def _shutdown():
+            await self.server.stop()
+            self._loop.stop()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        self._thread.join(timeout=10.0)

@@ -1,0 +1,344 @@
+"""Sharded multiprocessing back end for the query engine.
+
+A :class:`ShardPool` runs one :class:`~repro.serve.engine.QueryEngine`
+per worker process and pins each network *family* to a fixed shard, so
+a family's compiled tables are warmed in exactly one process instead of
+``num_shards`` times.  Dispatch rides bounded queues: when a shard's
+queue is full, :meth:`ShardPool.submit` raises :class:`ShardOverload`
+(backpressure — the front end turns it into an "overloaded" response)
+rather than buffering without limit.
+
+Crash safety follows the delivered/dropped reconciliation discipline of
+:mod:`repro.faults`: every submitted request is accounted for exactly
+once.  Workers *claim* a request on the results queue before executing
+it; when a worker dies, its claimed-but-unanswered requests become
+explicit error responses, unclaimed requests survive in the shard's
+queue for the restarted worker, and :meth:`ShardPool.stats` asserts
+``submitted == completed + failed`` at all times.
+
+Test hooks: the ``_crash`` op makes the worker exit hard (exercising
+restart + accounting), ``_sleep`` holds a worker busy (exercising
+backpressure).  Both are handled in the worker loop, never by the
+engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from typing import Dict, List, Optional, Sequence, Set
+from zlib import crc32
+
+from ..obs import get_registry
+from .engine import QueryEngine
+
+_STOP = None  # queue sentinel
+
+
+class ShardOverload(RuntimeError):
+    """The target shard's dispatch queue is full (backpressure)."""
+
+
+def _worker_main(shard_index, in_queue, out_queue, table_cache):
+    """Worker loop: claim, execute, answer — one engine per process."""
+    engine = QueryEngine(table_cache=table_cache)
+    while True:
+        item = in_queue.get()
+        if item is _STOP:
+            break
+        rid, request = item
+        out_queue.put(("claim", shard_index, rid, None))
+        op = request.get("op") if isinstance(request, dict) else None
+        if op == "_crash":
+            # Give the queue's feeder thread time to flush the claim,
+            # then die without cleanup — the pool must reconcile.
+            time.sleep(float(request.get("delay", 0.2)))
+            os._exit(13)
+        if op == "_sleep":
+            time.sleep(float(request.get("seconds", 0.1)))
+            response = {"ok": True, "op": "_sleep", "result": {}}
+        else:
+            try:
+                response = engine.execute(request)
+            except Exception as exc:  # never kill the worker on a request
+                response = {
+                    "ok": False, "op": op,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        out_queue.put(("result", shard_index, rid, response))
+
+
+class ShardPool:
+    """A fixed set of engine workers behind bounded dispatch queues.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker process count; families hash onto shards stably
+        (:meth:`shard_for`).
+    queue_depth:
+        Bound on each shard's dispatch queue — the backpressure limit.
+    table_cache:
+        Passed to every worker's engine (shared warm ``.npz`` tables;
+        safe under concurrent writers since the writes are atomic).
+    restart:
+        Restart crashed workers (on by default).  Restarting preserves
+        the shard's queued requests; only requests the dead worker had
+        claimed are failed.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        queue_depth: int = 64,
+        table_cache: Optional[str] = None,
+        restart: bool = True,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.queue_depth = queue_depth
+        self.table_cache = table_cache
+        self.restart_policy = restart
+        ctx = multiprocessing.get_context()
+        self._ctx = ctx
+        self._in_queues = [
+            ctx.Queue(maxsize=queue_depth) for _ in range(num_shards)
+        ]
+        self._out_queue = ctx.Queue()
+        self._workers: List[Optional[multiprocessing.Process]] = (
+            [None] * num_shards
+        )
+        self._next_rid = 0
+        self._pending: Set[int] = set()
+        self._claimed: List[Set[int]] = [set() for _ in range(num_shards)]
+        self._responses: Dict[int, Dict[str, object]] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.restarts = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ShardPool":
+        if self._started:
+            return self
+        for shard in range(self.num_shards):
+            self._workers[shard] = self._spawn(shard)
+        self._started = True
+        return self
+
+    def _spawn(self, shard: int) -> multiprocessing.Process:
+        worker = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                shard, self._in_queues[shard], self._out_queue,
+                self.table_cache,
+            ),
+            daemon=True,
+            name=f"repro-serve-shard-{shard}",
+        )
+        worker.start()
+        return worker
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers (pending requests are abandoned; call
+        :meth:`drain` first if you want them answered)."""
+        if not self._started:
+            return
+        for in_queue in self._in_queues:
+            try:
+                in_queue.put_nowait(_STOP)
+            except queue.Full:
+                pass
+        for worker in self._workers:
+            if worker is not None:
+                worker.join(timeout=timeout)
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=timeout)
+        for in_queue in self._in_queues:
+            in_queue.close()
+        self._out_queue.close()
+        self._started = False
+
+    def __enter__(self) -> "ShardPool":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- placement -----------------------------------------------------
+
+    def shard_for(self, network_spec) -> int:
+        """Stable family -> shard pinning (all instances of a family
+        share one worker's warm caches)."""
+        if isinstance(network_spec, dict):
+            pin = str(network_spec.get("family", network_spec))
+        else:
+            pin = str(network_spec)
+        return crc32(pin.encode()) % self.num_shards
+
+    # -- dispatch ------------------------------------------------------
+
+    def submit(self, request: Dict[str, object]) -> int:
+        """Enqueue a request on its family's shard; returns the pool's
+        internal request id.  Raises :class:`ShardOverload` when the
+        shard queue is full."""
+        if not self._started:
+            self.start()
+        shard = self.shard_for(request.get("network"))
+        rid = self._next_rid
+        try:
+            self._in_queues[shard].put_nowait((rid, request))
+        except queue.Full:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.shard_overloads").inc(
+                    1, shard=shard
+                )
+            raise ShardOverload(
+                f"shard {shard} queue full ({self.queue_depth} deep)"
+            ) from None
+        self._next_rid += 1
+        self._pending.add(rid)
+        self.submitted += 1
+        return rid
+
+    # -- collection ----------------------------------------------------
+
+    def _pump(self, timeout: float) -> bool:
+        """Move one message off the results queue; True if one arrived."""
+        try:
+            kind, shard, rid, payload = self._out_queue.get(timeout=timeout)
+        except queue.Empty:
+            return False
+        if kind == "claim":
+            self._claimed[shard].add(rid)
+        else:
+            self._record(rid, payload)
+            self._claimed[shard].discard(rid)
+        return True
+
+    def _record(self, rid: int, response: Dict[str, object]) -> None:
+        if rid not in self._pending:
+            return
+        self._pending.discard(rid)
+        self._responses[rid] = response
+        if response.get("ok"):
+            self.completed += 1
+        else:
+            self.failed += 1
+
+    def _reap(self) -> None:
+        """Fail the claimed work of dead workers and restart them."""
+        for shard, worker in enumerate(self._workers):
+            if worker is None or worker.is_alive():
+                continue
+            while self._pump(0.0):  # flush messages it did deliver
+                pass
+            exitcode = worker.exitcode
+            for rid in sorted(self._claimed[shard]):
+                self._record(rid, {
+                    "ok": False,
+                    "error": (
+                        f"worker shard {shard} crashed "
+                        f"(exit {exitcode})"
+                    ),
+                })
+            self._claimed[shard].clear()
+            self._workers[shard] = None
+            if self.restart_policy:
+                self.restarts += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("serve.worker_restarts").inc(
+                        1, shard=shard
+                    )
+                self._workers[shard] = self._spawn(shard)
+
+    def drain(
+        self, timeout: float = 30.0, fail_stragglers: bool = True
+    ) -> Dict[int, Dict[str, object]]:
+        """Collect until every submitted request is answered (or the
+        deadline passes).  With ``fail_stragglers`` anything still
+        unanswered at the deadline becomes an explicit error response,
+        so the books always close."""
+        deadline = time.monotonic() + timeout
+        while self._pending and time.monotonic() < deadline:
+            if not self._pump(0.05):
+                self._reap()
+        self._reap()
+        if fail_stragglers:
+            for rid in sorted(self._pending):
+                self._record(rid, {
+                    "ok": False, "error": "lost in shard pool (drain "
+                    "deadline passed)",
+                })
+        return dict(self._responses)
+
+    def take_response(self, rid: int) -> Optional[Dict[str, object]]:
+        """Pop one collected response (None when not yet answered)."""
+        return self._responses.pop(rid, None)
+
+    def execute_many(
+        self,
+        requests: Sequence[Dict[str, object]],
+        timeout: float = 30.0,
+    ) -> List[Dict[str, object]]:
+        """Back-end entry point (same shape as
+        :meth:`QueryEngine.execute_many`): dispatch, drain, return
+        responses in request order.  Overloaded submissions come back
+        as ``ok: false`` "overloaded" responses."""
+        rids: List[Optional[int]] = []
+        overloaded: List[int] = []
+        for i, request in enumerate(requests):
+            try:
+                rids.append(self.submit(request))
+            except ShardOverload:
+                rids.append(None)
+                overloaded.append(i)
+        self.drain(timeout=timeout)
+        out: List[Dict[str, object]] = []
+        for i, (request, rid) in enumerate(zip(requests, rids)):
+            if rid is None:
+                response = {
+                    "ok": False, "op": request.get("op"),
+                    "error": "overloaded",
+                }
+                if "id" in request:
+                    response["id"] = request["id"]
+                out.append(response)
+            else:
+                out.append(self.take_response(rid))
+        return out
+
+    # -- accounting ----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Closed accounting: ``submitted == completed + failed +
+        in_flight`` by construction."""
+        in_flight = len(self._pending)
+        return {
+            "num_shards": self.num_shards,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "in_flight": in_flight,
+            "restarts": self.restarts,
+            "closed": (
+                self.submitted == self.completed + self.failed + in_flight
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardPool: {self.num_shards} shards, "
+            f"{self.submitted} submitted, {len(self._pending)} in flight, "
+            f"{self.restarts} restarts>"
+        )

@@ -1,0 +1,314 @@
+"""Deterministic workload generation and the TCP load generator.
+
+Query serving is only meaningful against realistic traffic, so this
+module provides the classical interconnection-network workload shapes
+as *seeded, reproducible* request streams:
+
+* :func:`uniform_pairs` — independent uniform source/target pairs (the
+  baseline every theorem's average-distance claim assumes);
+* :func:`hotspot_pairs` — a fraction of traffic converges on a few hot
+  targets (exercises the engine's per-target reverse-BFS route tables);
+* :func:`transpose_pairs` — permutation traffic: every source sends to
+  its own inverse label, the Cayley-graph analogue of matrix-transpose
+  traffic (a fixed fixpoint-free pairing of the address space);
+* :func:`replay_trace` / :func:`save_trace` — JSONL traces for replay.
+
+:func:`run_loadgen` drives a live :class:`~repro.serve.server.QueryServer`
+over TCP with a closed-loop client per connection and reports latency
+quantiles plus *closed accounting*: every request sent is counted back
+exactly once as ok, error, or timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.permutations import Permutation
+from .engine import node_str
+
+Pair = Tuple[str, str]
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The ``q``-th percentile by linear interpolation (``None`` on
+    empty input) — enough for p50/p99 without numpy round-trips."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+# ----------------------------------------------------------------------
+# Pair generators (all seeded, all deterministic)
+# ----------------------------------------------------------------------
+
+
+def uniform_pairs(k: int, count: int, seed: int = 0) -> Iterator[Pair]:
+    """Independent uniform source/target pairs on ``Sym(k)``."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield (
+            node_str(Permutation.random(k, rng)),
+            node_str(Permutation.random(k, rng)),
+        )
+
+
+def hotspot_pairs(
+    k: int,
+    count: int,
+    seed: int = 0,
+    hotspots: int = 4,
+    fraction: float = 0.8,
+) -> Iterator[Pair]:
+    """Uniform sources, but ``fraction`` of targets land on a fixed set
+    of ``hotspots`` hot nodes (drawn once from the seed)."""
+    rng = random.Random(seed)
+    hot = [node_str(Permutation.random(k, rng)) for _ in range(hotspots)]
+    for _ in range(count):
+        source = node_str(Permutation.random(k, rng))
+        if rng.random() < fraction:
+            yield source, rng.choice(hot)
+        else:
+            yield source, node_str(Permutation.random(k, rng))
+
+
+def transpose_pairs(k: int, count: int, seed: int = 0) -> Iterator[Pair]:
+    """Permutation traffic: each uniform source sends to its own
+    inverse label — a fixed global pairing of the address space (the
+    permutation-network analogue of transpose traffic; nodes on the
+    involution's fixed points send to themselves)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        source = Permutation.random(k, rng)
+        yield node_str(source), node_str(source.inverse())
+
+
+def requests_from_pairs(
+    pairs: Iterable[Pair],
+    network: Dict[str, object],
+    op: str = "distance",
+    batch: int = 1,
+    algorithm: Optional[str] = None,
+) -> Iterator[Dict[str, object]]:
+    """Chunk a pair stream into protocol requests of ``batch`` pairs."""
+    chunk: List[List[str]] = []
+    for source, target in pairs:
+        chunk.append([source, target])
+        if len(chunk) >= batch:
+            yield _pairs_request(chunk, network, op, algorithm)
+            chunk = []
+    if chunk:
+        yield _pairs_request(chunk, network, op, algorithm)
+
+
+def _pairs_request(chunk, network, op, algorithm) -> Dict[str, object]:
+    request: Dict[str, object] = {
+        "op": op, "network": dict(network), "pairs": list(chunk),
+    }
+    if algorithm is not None:
+        request["algorithm"] = algorithm
+    return request
+
+
+# ----------------------------------------------------------------------
+# Trace replay
+# ----------------------------------------------------------------------
+
+
+def save_trace(
+    requests: Iterable[Dict[str, object]], path
+) -> int:
+    """Write a request stream as JSONL; returns the request count."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for request in requests:
+            fh.write(json.dumps(request) + "\n")
+            count += 1
+    return count
+
+
+def replay_trace(path) -> Iterator[Dict[str, object]]:
+    """Yield the requests of a :func:`save_trace` JSONL file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def make_workload(
+    kind: str,
+    network: Dict[str, object],
+    k: int,
+    count: int,
+    seed: int = 0,
+    batch: int = 1,
+    op: str = "distance",
+) -> List[Dict[str, object]]:
+    """Name-based construction of the built-in workloads (the CLI's
+    ``--workload`` flag): ``uniform``, ``hotspot``, or ``transpose``."""
+    generators = {
+        "uniform": uniform_pairs,
+        "hotspot": hotspot_pairs,
+        "transpose": transpose_pairs,
+    }
+    if kind not in generators:
+        raise ValueError(
+            f"unknown workload {kind!r} (expected one of "
+            f"{sorted(generators)})"
+        )
+    pairs = generators[kind](k, count, seed)
+    return list(requests_from_pairs(pairs, network, op=op, batch=batch))
+
+
+# ----------------------------------------------------------------------
+# The load generator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadGenResult:
+    """Outcome of one loadgen run, with closed accounting.
+
+    ``sent == ok + errors + timeouts`` always (checked by
+    :attr:`closed`); ``errors`` includes server-side rejections
+    ("overloaded") and per-request failures.
+    """
+
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    elapsed: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    error_messages: List[str] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.sent == self.ok + self.errors + self.timeouts
+
+    @property
+    def qps(self) -> float:
+        return self.ok / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> Optional[float]:
+        return percentile(self.latencies_ms, 50.0)
+
+    @property
+    def p99_ms(self) -> Optional[float]:
+        return percentile(self.latencies_ms, 99.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "closed": self.closed,
+            "elapsed_s": self.elapsed,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    requests: Sequence[Dict[str, object]],
+    timeout: float,
+    result: LoadGenResult,
+) -> None:
+    """One closed-loop client: send, await the matching response,
+    repeat.  Responses correlate by id (batched responses may not
+    interleave on a single connection, so FIFO per connection holds)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for request in requests:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            start = time.monotonic()
+            result.sent += 1
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                result.timeouts += 1
+                continue
+            if not line:
+                result.errors += 1
+                result.error_messages.append("connection closed")
+                continue
+            response = json.loads(line)
+            if response.get("ok"):
+                result.ok += 1
+                result.latencies_ms.append(
+                    (time.monotonic() - start) * 1000.0
+                )
+            else:
+                result.errors += 1
+                result.error_messages.append(
+                    str(response.get("error", "unknown error"))
+                )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def _run_loadgen_async(
+    host: str,
+    port: int,
+    requests: Sequence[Dict[str, object]],
+    concurrency: int,
+    timeout: float,
+) -> LoadGenResult:
+    result = LoadGenResult()
+    stamped = []
+    for i, request in enumerate(requests):
+        request = dict(request)
+        request.setdefault("id", i)
+        stamped.append(request)
+    lanes: List[List[Dict[str, object]]] = [
+        stamped[i::concurrency] for i in range(concurrency)
+    ]
+    start = time.monotonic()
+    await asyncio.gather(*(
+        _drive_connection(host, port, lane, timeout, result)
+        for lane in lanes if lane
+    ))
+    result.elapsed = time.monotonic() - start
+    return result
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    requests: Sequence[Dict[str, object]],
+    concurrency: int = 4,
+    timeout: float = 10.0,
+) -> LoadGenResult:
+    """Fire ``requests`` at a server over ``concurrency`` closed-loop
+    connections; returns latency quantiles + closed accounting."""
+    return asyncio.run(_run_loadgen_async(
+        host, port, requests, max(1, concurrency), timeout
+    ))

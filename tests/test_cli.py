@@ -160,3 +160,78 @@ class TestMnb:
     def test_non_star_rejected(self):
         with pytest.raises(SystemExit):
             main(["mnb", "MS", "--k", "4"])
+
+
+class TestRouteJson:
+    def test_json_payload_matches_serve_engine(self, capsys):
+        """`repro route --json` emits byte-for-byte the payload the
+        serve engine's route op (algorithm "algorithmic") returns."""
+        import json
+
+        from repro.serve import QueryEngine
+
+        code, out = run(
+            capsys, "route", "MS", "--l", "2", "--n", "2",
+            "--source", "34251", "--json",
+        )
+        assert code == 0
+        cli_payload = json.loads(out)
+        response = QueryEngine().execute({
+            "op": "route", "network": {"family": "MS", "l": 2, "n": 2},
+            "pairs": [["34251", "12345"]], "algorithm": "algorithmic",
+        })
+        assert response["ok"], response
+        assert cli_payload == response["result"]["routes"][0]
+
+    def test_json_reports_optimal_from_tables(self, capsys):
+        import json
+
+        code, out = run(
+            capsys, "route", "IS", "--k", "4",
+            "--source", "4321", "--target", "1234", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["algorithm"] == "algorithmic"
+        assert payload["hops"] >= payload["optimal"] >= 1
+
+
+class TestLoadgen:
+    def test_self_serve_smoke_accounting_closes(self, capsys):
+        """e2e CLI smoke: loadgen against an in-process server must
+        answer every request (exit 1 if accounting does not close)."""
+        import json
+
+        code, out = run(
+            capsys, "loadgen", "MS", "--l", "2", "--n", "2",
+            "--self-serve", "--count", "24", "--batch", "4",
+            "--concurrency", "2", "--json",
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["closed"] is True
+        assert summary["ok"] == summary["sent"] == 6
+        assert summary["errors"] == 0 and summary["timeouts"] == 0
+        assert summary["p99_ms"] is not None
+
+    def test_trace_save_then_replay(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "workload.jsonl"
+        code, _out = run(
+            capsys, "loadgen", "IS", "--k", "4",
+            "--workload", "transpose", "--count", "10", "--batch", "2",
+            "--save-trace", str(trace),
+        )
+        assert code == 0 and trace.exists()
+        assert len(trace.read_text().splitlines()) == 5
+        code, out = run(
+            capsys, "loadgen", "IS", "--k", "4", "--self-serve",
+            "--replay", str(trace), "--json",
+        )
+        assert code == 0
+        assert json.loads(out)["ok"] == 5
+
+    def test_needs_host_or_self_serve(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "IS", "--k", "4", "--count", "4"])

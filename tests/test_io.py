@@ -100,6 +100,45 @@ class TestTableCache:
         (tmp_path / f"{other.name}.npz").rename(wrong)
         assert use_table_cache(net, tmp_path) == "refreshed"
 
+    def test_concurrent_writers_leave_a_loadable_cache(self, tmp_path):
+        """Several processes saving the same table at once (serve
+        shards warming one cache directory) must each succeed and
+        leave a complete, loadable archive — the tempfile +
+        ``os.replace`` write is atomic, so readers never see a
+        truncated file and no temp debris survives."""
+        import multiprocessing
+        import os
+
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(4)
+        out = ctx.Queue()
+        workers = [
+            ctx.Process(target=_warm_cache, args=(str(tmp_path), barrier, out))
+            for _ in range(4)
+        ]
+        for w in workers:
+            w.start()
+        statuses = [out.get(timeout=60) for _ in workers]
+        for w in workers:
+            w.join(timeout=60)
+        assert all(s in ("saved", "loaded", "refreshed") for s in statuses), \
+            statuses
+        # the survivor is healthy, and no temp files were left behind
+        assert use_table_cache(InsertionSelection(4), tmp_path) == "loaded"
+        assert os.listdir(tmp_path) == ["IS(4).npz"]
+
+
+def _warm_cache(cache_dir, barrier, out):
+    """Worker for the concurrent-writer test (module-level so it
+    pickles under the spawn start method)."""
+    net = InsertionSelection(4)
+    net.compiled().distances  # compute before the barrier: racier saves
+    barrier.wait()
+    try:
+        out.put(use_table_cache(net, cache_dir))
+    except Exception as exc:  # pragma: no cover - failure detail
+        out.put(f"error: {type(exc).__name__}: {exc}")
+
 
 class TestWordEmbeddingIo:
     def test_star_embedding_round_trip(self, tmp_path):

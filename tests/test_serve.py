@@ -1,0 +1,616 @@
+"""Tests for the serving layer (:mod:`repro.serve`).
+
+Three belts:
+
+* **differential** — batched :class:`QueryEngine` answers must match
+  the single-query object-path functions (FIFO BFS layers,
+  ``shortest_path``, ``map_node``) on all ten network families;
+* **mechanism** — LRU bounds and eviction counting, shard-pool
+  backpressure and crash-restart accounting, batching-window plumbing;
+* **end-to-end smoke** — a live server under the loadgen with closed
+  accounting (``responses + timeouts == requests``), the CI gate.
+"""
+
+import json
+
+import pytest
+
+from repro.core.lru import LRUCache
+from repro.core.permutations import Permutation
+from repro.io import network_spec
+from repro.networks import FAMILIES, make_network
+from repro.serve import (
+    LoadGenResult,
+    QueryEngine,
+    QueryError,
+    ServerThread,
+    ShardOverload,
+    ShardPool,
+    make_workload,
+    node_str,
+    parse_ids,
+    parse_node,
+    parse_symbols,
+    percentile,
+    replay_trace,
+    run_loadgen,
+    save_trace,
+    uniform_pairs,
+)
+
+#: every family at a small materialisable size, plus IS — the "all ten
+#: families" differential matrix.
+ALL_TEN = [(family, {"family": family, "l": 2, "n": 2})
+           for family in FAMILIES] + [("IS", {"family": "IS", "k": 4})]
+
+
+def _oracle_depths(net):
+    """Object-path BFS depths from the identity, via FIFO layers."""
+    depths = {}
+    for depth, layer in enumerate(net.bfs_layers()):
+        for node in layer:
+            depths[node] = depth
+    return depths
+
+
+# ----------------------------------------------------------------------
+# Node codec
+# ----------------------------------------------------------------------
+
+
+class TestNodeCodec:
+    def test_parse_forms(self):
+        p = Permutation([3, 4, 2, 5, 1])
+        assert parse_node("34251", 5) == p
+        assert parse_node("3,4,2,5,1", 5) == p
+        assert parse_node([3, 4, 2, 5, 1], 5) == p
+        assert node_str(p) == "34251"
+
+    def test_parse_rejects(self):
+        with pytest.raises(QueryError):
+            parse_node("3425", 5)      # wrong length
+        with pytest.raises(QueryError):
+            parse_node("34255", 5)     # duplicate symbol
+        with pytest.raises(QueryError):
+            parse_node("34256", 5)     # out of range
+
+    def test_batch_parse_matches_scalar(self):
+        net = make_network("MS", l=2, n=2)
+        compiled = net.compiled()
+        nodes = [node_str(Permutation.unrank(net.k, r))
+                 for r in range(0, 120, 7)]
+        ids = parse_ids(nodes, net.k)
+        expected = [compiled.node_id(parse_node(v, net.k)) for v in nodes]
+        assert ids.tolist() == expected
+
+    def test_batch_parse_mixed_forms(self):
+        symbols = parse_symbols(["34251", "3,4,2,5,1", [3, 4, 2, 5, 1]], 5)
+        assert symbols.tolist() == [[3, 4, 2, 5, 1]] * 3
+
+    def test_batch_parse_rejects_bad_row(self):
+        with pytest.raises(QueryError):
+            parse_symbols(["12345", "11345"], 5)
+        with pytest.raises(QueryError):
+            parse_symbols(["12345", "12346"], 5)
+
+
+# ----------------------------------------------------------------------
+# Differential: engine vs object path, all ten families
+# ----------------------------------------------------------------------
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("family,spec", ALL_TEN,
+                             ids=[f for f, _ in ALL_TEN])
+    def test_distance_matches_object_bfs(self, family, spec):
+        """Batched distances equal FIFO-BFS depths of s^-1 t."""
+        engine = QueryEngine()
+        net = make_network(**spec)
+        depths = _oracle_depths(net)
+        pairs = list(uniform_pairs(net.k, 20, seed=3))
+        response = engine.execute({
+            "op": "distance", "network": spec, "pairs": pairs,
+        })
+        assert response["ok"], response
+        for (source, target), got in zip(
+            pairs, response["result"]["distances"]
+        ):
+            s = parse_node(source, net.k)
+            t = parse_node(target, net.k)
+            assert got == depths[s.inverse() * t]
+
+    @pytest.mark.parametrize("family,spec", ALL_TEN,
+                             ids=[f for f, _ in ALL_TEN])
+    def test_route_matches_shortest_path(self, family, spec):
+        """Pairs-mode table routes replay ``shortest_path`` exactly
+        (same word, not merely the same length)."""
+        engine = QueryEngine()
+        net = make_network(**spec)
+        pairs = list(uniform_pairs(net.k, 8, seed=5))
+        response = engine.execute({
+            "op": "route", "network": spec, "pairs": pairs,
+        })
+        assert response["ok"], response
+        for (source, target), payload in zip(
+            pairs, response["result"]["routes"]
+        ):
+            s = parse_node(source, net.k)
+            t = parse_node(target, net.k)
+            expected = [dim for dim, _ in net.shortest_path(s, t)]
+            assert payload["word"] == expected
+            assert payload["hops"] == len(expected)
+            assert payload["optimal"] == len(expected)
+
+    def test_hotspot_route_valid_and_shortest(self):
+        """Target+sources routes (reverse-table descent) are walkable
+        and optimal, though their tie-breaks may differ."""
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        net = make_network(**spec)
+        target = node_str(Permutation.unrank(net.k, 77))
+        sources = [node_str(p) for p, _ in zip(
+            (Permutation.unrank(net.k, r) for r in range(0, 120, 11)),
+            range(10),
+        )]
+        response = engine.execute({
+            "op": "route", "network": spec,
+            "target": target, "sources": sources,
+        })
+        assert response["ok"], response
+        t = parse_node(target, net.k)
+        for source, payload in zip(sources, response["result"]["routes"]):
+            s = parse_node(source, net.k)
+            node = s
+            for dim in payload["word"]:
+                node = net.neighbor(node, dim)
+            assert node == t                      # walkable to target
+            assert payload["hops"] == net.distance(s, t)  # and shortest
+
+    def test_neighbors_matches_graph(self):
+        engine = QueryEngine()
+        spec = {"family": "RS", "l": 2, "n": 2}
+        net = make_network(**spec)
+        node = Permutation.unrank(net.k, 33)
+        response = engine.execute({
+            "op": "neighbors", "network": spec, "nodes": [node_str(node)],
+        })
+        assert response["ok"], response
+        (got,) = response["result"]["neighbors"]
+        expected = {
+            dim: node_str(net.neighbor(node, dim))
+            for dim in (g.name for g in net.generators)
+        }
+        assert got == expected
+
+    def test_embedding_matches_map_node(self):
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        net = make_network(**spec)
+        from repro.embeddings import embed_star
+
+        emb = embed_star(net)
+        nodes = [node_str(Permutation.unrank(net.k, r))
+                 for r in (0, 17, 51, 119)]
+        response = engine.execute({
+            "op": "embedding", "network": spec, "guest": "star",
+            "nodes": nodes,
+        })
+        assert response["ok"], response
+        expected = [
+            node_str(emb.map_node(parse_node(v, net.k))) for v in nodes
+        ]
+        assert response["result"]["images"] == expected
+
+    def test_properties_matches_graph(self):
+        engine = QueryEngine()
+        spec = {"family": "IS", "k": 4}
+        net = make_network(**spec)
+        response = engine.execute({
+            "op": "properties", "network": spec,
+        })
+        assert response["ok"], response
+        result = response["result"]
+        assert result["nodes"] == net.num_nodes
+        assert result["degree"] == net.degree
+        assert result["diameter"] == net.diameter()
+        assert result["connected"]
+
+    def test_algorithmic_route_matches_cli_router(self):
+        """algorithm="algorithmic" runs the per-family router, so its
+        payload equals ``repro route --json`` output by construction."""
+        from repro.serve import algorithmic_route, route_payload
+
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        net = make_network(**spec)
+        source = Permutation.unrank(net.k, 93)
+        response = engine.execute({
+            "op": "route", "network": spec, "algorithm": "algorithmic",
+            "pairs": [[node_str(source), node_str(net.identity)]],
+        })
+        assert response["ok"], response
+        word = algorithmic_route(net, source, net.identity)
+        assert response["result"]["routes"][0] == route_payload(
+            net, source, net.identity, word, "algorithmic"
+        )
+
+
+# ----------------------------------------------------------------------
+# Protocol behaviour
+# ----------------------------------------------------------------------
+
+
+class TestEngineProtocol:
+    def test_errors_are_responses_not_exceptions(self):
+        engine = QueryEngine()
+        for request in (
+            {"op": "nope"},
+            {"op": "distance", "network": {"family": "??"}, "pairs": []},
+            {"op": "distance", "network": {"family": "MS", "l": 2, "n": 2}},
+            {"op": "route", "network": {"family": "MS", "l": 2, "n": 2},
+             "pairs": [["12345", "12345"]], "algorithm": "psychic"},
+        ):
+            response = engine.execute(request)
+            assert response["ok"] is False
+            assert "error" in response
+
+    def test_id_echoed(self):
+        engine = QueryEngine()
+        response = engine.execute({
+            "op": "distance", "network": {"family": "IS", "k": 4},
+            "pairs": [["1234", "2134"]], "id": 41,
+        })
+        assert response["id"] == 41 and response["ok"]
+
+    def test_rejects_unmaterialisable_instance(self):
+        engine = QueryEngine()
+        response = engine.execute({
+            "op": "distance", "network": {"family": "MS", "l": 4, "n": 3},
+            "pairs": [],
+        })
+        assert response["ok"] is False
+        assert "materialisable" in response["error"]
+
+    def test_execute_many_coalesces_and_matches(self):
+        """Coalesced same-network batches answer exactly like one-at-a-
+        time execution."""
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        requests = make_workload("uniform", spec, k=5, count=12,
+                                 seed=11, batch=3)
+        for i, request in enumerate(requests):
+            request["id"] = i
+        merged = engine.execute_many(requests)
+        singles = [QueryEngine().execute(r) for r in requests]
+        assert merged == singles
+
+    def test_execute_many_mixed_ops_and_errors(self):
+        engine = QueryEngine()
+        spec = {"family": "IS", "k": 4}
+        responses = engine.execute_many([
+            {"op": "distance", "network": spec,
+             "pairs": [["1234", "4321"]]},
+            {"op": "bogus"},
+            {"op": "properties", "network": spec},
+            {"op": "distance", "network": spec,
+             "pairs": [["1234", "2143"]]},
+        ])
+        assert [r["ok"] for r in responses] == [True, False, True, True]
+
+    def test_engine_uses_table_cache(self, tmp_path):
+        engine = QueryEngine(table_cache=str(tmp_path))
+        spec = {"family": "IS", "k": 4}
+        assert engine.execute({
+            "op": "properties", "network": spec,
+        })["ok"]
+        assert (tmp_path / "IS(4).npz").exists()
+        warm = QueryEngine(table_cache=str(tmp_path))
+        assert warm.execute({
+            "op": "properties", "network": spec,
+        })["ok"]
+
+
+# ----------------------------------------------------------------------
+# LRU bounds
+# ----------------------------------------------------------------------
+
+
+class TestLRU:
+    def test_capacity_and_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1       # refreshes a's recency
+        cache.put("c", 3)                # evicts b, the LRU entry
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_eviction_metric(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = LRUCache(1, metric="serve.table_evictions",
+                             cache="test")
+            cache.put("a", 1)
+            cache.put("b", 2)
+        counter = registry.counter("serve.table_evictions")
+        assert counter.value(cache="test") == 1
+        assert counter.total() == 1
+
+    def test_engine_route_table_cache_bounded(self):
+        engine = QueryEngine(max_route_tables=2)
+        spec = {"family": "MS", "l": 2, "n": 2}
+        net = make_network(**spec)
+        for target_rank in (3, 14, 15, 92):
+            engine.execute({
+                "op": "route", "network": spec,
+                "target": node_str(Permutation.unrank(net.k, target_rank)),
+                "sources": [node_str(Permutation.unrank(net.k, 65))],
+            })
+        assert len(engine._route_tables) == 2
+        assert engine._route_tables.evictions == 2
+
+    def test_simulator_route_table_cache_bounded(self):
+        """The simulator's per-target reverse-BFS cache shares the
+        bounded LRU (satellite of the serve tentpole)."""
+        from repro.comm.simulator import PacketSimulator
+        from repro.faults import FaultInjector
+
+        net = make_network("MS", l=2, n=2)
+        injector = FaultInjector.random(
+            net, link_rate=0.05, seed=4, at_round=1
+        )
+        sim = PacketSimulator(net, injector=injector,
+                              route_table_capacity=3)
+        state = sim._faults
+        assert state.route_tables.capacity == 3
+        import random as random_module
+        rng = random_module.Random(9)
+        for _ in range(30):
+            source = Permutation.random(net.k, rng)
+            target = Permutation.random(net.k, rng)
+            word = [d for d, _ in net.shortest_path(source, target)]
+            sim.submit(source, word)
+        sim.run()
+        assert len(state.route_tables) <= 3
+
+
+# ----------------------------------------------------------------------
+# Shard pool
+# ----------------------------------------------------------------------
+
+
+class TestShardPool:
+    def test_family_pinning_is_stable(self):
+        pool = ShardPool(num_shards=3)
+        shard = pool.shard_for({"family": "MS", "l": 2, "n": 2})
+        assert shard == pool.shard_for({"family": "MS", "l": 7, "n": 1})
+        assert 0 <= shard < 3
+
+    def test_execute_many_routes_and_closes(self):
+        spec = {"family": "MS", "l": 2, "n": 2}
+        requests = make_workload("uniform", spec, k=5, count=9,
+                                 seed=2, batch=3)
+        oracle = QueryEngine().execute_many(requests)
+        with ShardPool(num_shards=2, queue_depth=8) as pool:
+            responses = pool.execute_many(requests)
+            stats = pool.stats()
+        for got, want in zip(responses, oracle):
+            assert got["ok"] and got["result"] == want["result"]
+        assert stats["closed"] and stats["completed"] == 3
+
+    def test_backpressure_raises_overload(self):
+        spec = {"family": "MS", "l": 2, "n": 2}
+        pool = ShardPool(num_shards=1, queue_depth=2, restart=False)
+        # Not started: nothing consumes, so the queue bound is exact.
+        pool._started = True
+        request = {"op": "properties", "network": spec}
+        pool.submit(request)
+        pool.submit(request)
+        with pytest.raises(ShardOverload):
+            pool.submit(request)
+        assert pool.stats()["submitted"] == 2
+
+    def test_crash_restart_keeps_accounting_closed(self):
+        """A worker dying mid-request fails that request explicitly,
+        restarts, and keeps serving — nothing is lost or double-counted."""
+        spec = {"family": "MS", "l": 2, "n": 2}
+        good = make_workload("uniform", spec, k=5, count=4,
+                             seed=6, batch=2)
+        with ShardPool(num_shards=1, queue_depth=16) as pool:
+            crash = {"op": "_crash", "network": spec, "delay": 0.3}
+            responses = pool.execute_many(
+                [crash] + good, timeout=30.0
+            )
+            stats = pool.stats()
+        assert responses[0]["ok"] is False
+        assert "crashed" in responses[0]["error"]
+        assert all(r["ok"] for r in responses[1:])
+        assert stats["restarts"] == 1
+        assert stats["closed"]
+        assert stats["submitted"] == stats["completed"] + stats["failed"]
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+class TestWorkloads:
+    def test_generators_deterministic(self):
+        for kind in ("uniform", "hotspot", "transpose"):
+            a = make_workload(kind, {"family": "IS", "k": 4}, k=4,
+                              count=10, seed=3, batch=2)
+            b = make_workload(kind, {"family": "IS", "k": 4}, k=4,
+                              count=10, seed=3, batch=2)
+            assert a == b
+            assert sum(len(r["pairs"]) for r in a) == 10
+
+    def test_transpose_targets_are_inverses(self):
+        from repro.serve import transpose_pairs
+
+        for source, target in transpose_pairs(5, 10, seed=1):
+            s = parse_node(source, 5)
+            assert parse_node(target, 5) == s.inverse()
+
+    def test_trace_roundtrip(self, tmp_path):
+        requests = make_workload("hotspot", {"family": "IS", "k": 4},
+                                 k=4, count=8, seed=5, batch=4)
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(requests, path) == len(requests)
+        assert list(replay_trace(path)) == requests
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 99) == pytest.approx(99.01)
+        assert percentile([], 50) is None
+        assert percentile([7.0], 99) == 7.0
+
+    def test_loadgen_result_accounting(self):
+        result = LoadGenResult(sent=5, ok=3, errors=1, timeouts=1)
+        assert result.closed
+        result.sent = 6
+        assert not result.closed
+
+
+# ----------------------------------------------------------------------
+# End-to-end server smoke (CI gate: -k smoke)
+# ----------------------------------------------------------------------
+
+
+class TestServerSmoke:
+    def test_server_loadgen_smoke_closed_accounting(self):
+        """The e2e gate: a live TCP server under concurrent loadgen
+        answers every request exactly once and both sides agree."""
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        requests = make_workload("uniform", spec, k=5, count=60,
+                                 seed=8, batch=4)
+        with ServerThread(engine, batch_window=0.001) as server:
+            result = run_loadgen(
+                server.host, server.port, requests, concurrency=3
+            )
+            stats = server.server.stats()
+        # client-side closed accounting
+        assert result.closed, result.to_dict()
+        assert result.sent == len(requests)
+        assert result.ok == result.sent
+        assert result.errors == 0 and result.timeouts == 0
+        assert result.p50_ms is not None and result.p99_ms is not None
+        # server-side closed accounting agrees
+        assert stats["closed"], stats
+        assert stats["received"] == len(requests)
+        assert stats["completed"] == len(requests)
+
+    def test_server_smoke_answers_match_direct_engine(self):
+        """Answers through the socket equal direct engine execution."""
+        spec = {"family": "IS", "k": 4}
+        requests = make_workload("hotspot", spec, k=4, count=20,
+                                 seed=13, batch=4)
+        oracle = QueryEngine().execute_many(
+            [dict(r, id=i) for i, r in enumerate(requests)]
+        )
+        collected = {}
+
+        import socket
+
+        with ServerThread(QueryEngine()) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rw")
+                for i, request in enumerate(requests):
+                    fh.write(json.dumps(dict(request, id=i)) + "\n")
+                fh.flush()
+                for _ in requests:
+                    response = json.loads(fh.readline())
+                    collected[response["id"]] = response
+        assert len(collected) == len(requests)
+        for i, want in enumerate(oracle):
+            assert collected[i] == want
+
+    def test_server_smoke_malformed_and_stats(self):
+        with ServerThread(QueryEngine()) as server:
+            import socket
+
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rw")
+                fh.write("this is not json\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+                assert response["ok"] is False
+                assert "malformed" in response["error"]
+                fh.write(json.dumps({"op": "stats", "id": 1}) + "\n")
+                fh.flush()
+                stats = json.loads(fh.readline())
+                assert stats["ok"] and stats["result"]["closed"]
+
+    def test_server_admission_control_rejects_over_capacity(self):
+        """Requests beyond max_pending are rejected, not queued — and
+        the rejections are answered (accounting still closes)."""
+
+        class SlowBackend:
+            def execute_many(self, requests):
+                import time as time_module
+
+                time_module.sleep(0.2)
+                return [
+                    {"ok": True, "op": r.get("op"), "result": {},
+                     **({"id": r["id"]} if "id" in r else {})}
+                    for r in requests
+                ]
+
+        spec = {"family": "IS", "k": 4}
+        requests = make_workload("uniform", spec, k=4, count=40,
+                                 seed=1, batch=1)
+        with ServerThread(
+            SlowBackend(), max_pending=2, batch_window=0.05
+        ) as server:
+            result = run_loadgen(
+                server.host, server.port, requests, concurrency=8
+            )
+            stats = server.server.stats()
+        assert result.closed
+        assert result.errors > 0          # some "overloaded" rejections
+        assert any("overloaded" in m for m in result.error_messages)
+        assert stats["closed"]
+        assert stats["rejected"] == result.errors
+
+    def test_serve_sweep_rows_close(self):
+        from repro.experiments import serve_sweep
+
+        rows = list(serve_sweep(
+            family="IS", k=4, workloads=("uniform", "hotspot"),
+            count=16, batch=4, concurrency=2,
+        ))
+        assert [r.workload for r in rows] == ["uniform", "hotspot"]
+        for row in rows:
+            assert row.closed
+            assert row.ok == row.requests
+
+
+# ----------------------------------------------------------------------
+# Serve metrics
+# ----------------------------------------------------------------------
+
+
+class TestServeMetrics:
+    def test_engine_emits_query_counters(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        spec = {"family": "IS", "k": 4}
+        with use_registry(registry):
+            engine = QueryEngine()
+            requests = make_workload("uniform", spec, k=4, count=8,
+                                     seed=2, batch=2)
+            engine.execute_many(requests)
+        assert registry.counter("serve.queries").total() == len(requests)
+        assert registry.counter("serve.coalesced_requests").total() \
+            == len(requests)
