@@ -349,12 +349,30 @@ def cmd_serve(args) -> int:
     else:
         backend = QueryEngine(table_cache=args.table_cache)
     if args.warm:
-        engine = backend if isinstance(backend, QueryEngine) \
-            else QueryEngine(table_cache=args.table_cache)
-        for spec_text in args.warm:
-            spec = json.loads(spec_text)
-            net = engine.network(spec)
-            print(f"warmed {net.name}", file=sys.stderr)
+        warm_specs = [json.loads(text) for text in args.warm]
+        if isinstance(backend, ShardPool):
+            # Warm the worker processes that will actually serve: a
+            # properties op lands on each spec's family-pinned shard
+            # and compiles (or cache-loads) the graph there.  Warming
+            # an engine in this parent process would do nothing for
+            # the shards.
+            responses = backend.execute_many([
+                {"op": "properties", "network": spec}
+                for spec in warm_specs
+            ])
+            for spec, response in zip(warm_specs, responses):
+                if response and response.get("ok"):
+                    print(f"warmed {response['result']['network']} "
+                          f"(shard {backend.shard_for(spec)})",
+                          file=sys.stderr)
+                else:
+                    error = (response or {}).get("error", "no response")
+                    print(f"warm failed for {spec}: {error}",
+                          file=sys.stderr)
+        else:
+            for spec in warm_specs:
+                net = backend.network(spec)
+                print(f"warmed {net.name}", file=sys.stderr)
     server = QueryServer(
         backend,
         host=args.host,

@@ -69,13 +69,16 @@ class QueryError(ValueError):
 def parse_node(value: NodeSpec, k: int) -> Permutation:
     """Decode a protocol node — ``"34251"``, ``"3,4,2,5,1"``, or
     ``[3, 4, 2, 5, 1]`` — into a :class:`Permutation` of size ``k``."""
-    if isinstance(value, str):
-        symbols = (
-            [int(part) for part in value.split(",")]
-            if "," in value else [int(ch) for ch in value]
-        )
-    else:
-        symbols = [int(s) for s in value]
+    try:
+        if isinstance(value, str):
+            symbols = (
+                [int(part) for part in value.split(",")]
+                if "," in value else [int(ch) for ch in value]
+            )
+        else:
+            symbols = [int(s) for s in value]
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"bad node {value!r}: {exc}") from exc
     if len(symbols) != k:
         raise QueryError(
             f"node {value!r} has {len(symbols)} symbols, network needs {k}"
@@ -84,6 +87,26 @@ def parse_node(value: NodeSpec, k: int) -> Permutation:
         return Permutation(symbols)
     except (ValueError, AssertionError) as exc:
         raise QueryError(f"bad node {value!r}: {exc}") from exc
+
+
+def check_pairs(
+    pairs: object,
+) -> List[Tuple[NodeSpec, NodeSpec]]:
+    """Validate a wire-form pair list into ``(source, target)`` tuples,
+    raising :class:`QueryError` (not bare ``ValueError``/``TypeError``)
+    on anything that is not a sequence of two-element pairs."""
+    if isinstance(pairs, (str, bytes)) or not hasattr(pairs, "__iter__"):
+        raise QueryError(f"\"pairs\" must be a list of pairs, got "
+                         f"{type(pairs).__name__}")
+    out: List[Tuple[NodeSpec, NodeSpec]] = []
+    for p in pairs:
+        if isinstance(p, (str, bytes)) or not hasattr(p, "__len__") \
+                or len(p) != 2:
+            raise QueryError(
+                f"bad pair {p!r}: expected [source, target]"
+            )
+        out.append((p[0], p[1]))
+    return out
 
 
 def node_str(node: Union[Permutation, Sequence[int]]) -> str:
@@ -394,6 +417,13 @@ class QueryEngine:
                 return self._fail(request, str(exc))
             except NotImplementedError as exc:
                 return self._fail(request, f"unsupported: {exc}")
+            except Exception as exc:
+                # The protocol boundary: any malformed-but-JSON request
+                # (wrong types, short pairs, bad shapes) comes back as
+                # ok: false, never as an exception to the caller.
+                return self._fail(
+                    request, f"bad request: {type(exc).__name__}: {exc}"
+                )
         response = {"ok": True, "op": op, "result": result}
         if "id" in request:
             response["id"] = request["id"]
@@ -492,6 +522,7 @@ class QueryEngine:
         net: SuperCayleyNetwork,
         pairs: Sequence[Tuple[NodeSpec, NodeSpec]],
     ) -> List[int]:
+        pairs = check_pairs(pairs)
         if not pairs:
             return []
         compiled = net.compiled()
@@ -535,7 +566,7 @@ class QueryEngine:
             ]
             hotspot = True
         elif "pairs" in request:
-            pairs = [tuple(p) for p in request["pairs"]]
+            pairs = check_pairs(request["pairs"])
             hotspot = False
         else:
             raise QueryError(

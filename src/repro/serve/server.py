@@ -270,13 +270,41 @@ class QueryServer:
             with get_tracer().span("serve.batch", size=len(live)):
                 # Off the event loop so new arrivals keep accumulating
                 # (and stats stays answerable) while arrays crunch.
-                responses = await loop.run_in_executor(
-                    None,
-                    self.backend.execute_many,
-                    [item.request for item in live],
-                )
+                try:
+                    responses = await loop.run_in_executor(
+                        None,
+                        self.backend.execute_many,
+                        [item.request for item in live],
+                    )
+                except Exception as exc:
+                    # A backend exception must not kill the batcher:
+                    # answer everyone in this batch with an error and
+                    # keep serving — the accounting invariant ("every
+                    # received request is answered exactly once") holds
+                    # even against poison requests.
+                    if registry.enabled:
+                        registry.counter("serve.backend_errors").inc(1)
+                    responses = [
+                        self._error_response(
+                            item.request,
+                            f"backend error: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        for item in live
+                    ]
+            responses = list(responses)
+            if len(responses) < len(live):  # defensive: a short backend
+                responses += [
+                    self._error_response(item.request, "no response "
+                                         "from backend")
+                    for item in live[len(responses):]
+                ]
             done = time.monotonic()
             for item, response in zip(live, responses):
+                if response is None:
+                    response = self._error_response(
+                        item.request, "no response from backend"
+                    )
                 latency_ms = (done - item.arrived) * 1000.0
                 self._latencies.append(latency_ms)
                 self.stats_counters.completed += 1

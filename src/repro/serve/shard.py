@@ -10,16 +10,21 @@ rather than buffering without limit.
 
 Crash safety follows the delivered/dropped reconciliation discipline of
 :mod:`repro.faults`: every submitted request is accounted for exactly
-once.  Workers *claim* a request on the results queue before executing
-it; when a worker dies, its claimed-but-unanswered requests become
-explicit error responses, unclaimed requests survive in the shard's
-queue for the restarted worker, and :meth:`ShardPool.stats` asserts
-``submitted == completed + failed`` at all times.
+once.  The parent records which shard every request was dispatched to;
+when a worker dies, requests still sitting in the shard's dispatch
+queue are re-enqueued for the restarted worker and everything else
+dispatched to that shard — answered or not, claim message delivered or
+lost — becomes an explicit error response immediately, so
+:meth:`ShardPool.stats` asserts ``submitted == completed + failed``
+at all times and a crash never stalls :meth:`ShardPool.drain` to its
+deadline.  (Workers still *claim* requests on the results queue before
+executing them, for observability.)
 
-Test hooks: the ``_crash`` op makes the worker exit hard (exercising
-restart + accounting), ``_sleep`` holds a worker busy (exercising
-backpressure).  Both are handled in the worker loop, never by the
-engine.
+Test hooks: the ``_crash`` op makes the worker exit hard after
+claiming (exercising restart + accounting), ``_crash_silent`` kills it
+*before* the claim (exercising lost-claim reconciliation), ``_sleep``
+holds a worker busy (exercising backpressure).  All are handled in the
+worker loop, never by the engine.
 """
 
 from __future__ import annotations
@@ -49,8 +54,13 @@ def _worker_main(shard_index, in_queue, out_queue, table_cache):
         if item is _STOP:
             break
         rid, request = item
-        out_queue.put(("claim", shard_index, rid, None))
         op = request.get("op") if isinstance(request, dict) else None
+        if op == "_crash_silent":
+            # Die after dequeuing but before claiming — the request is
+            # in neither the shard queue nor the claim set, the case
+            # dispatch tracking exists to reconcile.
+            os._exit(13)
+        out_queue.put(("claim", shard_index, rid, None))
         if op == "_crash":
             # Give the queue's feeder thread time to flush the claim,
             # then die without cleanup — the pool must reconcile.
@@ -88,7 +98,7 @@ class ShardPool:
     restart:
         Restart crashed workers (on by default).  Restarting preserves
         the shard's queued requests; only requests the dead worker had
-        claimed are failed.
+        already taken off its queue are failed.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class ShardPool:
         )
         self._next_rid = 0
         self._pending: Set[int] = set()
+        self._shard_of: Dict[int, int] = {}  # rid -> dispatch shard
         self._claimed: List[Set[int]] = [set() for _ in range(num_shards)]
         self._responses: Dict[int, Dict[str, object]] = {}
         self.submitted = 0
@@ -207,6 +218,7 @@ class ShardPool:
             ) from None
         self._next_rid += 1
         self._pending.add(rid)
+        self._shard_of[rid] = shard
         self.submitted += 1
         return rid
 
@@ -229,6 +241,7 @@ class ShardPool:
         if rid not in self._pending:
             return
         self._pending.discard(rid)
+        self._shard_of.pop(rid, None)
         self._responses[rid] = response
         if response.get("ok"):
             self.completed += 1
@@ -236,14 +249,38 @@ class ShardPool:
             self.failed += 1
 
     def _reap(self) -> None:
-        """Fail the claimed work of dead workers and restart them."""
+        """Reconcile a dead worker's shard and restart it.
+
+        Every request dispatched to the shard is in exactly one of
+        three places: answered (its result made it to the out queue),
+        still sitting in the shard's dispatch queue, or *inside* the
+        dead worker (taken off the queue, whether or not its claim
+        message survived the dying process's queue feeder).  The first
+        group is flushed normally, the second is re-enqueued for the
+        restarted worker, and everything else is failed immediately —
+        so a lost claim can never stall :meth:`drain` until the
+        deadline."""
         for shard, worker in enumerate(self._workers):
             if worker is None or worker.is_alive():
                 continue
             while self._pump(0.0):  # flush messages it did deliver
                 pass
             exitcode = worker.exitcode
-            for rid in sorted(self._claimed[shard]):
+            survivors: List[tuple] = []
+            try:
+                while True:
+                    item = self._in_queues[shard].get_nowait()
+                    if item is not _STOP:
+                        survivors.append(item)
+            except queue.Empty:
+                pass
+            survivor_rids = {rid for rid, _ in survivors}
+            lost = sorted(
+                rid for rid in self._pending
+                if self._shard_of.get(rid) == shard
+                and rid not in survivor_rids
+            )
+            for rid in lost:
                 self._record(rid, {
                     "ok": False,
                     "error": (
@@ -261,6 +298,18 @@ class ShardPool:
                         1, shard=shard
                     )
                 self._workers[shard] = self._spawn(shard)
+                for item in survivors:  # queue was drained: fits again
+                    self._in_queues[shard].put_nowait(item)
+            else:
+                # No worker will ever serve the survivors either.
+                for rid, _ in survivors:
+                    self._record(rid, {
+                        "ok": False,
+                        "error": (
+                            f"worker shard {shard} crashed "
+                            f"(exit {exitcode}, no restart)"
+                        ),
+                    })
 
     def drain(
         self, timeout: float = 30.0, fail_stragglers: bool = True

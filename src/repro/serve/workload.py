@@ -236,27 +236,52 @@ async def _drive_connection(
     result: LoadGenResult,
 ) -> None:
     """One closed-loop client: send, await the matching response,
-    repeat.  Responses correlate by id (batched responses may not
-    interleave on a single connection, so FIFO per connection holds)."""
+    repeat.  Responses correlate by the echoed ``id``, never by FIFO
+    order: after a client-side timeout the late response eventually
+    arrives on the same connection, and matching by id lets us discard
+    it instead of miscounting it as the answer to the *next* request
+    (which would skew every subsequent latency sample)."""
     reader, writer = await asyncio.open_connection(host, port)
+    stale: set = set()  # ids we already counted as timeouts
     try:
         for request in requests:
             writer.write(json.dumps(request).encode() + b"\n")
             await writer.drain()
+            rid = request.get("id")
             start = time.monotonic()
+            deadline = start + timeout
             result.sent += 1
-            try:
-                line = await asyncio.wait_for(
-                    reader.readline(), timeout=timeout
-                )
-            except asyncio.TimeoutError:
-                result.timeouts += 1
+            response: Optional[Dict[str, object]] = None
+            while response is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    result.timeouts += 1
+                    if rid is not None:
+                        stale.add(rid)
+                    break
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    result.timeouts += 1
+                    if rid is not None:
+                        stale.add(rid)
+                    break
+                if not line:
+                    result.errors += 1
+                    result.error_messages.append("connection closed")
+                    break
+                payload = json.loads(line)
+                got = payload.get("id")
+                if got is not None and got in stale:
+                    stale.discard(got)  # late answer to a timed-out
+                    continue            # request: drop, keep reading
+                if rid is not None and got is not None and got != rid:
+                    continue  # not ours (defensive); keep reading
+                response = payload
+            if response is None:
                 continue
-            if not line:
-                result.errors += 1
-                result.error_messages.append("connection closed")
-                continue
-            response = json.loads(line)
             if response.get("ok"):
                 result.ok += 1
                 result.latencies_ms.append(

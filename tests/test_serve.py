@@ -12,6 +12,7 @@ Three belts:
 """
 
 import json
+import time
 
 import pytest
 
@@ -271,6 +272,40 @@ class TestEngineProtocol:
         assert response["ok"] is False
         assert "materialisable" in response["error"]
 
+    def test_malformed_requests_fail_closed(self):
+        """Malformed-but-JSON requests come back ``ok: false`` with the
+        id echoed — never as an exception through the protocol
+        boundary (bad digits, non-string nodes, short pairs, wrong
+        container types)."""
+        engine = QueryEngine()
+        spec = {"family": "MS", "l": 2, "n": 2}
+        poison = [
+            {"op": "distance", "network": spec,
+             "pairs": [["1a345", "12345"]], "id": 1},
+            {"op": "distance", "network": spec,
+             "pairs": [[12345, 54321]], "id": 2},
+            {"op": "distance", "network": spec, "pairs": [["12345"]],
+             "id": 3},
+            {"op": "distance", "network": spec, "pairs": "12345",
+             "id": 4},
+            {"op": "route", "network": spec, "pairs": [["12345"]],
+             "id": 5},
+            {"op": "route", "network": spec, "pairs": 3, "id": 6},
+            {"op": "route", "network": spec, "sources": 3,
+             "target": "12345", "id": 7},
+            {"op": "neighbors", "network": spec, "nodes": 3, "id": 8},
+            {"op": "embedding", "network": spec, "nodes": [["x"]],
+             "id": 9},
+        ]
+        for request in poison:
+            response = engine.execute(request)
+            assert response["ok"] is False, request
+            assert response["id"] == request["id"]
+            assert response["error"]
+        # and through the batching entry point too
+        responses = engine.execute_many(poison)
+        assert all(r["ok"] is False for r in responses)
+
     def test_execute_many_coalesces_and_matches(self):
         """Coalesced same-network batches answer exactly like one-at-a-
         time execution."""
@@ -433,6 +468,29 @@ class TestShardPool:
         assert stats["closed"]
         assert stats["submitted"] == stats["completed"] + stats["failed"]
 
+    def test_lost_claim_fails_fast_not_at_drain_deadline(self):
+        """A worker dying *before* its claim reaches the parent (the
+        lost-claim window) must not stall the batch until the drain
+        deadline: dispatch tracking fails it immediately, queued
+        requests survive the restart, and the books close."""
+        spec = {"family": "MS", "l": 2, "n": 2}
+        good = make_workload("uniform", spec, k=5, count=4,
+                             seed=9, batch=2)
+        with ShardPool(num_shards=1, queue_depth=16) as pool:
+            start = time.monotonic()
+            responses = pool.execute_many(
+                [{"op": "_crash_silent", "network": spec}] + good,
+                timeout=30.0,
+            )
+            elapsed = time.monotonic() - start
+            stats = pool.stats()
+        assert responses[0]["ok"] is False
+        assert "crashed" in responses[0]["error"]
+        assert all(r["ok"] for r in responses[1:])
+        assert stats["restarts"] == 1
+        assert stats["closed"]
+        assert elapsed < 15.0  # far from the 30s drain deadline
+
 
 # ----------------------------------------------------------------------
 # Workloads
@@ -581,6 +639,74 @@ class TestServerSmoke:
         assert any("overloaded" in m for m in result.error_messages)
         assert stats["closed"]
         assert stats["rejected"] == result.errors
+
+    def test_backend_exception_does_not_kill_batcher(self):
+        """A backend that raises (a poison request) must not kill the
+        batch loop: the poisoned batch is answered with errors and the
+        server keeps serving later requests — no remote DoS."""
+
+        class PoisonBackend:
+            def __init__(self):
+                self.engine = QueryEngine()
+
+            def execute_many(self, requests):
+                if any(r.get("op") == "_poison" for r in requests):
+                    raise RuntimeError("boom")
+                return self.engine.execute_many(requests)
+
+        spec = {"family": "IS", "k": 4}
+        with ServerThread(PoisonBackend(), batch_window=0.001) as server:
+            poisoned = run_loadgen(
+                server.host, server.port, [{"op": "_poison"}],
+                concurrency=1, timeout=5.0,
+            )
+            after = run_loadgen(
+                server.host, server.port,
+                [{"op": "distance", "network": spec,
+                  "pairs": [["1234", "2134"]]}],
+                concurrency=1, timeout=5.0,
+            )
+            stats = server.server.stats()
+        assert poisoned.closed and poisoned.errors == 1
+        assert any("backend error" in m for m in poisoned.error_messages)
+        assert after.closed and after.ok == 1   # the server survived
+        assert stats["closed"]
+
+    def test_loadgen_timeout_does_not_desync_connection(self):
+        """After a client-side timeout the late response is discarded
+        by id — it must not be miscounted as the answer to the next
+        request on the connection."""
+
+        class SlowErrorBackend:
+            def execute_many(self, requests):
+                responses = []
+                for r in requests:
+                    if r.get("op") == "slow":
+                        time.sleep(1.5)
+                        resp = {"ok": False, "op": "slow",
+                                "error": "late and wrong"}
+                    else:
+                        resp = {"ok": True, "op": r.get("op"),
+                                "result": {}}
+                    if "id" in r:
+                        resp["id"] = r["id"]
+                    responses.append(resp)
+                return responses
+
+        requests = [{"op": "slow"}] + [{"op": "fast"}] * 5
+        with ServerThread(
+            SlowErrorBackend(), batch_window=0.001, request_timeout=30.0
+        ) as server:
+            result = run_loadgen(
+                server.host, server.port, requests,
+                concurrency=1, timeout=1.0,
+            )
+        assert result.timeouts == 1     # the slow request, and only it
+        # With FIFO correlation the late "late and wrong" error would
+        # be counted against the first fast request (ok=4, errors=1).
+        assert result.errors == 0, result.error_messages
+        assert result.ok == 5
+        assert result.closed
 
     def test_serve_sweep_rows_close(self):
         from repro.experiments import serve_sweep
