@@ -1,0 +1,177 @@
+"""Cluster chaos benchmark: kill a replica mid-run, measure recovery.
+
+Drives a live 3-replica cluster (MS(2,2) warm on every replica) through
+two chaos scenarios and records the operational envelope the cluster
+section of ``docs/serving.md`` promises:
+
+* **kill-primary failover** — a seeded :class:`ChaosSchedule` kills the
+  workload's consistent-hash *primary* mid-run (single-family traffic
+  pins to one replica, so killing anything else would measure nothing)
+  and restarts it moments later.  Every request must be answered
+  exactly once, availability must stay >= 99 %, and the router's
+  ``down_at`` detection timestamp against the kill instant gives the
+  failover time.  Latency quantiles are cut *before / during / after*
+  the outage window;
+* **rolling restart** — every replica drained and restarted in turn
+  under load; the drain protocol must lose nothing (zero failed
+  requests).
+
+Records everything via the ``report`` fixture
+(``benchmarks/results/BENCH_cluster.json``).
+"""
+
+import json
+import socket
+import threading
+import time
+
+from repro.cluster import ChaosEvent, ChaosRunner, ChaosSchedule, ClusterManager
+from repro.serve import make_workload, percentile, run_loadgen
+
+SPEC = {"family": "MS", "l": 2, "n": 2}
+REQUIRED_AVAILABILITY = 0.99
+CLIENTS = 2
+REQUESTS_PER_CLIENT = 300
+PACING_S = 0.002          # stretch the run so the kill lands mid-stream
+KILL_AT = 0.6
+RESTART_AT = 1.2
+
+
+def _drive(host, port, requests, t0, records, failures):
+    """Closed-loop client: one response per request, timestamped."""
+    try:
+        with socket.create_connection((host, port), timeout=15) as sock:
+            fh = sock.makefile("rw")
+            for i, request in enumerate(requests):
+                send_at = time.monotonic()
+                fh.write(json.dumps(dict(request, id=i)) + "\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+                latency_ms = (time.monotonic() - send_at) * 1000.0
+                assert response.get("id") == i, (
+                    f"duplicate or reordered response: {response}"
+                )
+                records.append(
+                    (send_at - t0, latency_ms, bool(response.get("ok")))
+                )
+                time.sleep(PACING_S)
+    except Exception as exc:  # noqa: BLE001 - recorded, not swallowed
+        failures.append(exc)
+
+
+def _quantiles(records):
+    lat = [r[1] for r in records]
+    return (percentile(lat, 50.0), percentile(lat, 99.0), len(lat))
+
+
+def test_cluster_kill_failover_and_rolling_restart(report):
+    lines = []
+
+    # -- scenario 1: kill the ring primary mid-run ----------------------
+    workload = make_workload("uniform", SPEC, k=5,
+                             count=CLIENTS * REQUESTS_PER_CLIENT * 2,
+                             seed=17, batch=2)
+    with ClusterManager(replicas=3, warm_specs=(SPEC,),
+                        probe_interval=0.05) as cluster:
+        primary = cluster.router.router.ring.primary("MS")
+        schedule = ChaosSchedule([
+            ChaosEvent(at=KILL_AT, action="kill", replica=primary),
+            ChaosEvent(at=RESTART_AT, action="restart", replica=primary),
+        ])
+        records, failures, threads = [], [], []
+        per_client = [
+            workload[i::CLIENTS][:REQUESTS_PER_CLIENT]
+            for i in range(CLIENTS)
+        ]
+        with ChaosRunner(cluster, schedule) as chaos:
+            t0 = chaos.started_at
+            for chunk in per_client:
+                thread = threading.Thread(
+                    target=_drive,
+                    args=(cluster.host, cluster.port, chunk, t0,
+                          records, failures),
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join(timeout=120)
+        assert not failures, failures
+        assert len(chaos.applied) == 2, chaos.applied
+        stats = cluster.router.stats()
+        kill_abs = t0 + chaos.applied[0]["offset"]
+        down_at = stats["replicas"][primary]["down_at"]
+
+    total = len(records)
+    expected = CLIENTS * REQUESTS_PER_CLIENT
+    assert total == expected, f"answered {total}/{expected}"
+    assert stats["closed"], stats
+    ok = sum(1 for r in records if r[2])
+    availability = ok / total
+    assert availability >= REQUIRED_AVAILABILITY, (
+        f"availability {availability:.4f} < {REQUIRED_AVAILABILITY}"
+    )
+    # the kill must have landed mid-run and been detected
+    assert down_at is not None, stats["replicas"][primary]
+    failover_ms = (down_at - kill_abs) * 1000.0
+    assert 0 <= failover_ms < 1000.0, failover_ms
+
+    restart_off = chaos.applied[1]["offset"]
+    kill_off = chaos.applied[0]["offset"]
+    before = [r for r in records if r[0] < kill_off]
+    during = [r for r in records if kill_off <= r[0] < restart_off]
+    after = [r for r in records if r[0] >= restart_off]
+    assert before and during and after, (
+        len(before), len(during), len(after),
+    )
+
+    lines.append("kill-primary failover: MS(2,2), 3 replicas, rf=2, "
+                 f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} requests")
+    lines.append(f"  victim={primary} killed at t={kill_off:.3f}s, "
+                 f"restarted at t={restart_off:.3f}s")
+    lines.append(f"  answered {total}/{expected} exactly once; "
+                 f"availability {availability:.4f} "
+                 f"(bar {REQUIRED_AVAILABILITY})")
+    lines.append(f"  failover detection: {failover_ms:.1f} ms "
+                 "(kill -> router marks DOWN)")
+    lines.append(f"  router: retries={stats['retries']} "
+                 f"failovers={stats['failovers']} "
+                 f"failed={stats['failed']}")
+    for label, chunk in (("before", before), ("during", during),
+                         ("after", after)):
+        p50, p99, count = _quantiles(chunk)
+        lines.append(f"  {label:>6}: n={count:4d}  "
+                     f"p50={p50:7.2f} ms  p99={p99:7.2f} ms")
+
+    # -- scenario 2: rolling restart loses nothing ----------------------
+    requests = make_workload("uniform", SPEC, k=5, count=600,
+                             seed=23, batch=4)
+    with ClusterManager(replicas=3, warm_specs=(SPEC,),
+                        probe_interval=0.05) as cluster:
+        rolled = []
+        roller = threading.Thread(
+            target=lambda: rolled.extend(cluster.rolling_restart()),
+            daemon=True,
+        )
+        roller.start()
+        result = run_loadgen(cluster.host, cluster.port, requests,
+                             concurrency=4)
+        roller.join(timeout=120)
+        assert not roller.is_alive(), "rolling restart hung"
+        roll_stats = cluster.router.stats()
+        moved = roll_stats["ring_moved_keys"]
+
+    assert len(rolled) == 3, rolled
+    assert result.closed, result.to_dict()
+    assert result.errors == 0 and result.timeouts == 0, result.to_dict()
+    assert result.ok == result.sent
+    assert roll_stats["closed"], roll_stats
+
+    lines.append("rolling restart: all 3 replicas drained + restarted "
+                 "under load")
+    lines.append(f"  {result.ok}/{result.sent} ok, 0 failed, "
+                 f"0 timeouts (zero-loss drain)")
+    lines.append(f"  p50={result.p50_ms:.2f} ms  "
+                 f"p99={result.p99_ms:.2f} ms  "
+                 f"ring keys moved={moved}")
+
+    report("cluster", lines)

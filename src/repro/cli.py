@@ -335,8 +335,14 @@ def cmd_faults(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the JSON-over-TCP query server until interrupted."""
+    """Run the JSON-over-TCP query server until interrupted.
+
+    SIGTERM and SIGINT trigger a graceful shutdown: stop admitting,
+    drain every in-flight batch through the back end, print the closed
+    accounting, and exit 0 — no request dies mid-batch.
+    """
     import asyncio
+    import signal
 
     from .serve import QueryEngine, QueryServer, ShardPool
 
@@ -384,19 +390,73 @@ def cmd_serve(args) -> int:
 
     async def _serve() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop_requested.set)
         print(f"serving on {server.host}:{server.port} "
               f"(backend: {type(backend).__name__})", file=sys.stderr)
-        await server._server.serve_forever()
+        await stop_requested.wait()
+        print("shutdown requested; draining in-flight batches...",
+              file=sys.stderr)
+        flushed = await server.drain(timeout=args.drain_timeout)
+        await server.stop()
+        if not flushed:
+            print("warning: drain deadline passed with work in "
+                  "flight", file=sys.stderr)
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
-        print("interrupted; final stats:", file=sys.stderr)
-        print(json.dumps(server.stats(), indent=1), file=sys.stderr)
+        pass  # signal handler beat us to it on some platforms
     finally:
         if isinstance(backend, ShardPool):
             backend.close()
-    return 0
+    stats = server.stats()
+    print("final stats:", file=sys.stderr)
+    print(json.dumps(stats, indent=1), file=sys.stderr)
+    return 0 if stats["closed"] else 1
+
+
+def cmd_cluster(args) -> int:
+    """Run a replicated serving cluster (replicas + front proxy)
+    until interrupted; SIGTERM/SIGINT stop it cleanly."""
+    import signal
+    import threading
+
+    from .cluster import ClusterManager
+
+    warm_specs = tuple(
+        json.loads(text) for text in (args.warm or ())
+    )
+    manager = ClusterManager(
+        replicas=args.replicas,
+        replication_factor=args.replication_factor,
+        host=args.host,
+        port=args.port,
+        table_cache=args.table_cache,
+        warm_specs=warm_specs,
+        ring_seed=args.ring_seed,
+    )
+    stop_requested = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop_requested.set())
+    manager.start()
+    try:
+        for name, replica in sorted(manager.replicas.items()):
+            print(f"{name}: {replica.host}:{replica.port}",
+                  file=sys.stderr)
+        print(f"routing on {manager.host}:{manager.port} "
+              f"({args.replicas} replicas, "
+              f"rf={args.replication_factor})", file=sys.stderr)
+        stop_requested.wait()
+        print("shutdown requested; final router stats:",
+              file=sys.stderr)
+        stats = manager.router.stats()
+        print(json.dumps(stats, indent=1), file=sys.stderr)
+        return 0 if stats["closed"] else 1
+    finally:
+        manager.stop()
 
 
 def cmd_loadgen(args) -> int:
@@ -409,6 +469,7 @@ def cmd_loadgen(args) -> int:
         replay_trace,
         run_loadgen,
         save_trace,
+        stamp_arrivals,
     )
 
     net = _build_network(args)
@@ -420,20 +481,33 @@ def cmd_loadgen(args) -> int:
             args.workload, spec, k=net.k, count=args.count,
             seed=args.seed, batch=args.batch, op=args.op,
         )
+    if args.rate:
+        requests = stamp_arrivals(requests, args.rate, seed=args.seed)
     if args.save_trace:
         count = save_trace(requests, args.save_trace)
         print(f"wrote {count} requests to {args.save_trace}",
               file=sys.stderr)
-        if args.host is None and not args.self_serve:
+        if args.host is None and not args.self_serve \
+                and not args.cluster:
             return 0
 
     def _fire(host: str, port: int):
         return run_loadgen(
             host, port, requests,
             concurrency=args.concurrency, timeout=args.timeout,
+            replay_speed=args.replay_speed,
         )
 
-    if args.self_serve:
+    if args.cluster:
+        from .cluster import ClusterManager
+
+        with ClusterManager(
+            replicas=args.cluster,
+            table_cache=args.table_cache,
+            warm_specs=(spec,),
+        ) as cluster:
+            result = _fire(cluster.host, cluster.port)
+    elif args.self_serve:
         engine = QueryEngine(table_cache=args.table_cache)
         with ServerThread(engine) as srv:
             result = _fire(srv.host, srv.port)
@@ -441,8 +515,8 @@ def cmd_loadgen(args) -> int:
         result = _fire(args.host, args.port)
     else:
         raise SystemExit(
-            "error: loadgen needs --host (a running `repro serve`) or "
-            "--self-serve"
+            "error: loadgen needs --host (a running `repro serve`), "
+            "--self-serve, or --cluster N"
         )
     summary = result.to_dict()
     if args.json:
@@ -551,6 +625,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm", action="append", metavar="SPEC",
                    help='prewarm a network, e.g. '
                         '\'{"family": "MS", "l": 2, "n": 3}\'')
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds to flush in-flight batches on "
+                        "SIGTERM/SIGINT before stopping")
+    _add_table_cache_arg(p)
+
+    p = add_command(
+        "cluster",
+        help="serve through a replicated cluster with a front proxy",
+    )
+    p.add_argument("--replicas", type=int, default=3,
+                   help="serving replicas to launch")
+    p.add_argument("--replication-factor", type=int, default=2,
+                   help="replicas per family key on the hash ring")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7420,
+                   help="router TCP port (0 = ephemeral); replicas "
+                        "take ephemeral ports")
+    p.add_argument("--warm", action="append", metavar="SPEC",
+                   help="prewarm a network on every replica")
+    p.add_argument("--ring-seed", type=int, default=0,
+                   help="consistent-hash ring seed")
     _add_table_cache_arg(p)
 
     p = add_command("loadgen", help="fire a seeded workload at a server")
@@ -560,6 +655,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=7421)
     p.add_argument("--self-serve", action="store_true",
                    help="spin up an in-process server for the run")
+    p.add_argument("--cluster", type=int, metavar="N",
+                   help="spin up an in-process N-replica cluster and "
+                        "fire through its router")
     p.add_argument("--workload",
                    choices=("uniform", "hotspot", "transpose"),
                    default="uniform")
@@ -578,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay a JSONL trace instead of generating")
     p.add_argument("--save-trace", metavar="FILE",
                    help="write the generated workload as a JSONL trace")
+    p.add_argument("--rate", type=float,
+                   help="stamp Poisson arrival times (requests/sec) "
+                        "onto the workload before firing or saving")
+    p.add_argument("--replay-speed", type=float,
+                   help="honor recorded `ts` arrival stamps, scaled "
+                        "(1.0 = real time, 2.0 = twice as fast)")
     p.add_argument("--json", action="store_true",
                    help="emit the loadgen summary as JSON")
 
@@ -605,6 +709,7 @@ COMMANDS = {
     "mnb": cmd_mnb,
     "faults": cmd_faults,
     "serve": cmd_serve,
+    "cluster": cmd_cluster,
     "loadgen": cmd_loadgen,
     "girth": cmd_girth,
     "connectivity": cmd_connectivity,

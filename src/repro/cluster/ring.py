@@ -1,0 +1,170 @@
+"""Seeded consistent-hash ring: query families -> replica sets.
+
+The cluster routes each query by its network *family* (the same key
+:class:`~repro.serve.shard.ShardPool` pins workers by), so a family's
+compiled tables stay warm on a stable subset of replicas.  The
+:class:`HashRing` places ``vnodes`` virtual points per replica on a
+64-bit ring (seeded blake2b positions, fully deterministic) and maps a
+key to the first ``replication_factor`` *distinct* replicas clockwise
+from the key's own point — the classic Karger construction, giving the
+minimal-movement property the tests pin down:
+
+* **join**: a key's primary changes only if it moves *to* the new
+  replica;
+* **leave**: a key's primary changes only if it was *on* the departed
+  replica — everyone else keeps their assignment byte-for-byte.
+
+The ring tracks the keys it has routed (:meth:`nodes_for` records
+them), so membership changes can report exactly how many live keys
+moved — surfaced on the ``cluster.ring.moved_keys`` counter and
+:attr:`HashRing.moved_keys`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import get_registry
+
+DEFAULT_VNODES = 64
+MOVED_METRIC = "cluster.ring.moved_keys"
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and replica sets.
+
+    Parameters
+    ----------
+    replicas:
+        Initial replica names.
+    replication_factor:
+        Distinct replicas per key (clipped to the live replica count).
+    vnodes:
+        Virtual points per replica; more points, smoother balance.
+    seed:
+        Mixed into every hash, so two rings with the same seed place
+        keys identically (and different seeds give independent rings).
+    """
+
+    def __init__(
+        self,
+        replicas=(),
+        replication_factor: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.replication_factor = replication_factor
+        self.vnodes = vnodes
+        self.seed = seed
+        self.moved_keys = 0
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, replica)
+        self._hashes: List[int] = []
+        self._replicas: List[str] = []
+        self._tracked: Dict[str, Tuple[str, ...]] = {}  # key -> last map
+        for name in replicas:
+            self.add(name)
+
+    # -- hashing --------------------------------------------------------
+
+    def _hash(self, text: str) -> int:
+        digest = blake2b(
+            f"{self.seed}:{text}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    # -- membership -----------------------------------------------------
+
+    @property
+    def replicas(self) -> List[str]:
+        return list(self._replicas)
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._replicas
+
+    def add(self, name: str) -> int:
+        """Join a replica; returns how many tracked keys moved."""
+        if name in self._replicas:
+            return 0
+        self._replicas.append(name)
+        for i in range(self.vnodes):
+            point = self._hash(f"{name}#{i}")
+            index = bisect.bisect(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._points.insert(index, (point, name))
+        return self._count_moves()
+
+    def remove(self, name: str) -> int:
+        """Leave a replica; returns how many tracked keys moved."""
+        if name not in self._replicas:
+            return 0
+        self._replicas.remove(name)
+        keep = [(h, r) for h, r in self._points if r != name]
+        self._points = keep
+        self._hashes = [h for h, _ in keep]
+        return self._count_moves()
+
+    def _count_moves(self) -> int:
+        """Re-map every tracked key; count primaries that changed."""
+        moved = 0
+        for key, before in list(self._tracked.items()):
+            after = tuple(self._map(key))
+            if (before[:1] if before else ()) != (after[:1] if after else ()):
+                moved += 1
+            self._tracked[key] = after
+        if moved:
+            self.moved_keys += moved
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(MOVED_METRIC).inc(moved)
+        return moved
+
+    # -- lookup ---------------------------------------------------------
+
+    def _map(self, key: str) -> List[str]:
+        if not self._points:
+            return []
+        want = min(self.replication_factor, len(self._replicas))
+        start = bisect.bisect(self._hashes, self._hash(key))
+        chosen: List[str] = []
+        n = len(self._points)
+        for offset in range(n):
+            replica = self._points[(start + offset) % n][1]
+            if replica not in chosen:
+                chosen.append(replica)
+                if len(chosen) == want:
+                    break
+        return chosen
+
+    def nodes_for(self, key: str) -> List[str]:
+        """The key's replica preference list (primary first), recording
+        the key so later joins/leaves can report movement."""
+        mapped = self._map(key)
+        self._tracked[key] = tuple(mapped)
+        return mapped
+
+    def primary(self, key: str) -> Optional[str]:
+        mapped = self._map(key)
+        return mapped[0] if mapped else None
+
+    def assignment(self) -> Dict[str, Tuple[str, ...]]:
+        """Snapshot of every tracked key's current replica list."""
+        return dict(self._tracked)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HashRing: {len(self._replicas)} replicas x "
+            f"{self.vnodes} vnodes, rf={self.replication_factor}, "
+            f"{len(self._tracked)} tracked keys, "
+            f"{self.moved_keys} moved>"
+        )

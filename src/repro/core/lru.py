@@ -26,6 +26,11 @@ V = TypeVar("V")
 #: cache distinguishes itself with a ``cache=<name>`` label.
 EVICTION_METRIC = "serve.table_evictions"
 
+#: companion occupancy gauge: any metric-enabled cache also publishes
+#: its current size here (same ``cache=<name>`` labels), so operators
+#: see cache pressure *before* evictions start.
+SIZE_METRIC = "serve.cache_size"
+
 
 class LRUCache:
     """Bounded mapping with least-recently-used eviction.
@@ -85,6 +90,13 @@ class LRUCache:
             self.evictions += 1
             if self.metric is not None:
                 get_registry().counter(self.metric).inc(1, **self.labels)
+        self._publish_size()
+
+    def _publish_size(self) -> None:
+        if self.metric is not None:
+            get_registry().gauge(SIZE_METRIC).set(
+                len(self._entries), **self.labels
+            )
 
     def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
         """The cached value, or ``factory()`` inserted and returned."""
@@ -97,6 +109,7 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry (not counted as evictions)."""
         self._entries.clear()
+        self._publish_size()
 
     def __repr__(self) -> str:
         name = self.labels.get("cache", "lru")

@@ -13,12 +13,14 @@ ranges and build their own tables::
 
 from .report import CheckResult, render_report, run_quick_report
 from .runners import (
+    ClusterRow,
     EmbeddingRow,
     EmulationRow,
     FaultRow,
     Figure1Row,
     ServeRow,
     TaskRow,
+    cluster_sweep,
     fault_sweep,
     figure1_panels,
     mnb_sweep,
@@ -32,12 +34,14 @@ from .runners import (
 )
 
 __all__ = [
+    "ClusterRow",
     "EmulationRow",
     "EmbeddingRow",
     "TaskRow",
     "Figure1Row",
     "FaultRow",
     "ServeRow",
+    "cluster_sweep",
     "fault_sweep",
     "serve_sweep",
     "theorem4_sweep",

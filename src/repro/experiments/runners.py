@@ -11,6 +11,7 @@ row triggered.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
@@ -497,3 +498,137 @@ def serve_sweep(
                 p50_ms=result.p50_ms,
                 p99_ms=result.p99_ms,
             )
+
+
+@dataclass(frozen=True)
+class ClusterRow:
+    """One chaos scenario's cluster measurement.
+
+    ``availability`` is the fraction of requests answered OK despite
+    the scenario's kills; ``retries``/``failovers`` count the router's
+    recovery work; ``moved_keys`` tracks consistent-hash churn.
+    """
+
+    network: str
+    scenario: str
+    replicas: int
+    replication_factor: int
+    requests: int
+    ok: int
+    errors: int
+    timeouts: int
+    kills: int
+    restarts: int
+    retries: int
+    failovers: int
+    moved_keys: int
+    qps: float
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+
+    @property
+    def closed(self) -> bool:
+        """Cluster-wide accounting closes under chaos."""
+        return self.requests == self.ok + self.errors + self.timeouts
+
+    @property
+    def availability(self) -> float:
+        return self.ok / self.requests if self.requests else 1.0
+
+
+def cluster_sweep(
+    family: str = "MS",
+    l: Optional[int] = 2,
+    n: Optional[int] = 2,
+    k: Optional[int] = None,
+    scenarios: Sequence[str] = ("steady", "kill-primary", "rolling"),
+    replicas: int = 3,
+    replication_factor: int = 2,
+    count: int = 200,
+    batch: int = 8,
+    concurrency: int = 4,
+    seed: int = 0,
+    table_cache: Optional[str] = None,
+) -> Iterator[ClusterRow]:
+    """Drive a replicated cluster through seeded chaos scenarios, one
+    row per scenario:
+
+    * ``steady`` — no faults; the replicated baseline;
+    * ``kill-primary`` — abruptly kill the workload key's ring primary
+      mid-run, then restart it; exercises failover retry;
+    * ``rolling`` — rolling drain + restart of every replica while the
+      load generator runs; must lose nothing.
+
+    Rows must stay ``closed`` and, for drain-based scenarios, keep
+    ``errors == 0`` — the sweep doubles as the cluster's correctness
+    probe.
+    """
+    import threading
+
+    from ..cluster import ClusterManager
+    from ..io import network_spec
+    from ..serve import make_workload, run_loadgen
+
+    net = (make_network("IS", k=k) if family == "IS"
+           else make_network(family, l=l, n=n))
+    spec = network_spec(net)
+    for scenario in scenarios:
+        with get_tracer().span(
+            "sweep.cluster", network=net.name, scenario=scenario,
+        ) as sp:
+            requests = make_workload(
+                "uniform", spec, k=net.k, count=count,
+                seed=seed, batch=batch,
+            )
+            with ClusterManager(
+                replicas=replicas,
+                replication_factor=replication_factor,
+                table_cache=table_cache,
+                warm_specs=(spec,),
+            ) as cluster:
+                chaos: Optional[threading.Thread] = None
+                if scenario == "kill-primary":
+                    # single-family traffic pins to the ring primary —
+                    # killing anything else would exercise nothing
+                    victim = cluster.router.router.ring.primary(family)
+
+                    def _chaos(victim=victim):
+                        time.sleep(0.05)
+                        cluster.kill(victim)
+                        cluster.restart(victim)
+
+                    chaos = threading.Thread(target=_chaos, daemon=True)
+                    chaos.start()
+                elif scenario == "rolling":
+                    chaos = threading.Thread(
+                        target=cluster.rolling_restart, daemon=True
+                    )
+                    chaos.start()
+                result = run_loadgen(
+                    cluster.host, cluster.port, requests,
+                    concurrency=concurrency,
+                )
+                if chaos is not None:
+                    chaos.join(timeout=30.0)
+                stats = cluster.stats()
+            sp.set(qps=result.qps, ok=result.ok)
+        router_stats = stats["router"]
+        replica_stats = stats["replicas"]
+        yield ClusterRow(
+            network=net.name,
+            scenario=scenario,
+            replicas=replicas,
+            replication_factor=replication_factor,
+            requests=result.sent,
+            ok=result.ok,
+            errors=result.errors,
+            timeouts=result.timeouts,
+            kills=sum(r["kills"] for r in replica_stats.values()),
+            restarts=sum(r["restarts"] for r in replica_stats.values()),
+            retries=router_stats["retries"],
+            failovers=router_stats["failovers"],
+            moved_keys=router_stats["ring_moved_keys"],
+            qps=result.qps,
+            p50_ms=result.p50_ms,
+            p99_ms=result.p99_ms,
+        )

@@ -30,6 +30,7 @@ or as a decorator::
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -79,16 +80,26 @@ class Span:
 class Tracer:
     """Records a tree of :class:`Span` objects.
 
-    Not thread-safe: one tracer per thread/process, matching the
-    library's synchronous execution model.
+    The open-span stack is *thread-local*, so spans opened on different
+    threads (the serving layer's server/router threads share the
+    process-global tracer with the main thread) parent correctly within
+    their own thread instead of corrupting each other's nesting; the
+    recorded span list is shared across threads.
     """
 
     enabled = True
 
     def __init__(self):
         self._spans: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording ---------------------------------------------------------
 

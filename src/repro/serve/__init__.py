@@ -41,6 +41,7 @@ from .workload import (
     requests_from_pairs,
     run_loadgen,
     save_trace,
+    stamp_arrivals,
     transpose_pairs,
     uniform_pairs,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "route_payload",
     "run_loadgen",
     "save_trace",
+    "stamp_arrivals",
     "transpose_pairs",
     "uniform_pairs",
 ]

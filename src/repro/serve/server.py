@@ -110,7 +110,10 @@ class QueryServer:
         self._wake: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher: Optional[asyncio.Task] = None
+        self._clients: set = set()
         self._closing = False
+        self._draining = False
+        self._in_batch = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -124,9 +127,29 @@ class QueryServer:
         self._batcher = asyncio.create_task(self._batch_loop())
         return self
 
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful drain: stop admitting, flush every in-flight batch
+        through the back end, answer it, and return once nothing is
+        parked (or the deadline passes).
+
+        New arrivals during the drain are rejected with a ``draining``
+        error (counted as ``rejected``), so accounting stays closed
+        while the batcher finishes real work.  Returns ``True`` when
+        every in-flight request was answered within ``timeout``.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while (self._pending or self._in_batch) \
+                and time.monotonic() < deadline:
+            if self._wake is not None:
+                self._wake.set()
+            await asyncio.sleep(0.005)
+        return not self._pending and not self._in_batch
+
     async def stop(self) -> None:
         """Stop accepting, answer every parked request (as timeouts),
-        and shut the batcher down — accounting stays closed."""
+        and shut the batcher down — accounting stays closed.  Call
+        :meth:`drain` first for a zero-loss shutdown."""
         self._closing = True
         if self._server is not None:
             self._server.close()
@@ -141,6 +164,28 @@ class QueryServer:
                 item.request, "server shutting down"
             ))
         self._pending.clear()
+        # FIN every client so peers (the cluster router's persistent
+        # connections especially) see the shutdown immediately instead
+        # of timing out against a dead-but-open socket.
+        for writer in list(self._clients):
+            try:
+                writer.close()
+            except (ConnectionResetError, OSError):
+                pass
+
+    def kill(self) -> None:
+        """Abrupt death (chaos testing): abort every client transport
+        with a RST and close the listener, mid-batch, no answers.  The
+        front proxy sees the connection sever and fails over."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._clients):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._wake is not None:
+            self._wake.set()
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -156,6 +201,31 @@ class QueryServer:
     ) -> None:
         stats = self.stats_counters
         registry = get_registry()
+        self._clients.add(writer)
+        try:
+            await self._client_loop(reader, writer, stats, registry)
+        except asyncio.CancelledError:
+            # shutdown cancels handler tasks mid-read; the asyncio
+            # streams connection callback would log the propagating
+            # CancelledError as an "Exception in callback" traceback
+            pass
+        finally:
+            # runs even when the handler task is cancelled at shutdown,
+            # so every client gets a FIN instead of a stale socket
+            self._clients.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _client_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        stats: ServerStats,
+        registry,
+    ) -> None:
         while not self._closing:
             try:
                 line = await reader.readline()
@@ -186,6 +256,14 @@ class QueryServer:
                     **({"id": request["id"]} if "id" in request else {}),
                 })
                 continue
+            if self._draining:
+                stats.rejected += 1
+                if registry.enabled:
+                    registry.counter("serve.rejected").inc(1)
+                await self._send(writer, self._error_response(
+                    request, "draining"
+                ))
+                continue
             if len(self._pending) >= self.max_pending:
                 stats.rejected += 1
                 if registry.enabled:
@@ -204,11 +282,6 @@ class QueryServer:
                     len(self._pending)
                 )
             self._wake.set()
-        try:
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionResetError, OSError):
-            pass
 
     @staticmethod
     def _error_response(
@@ -261,6 +334,7 @@ class QueryServer:
                     live.append(item)
             if not live:
                 continue
+            self._in_batch = len(live)
             self.stats_counters.batches += 1
             self.stats_counters.max_batch = max(
                 self.stats_counters.max_batch, len(live)
@@ -313,6 +387,7 @@ class QueryServer:
                         latency_ms
                     )
                 await self._send(item.writer, response)
+            self._in_batch = 0
 
     # -- introspection --------------------------------------------------
 
@@ -331,6 +406,7 @@ class QueryServer:
             "batches": stats.batches,
             "max_batch": stats.max_batch,
             "pending": len(self._pending),
+            "draining": self._draining,
             "qps": stats.completed / elapsed,
             "p50_ms": percentile(latencies, 50.0),
             "p99_ms": percentile(latencies, 99.0),
@@ -387,10 +463,36 @@ class ServerThread:
             )
         self._loop.close()
 
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Synchronous wrapper around :meth:`QueryServer.drain`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        return future.result(timeout=timeout + 5.0)
+
+    def kill(self) -> None:
+        """Abrupt death: abort every connection mid-batch and tear the
+        loop down without answering anything (chaos testing)."""
+        if self._loop is None or self._thread is None:
+            return
+
+        def _die():
+            self.server.kill()
+            self._loop.stop()
+
+        try:
+            self._loop.call_soon_threadsafe(_die)
+        except RuntimeError:
+            pass  # loop already gone
+        self._thread.join(timeout=10.0)
+
     def __exit__(self, *_exc) -> None:
         async def _shutdown():
             await self.server.stop()
             self._loop.stop()
 
-        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        try:
+            asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        except RuntimeError:
+            return  # killed already; thread is gone
         self._thread.join(timeout=10.0)

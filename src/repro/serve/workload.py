@@ -130,6 +130,32 @@ def _pairs_request(chunk, network, op, algorithm) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 
 
+def stamp_arrivals(
+    requests: Sequence[Dict[str, object]],
+    rate: float,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Stamp each request with a ``ts`` arrival offset (seconds from
+    run start) drawn from a seeded Poisson process of ``rate`` requests
+    per second.
+
+    Stamped traces replay *open-loop*: :func:`run_loadgen` with a
+    ``replay_speed`` honors the recorded inter-arrival times instead of
+    firing closed-loop as fast as responses return.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    stamped = []
+    clock = 0.0
+    for request in requests:
+        clock += rng.expovariate(rate)
+        request = dict(request)
+        request["ts"] = round(clock, 6)
+        stamped.append(request)
+    return stamped
+
+
 def save_trace(
     requests: Iterable[Dict[str, object]], path
 ) -> int:
@@ -234,17 +260,33 @@ async def _drive_connection(
     requests: Sequence[Dict[str, object]],
     timeout: float,
     result: LoadGenResult,
+    epoch: Optional[float] = None,
+    replay_speed: Optional[float] = None,
 ) -> None:
     """One closed-loop client: send, await the matching response,
     repeat.  Responses correlate by the echoed ``id``, never by FIFO
     order: after a client-side timeout the late response eventually
     arrives on the same connection, and matching by id lets us discard
     it instead of miscounting it as the answer to the *next* request
-    (which would skew every subsequent latency sample)."""
+    (which would skew every subsequent latency sample).
+
+    With ``replay_speed``, requests carrying a ``ts`` arrival offset
+    (see :func:`stamp_arrivals`) are *paced*: each send waits until its
+    recorded arrival time divided by ``replay_speed`` — open-loop trace
+    replay instead of as-fast-as-possible closed-loop."""
     reader, writer = await asyncio.open_connection(host, port)
     stale: set = set()  # ids we already counted as timeouts
     try:
         for request in requests:
+            ts = request.get("ts")
+            if replay_speed and epoch is not None and ts is not None:
+                due = epoch + float(ts) / replay_speed
+                delay = due - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                request = {
+                    k: v for k, v in request.items() if k != "ts"
+                }
             writer.write(json.dumps(request).encode() + b"\n")
             await writer.drain()
             rid = request.get("id")
@@ -306,6 +348,7 @@ async def _run_loadgen_async(
     requests: Sequence[Dict[str, object]],
     concurrency: int,
     timeout: float,
+    replay_speed: Optional[float] = None,
 ) -> LoadGenResult:
     result = LoadGenResult()
     stamped = []
@@ -318,7 +361,10 @@ async def _run_loadgen_async(
     ]
     start = time.monotonic()
     await asyncio.gather(*(
-        _drive_connection(host, port, lane, timeout, result)
+        _drive_connection(
+            host, port, lane, timeout, result,
+            epoch=start, replay_speed=replay_speed,
+        )
         for lane in lanes if lane
     ))
     result.elapsed = time.monotonic() - start
@@ -331,9 +377,22 @@ def run_loadgen(
     requests: Sequence[Dict[str, object]],
     concurrency: int = 4,
     timeout: float = 10.0,
+    replay_speed: Optional[float] = None,
 ) -> LoadGenResult:
     """Fire ``requests`` at a server over ``concurrency`` closed-loop
-    connections; returns latency quantiles + closed accounting."""
+    connections; returns latency quantiles + closed accounting.
+
+    ``replay_speed`` switches to open-loop pacing for requests stamped
+    with ``ts`` arrival offsets (:func:`stamp_arrivals`): ``1.0``
+    replays the recorded inter-arrival times in real time, ``2.0``
+    twice as fast, and so on.  Unstamped requests still fire
+    closed-loop.
+    """
+    if replay_speed is not None and replay_speed <= 0:
+        raise ValueError(
+            f"replay_speed must be positive, got {replay_speed}"
+        )
     return asyncio.run(_run_loadgen_async(
-        host, port, requests, max(1, concurrency), timeout
+        host, port, requests, max(1, concurrency), timeout,
+        replay_speed=replay_speed,
     ))

@@ -18,7 +18,6 @@ import pytest
 
 from repro.core.lru import LRUCache
 from repro.core.permutations import Permutation
-from repro.io import network_spec
 from repro.networks import FAMILIES, make_network
 from repro.serve import (
     LoadGenResult,
@@ -740,3 +739,188 @@ class TestServeMetrics:
         assert registry.counter("serve.queries").total() == len(requests)
         assert registry.counter("serve.coalesced_requests").total() \
             == len(requests)
+
+    def test_cache_size_gauge_tracks_occupancy(self):
+        from repro.core.lru import SIZE_METRIC
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = LRUCache(2, metric="test.evictions", cache="probe")
+            gauge = registry.gauge(SIZE_METRIC)
+            cache.put("a", 1)
+            assert gauge.value(cache="probe") == 1
+            cache.put("b", 2)
+            cache.put("c", 3)  # evicts "a"; occupancy stays at capacity
+            assert gauge.value(cache="probe") == 2
+            cache.clear()
+            assert gauge.value(cache="probe") == 0
+
+    def test_engine_publishes_cache_size_gauges(self):
+        from repro.core.lru import SIZE_METRIC
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = QueryEngine()
+            response = engine.execute({
+                "op": "properties",
+                "network": {"family": "MS", "l": 2, "n": 2},
+            })
+            assert response["ok"], response
+            gauge = registry.gauge(SIZE_METRIC)
+            assert gauge.value(cache="serve-graphs") == 1
+
+
+# ----------------------------------------------------------------------
+# Trace replay pacing
+# ----------------------------------------------------------------------
+
+
+class TestTraceReplay:
+    def test_stamp_arrivals_deterministic_and_monotone(self):
+        from repro.serve import stamp_arrivals
+
+        spec = {"family": "IS", "k": 4}
+        requests = make_workload("uniform", spec, k=4, count=24,
+                                 seed=5, batch=2)
+        a = stamp_arrivals([dict(r) for r in requests], rate=100,
+                           seed=7)
+        b = stamp_arrivals([dict(r) for r in requests], rate=100,
+                           seed=7)
+        stamps = [r["ts"] for r in a]
+        assert stamps == [r["ts"] for r in b]
+        assert all(t >= 0 for t in stamps)
+        assert stamps == sorted(stamps)
+        with pytest.raises(ValueError):
+            stamp_arrivals(requests, rate=0)
+
+    def test_replay_speed_paces_sends(self):
+        """Stamped arrivals stretch the run to ~ts_max/replay_speed;
+        a faster replay speed finishes proportionally sooner."""
+        from repro.serve import stamp_arrivals
+
+        spec = {"family": "MS", "l": 2, "n": 2}
+        requests = make_workload("uniform", spec, k=5, count=16,
+                                 seed=1, batch=2)
+        requests = stamp_arrivals(requests, rate=40, seed=3)
+        span = requests[-1]["ts"]
+        engine = QueryEngine()
+        with ServerThread(engine) as server:
+            start = time.monotonic()
+            result = run_loadgen(
+                server.host, server.port,
+                [dict(r) for r in requests],
+                concurrency=2, replay_speed=4.0,
+            )
+            elapsed = time.monotonic() - start
+        assert result.closed and result.ok == result.sent
+        # open-loop pacing: wall time at least the scaled trace span
+        assert elapsed >= span / 4.0
+        with pytest.raises(ValueError):
+            run_loadgen("h", 1, requests, replay_speed=0)
+
+    def test_replay_strips_ts_before_send(self):
+        """The `ts` pacing stamp is client-side only — servers must
+        still answer stamped requests (ts never reaches the wire)."""
+        from repro.serve import stamp_arrivals
+
+        spec = {"family": "IS", "k": 4}
+        requests = stamp_arrivals(
+            make_workload("uniform", spec, k=4, count=6, seed=2,
+                          batch=2),
+            rate=1000, seed=1,
+        )
+        engine = QueryEngine()
+        with ServerThread(engine) as server:
+            result = run_loadgen(
+                server.host, server.port, requests,
+                concurrency=1, replay_speed=50.0,
+            )
+        assert result.ok == result.sent and result.errors == 0
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown (SIGTERM drain)
+# ----------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_drain_flushes_pending_then_rejects(self):
+        """In-process: drain answers parked work; new arrivals during
+        drain are rejected with closed accounting."""
+        import socket
+
+        engine = QueryEngine()
+        with ServerThread(engine, batch_window=0.001) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rw")
+                fh.write(json.dumps({
+                    "id": 0, "op": "properties",
+                    "network": {"family": "MS", "l": 2, "n": 2},
+                }) + "\n")
+                fh.flush()
+                assert json.loads(fh.readline())["ok"]
+                assert server.drain(timeout=10)
+                fh.write(json.dumps({
+                    "id": 1, "op": "properties",
+                    "network": {"family": "MS", "l": 2, "n": 2},
+                }) + "\n")
+                fh.flush()
+                refused = json.loads(fh.readline())
+            stats = server.server.stats()
+        assert refused["ok"] is False
+        assert "draining" in refused["error"]
+        assert stats["draining"] is True
+        assert stats["closed"], stats
+
+    def test_sigterm_drains_live_subprocess(self):
+        """Regression: a live `repro serve` process answers what it
+        accepted, prints closed final stats, and exits 0 on SIGTERM."""
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "serving on" in banner, banner
+            host, port = banner.split()[2].rsplit(":", 1)
+            with socket.create_connection(
+                (host, int(port)), timeout=15
+            ) as sock:
+                fh = sock.makefile("rw")
+                for i in range(5):
+                    fh.write(json.dumps({
+                        "id": i, "op": "properties",
+                        "network": {"family": "MS", "l": 2, "n": 2},
+                    }) + "\n")
+                fh.flush()
+                for i in range(5):
+                    response = json.loads(fh.readline())
+                    assert response["ok"], response
+            proc.send_signal(signal.SIGTERM)
+            stderr = proc.stderr.read()
+            code = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert code == 0, stderr
+        assert "draining in-flight batches" in stderr
+        assert "Traceback" not in stderr, stderr
+        payload = stderr[stderr.index("{"):]
+        stats = json.loads(payload[:payload.rindex("}") + 1])
+        assert stats["closed"], stats
+        assert stats["received"] == 5
+        assert stats["completed"] == 5
