@@ -1,0 +1,93 @@
+"""Observability overhead gate: tracing + metrics must stay cheap.
+
+Fires the same seeded loadgen workload at the same in-process server
+under three observability configurations:
+
+* **obs off** — null registry, no trace sampling (the baseline);
+* **metrics on** — live :class:`~repro.obs.MetricsRegistry`, every
+  serving-path instrument ticking;
+* **metrics + 1% tracing** — metrics on plus ``--trace-sample 0.01``,
+  the recommended production configuration.
+
+Each configuration runs ``ROUNDS`` times interleaved and keeps its best
+throughput (best-of-N absorbs scheduler noise; interleaving absorbs
+drift).  The gate asserts the full production configuration costs at
+most ``MAX_OVERHEAD`` of baseline throughput — the unsampled fast path
+is one dict lookup per hop, and this is the benchmark that keeps it
+honest.  Records ``benchmarks/results/BENCH_obs_overhead.json``.
+"""
+
+from repro.io import network_spec
+from repro.networks import MacroStar
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    get_span_buffer,
+    reset_span_buffer,
+    use_registry,
+)
+from repro.serve import QueryEngine, ServerThread, make_workload, run_loadgen
+
+#: the production config may cost at most this fraction of baseline qps.
+MAX_OVERHEAD = 0.05
+
+COUNT = 1200
+BATCH = 8
+CONCURRENCY = 4
+ROUNDS = 3
+TRACE_SAMPLE = 0.01
+
+
+def test_obs_overhead_under_gate(report):
+    net = MacroStar(2, 2)
+    spec = network_spec(net)
+    requests = make_workload(
+        "uniform", spec, k=net.k, count=COUNT, seed=17, batch=BATCH,
+    )
+    configs = [
+        ("obs off", NullRegistry(), None),
+        ("metrics on", MetricsRegistry(), None),
+        ("metrics + 1% tracing", MetricsRegistry(), TRACE_SAMPLE),
+    ]
+    engine = QueryEngine()
+    best = {name: 0.0 for name, _, _ in configs}
+    with ServerThread(engine) as server:
+        # warm the engine's tables and the connection path off-clock
+        run_loadgen(server.host, server.port, requests[:40],
+                    concurrency=CONCURRENCY)
+        for _ in range(ROUNDS):
+            for name, registry, sample in configs:
+                reset_span_buffer()
+                with use_registry(registry):
+                    result = run_loadgen(
+                        server.host, server.port, requests,
+                        concurrency=CONCURRENCY,
+                        trace_sample=sample, trace_seed=17,
+                    )
+                assert result.closed and result.errors == 0
+                if sample:
+                    assert result.traced > 0
+                best[name] = max(best[name], result.qps)
+    get_span_buffer().drain()
+
+    baseline = best["obs off"]
+    lines = [
+        f"workload: {net.name}  {COUNT // BATCH} requests x {BATCH} "
+        f"pairs  concurrency {CONCURRENCY}  best of {ROUNDS}",
+    ]
+    overheads = {}
+    for name, _, _ in configs:
+        overheads[name] = 1.0 - best[name] / baseline
+        lines.append(
+            f"{name:<22} {best[name]:>9.0f} req/s   "
+            f"overhead {overheads[name]:>+7.1%}"
+        )
+    lines.append(
+        f"gate: metrics + {TRACE_SAMPLE:.0%} tracing overhead <= "
+        f"{MAX_OVERHEAD:.0%} of baseline"
+    )
+    report("obs_overhead", lines)
+    assert overheads["metrics + 1% tracing"] <= MAX_OVERHEAD, (
+        f"observability costs {overheads['metrics + 1% tracing']:.1%} "
+        f"of baseline throughput (gate: {MAX_OVERHEAD:.0%})"
+    )

@@ -29,17 +29,22 @@ from .core.permutations import Permutation
 from .emulation import allport_schedule, sdc_slowdown
 from .networks import FAMILIES, make_network
 from .obs import (
+    FLIGHT_DIR_ENV,
     MetricsRegistry,
     Profiler,
+    TraceCollector,
     Tracer,
     get_registry,
+    get_span_buffer,
     get_tracer,
     render_metrics_table,
     render_profile_table,
+    set_registry,
     use_profiler,
     use_registry,
     use_tracer,
     write_spans_jsonl,
+    write_trace_trees,
 )
 from .routing import star_distance_between, walk_route
 
@@ -107,6 +112,20 @@ def _add_obs_args(parser):
                        help="write a JSON-lines span trace to FILE")
     group.add_argument("--profile", action="store_true",
                        help="time the hot paths; print the table at exit")
+
+
+def _serving_obs_defaults(args) -> None:
+    """Serving commands collect metrics by default (the ``metrics``
+    admin op and ``repro top`` are useless against a no-op registry)
+    and honor ``--flight-dir`` by exporting it so shard worker
+    processes inherit the dump destination."""
+    import os
+
+    if not get_registry().enabled:
+        set_registry(MetricsRegistry())
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir:
+        os.environ[FLIGHT_DIR_ENV] = str(flight_dir)
 
 
 def cmd_families(_args) -> int:
@@ -346,6 +365,7 @@ def cmd_serve(args) -> int:
 
     from .serve import QueryEngine, QueryServer, ShardPool
 
+    _serving_obs_defaults(args)
     if args.shards > 0:
         backend = ShardPool(
             num_shards=args.shards,
@@ -426,6 +446,7 @@ def cmd_cluster(args) -> int:
 
     from .cluster import ClusterManager
 
+    _serving_obs_defaults(args)
     warm_specs = tuple(
         json.loads(text) for text in (args.warm or ())
     )
@@ -437,6 +458,7 @@ def cmd_cluster(args) -> int:
         table_cache=args.table_cache,
         warm_specs=warm_specs,
         ring_seed=args.ring_seed,
+        shards_per_replica=args.shards_per_replica,
     )
     stop_requested = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -472,6 +494,7 @@ def cmd_loadgen(args) -> int:
         stamp_arrivals,
     )
 
+    _serving_obs_defaults(args)
     net = _build_network(args)
     spec = network_spec(net)
     if args.replay:
@@ -496,6 +519,7 @@ def cmd_loadgen(args) -> int:
             host, port, requests,
             concurrency=args.concurrency, timeout=args.timeout,
             replay_speed=args.replay_speed,
+            trace_sample=args.trace_sample, trace_seed=args.seed,
         )
 
     if args.cluster:
@@ -505,6 +529,7 @@ def cmd_loadgen(args) -> int:
             replicas=args.cluster,
             table_cache=args.table_cache,
             warm_specs=(spec,),
+            shards_per_replica=args.cluster_shards,
         ) as cluster:
             result = _fire(cluster.host, cluster.port)
     elif args.self_serve:
@@ -518,6 +543,21 @@ def cmd_loadgen(args) -> int:
             "error: loadgen needs --host (a running `repro serve`), "
             "--self-serve, or --cluster N"
         )
+    if args.trace_sample:
+        # Assemble every finished span this process saw (client spans,
+        # plus router/server/shard spans when the target ran in-process
+        # via --cluster or --self-serve) into one tree per trace.  A
+        # remote --host target keeps its spans; only client.request
+        # roots appear here.
+        collector = TraceCollector()
+        collector.add_many(get_span_buffer().drain())
+        trees = collector.trees()
+        print(f"traced {result.traced} requests -> {len(trees)} "
+              f"trace trees", file=sys.stderr)
+        if args.trace_trees:
+            count = write_trace_trees(trees, args.trace_trees)
+            print(f"trace trees: {count} -> {args.trace_trees}",
+                  file=sys.stderr)
     summary = result.to_dict()
     if args.json:
         print(json.dumps(summary, indent=1))
@@ -534,6 +574,119 @@ def cmd_loadgen(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live dashboard over a running server or router's admin ops.
+
+    Each refresh issues one ``stats`` and one ``metrics`` op down a
+    fresh connection — both answered inline by the server/router even
+    when the backend is wedged, which is exactly when you need them.
+    ``--once`` prints a single snapshot and exits (scripts, CI).
+    """
+    import time as time_mod
+
+    from .serve.workload import query_server
+
+    def _fetch():
+        responses = query_server(
+            args.host, args.port,
+            [{"op": "stats"}, {"op": "metrics"}],
+            timeout=args.timeout,
+        )
+        stats = (responses[0].get("result")
+                 if responses[0].get("ok") else None)
+        metrics = (responses[1].get("result")
+                   if responses[1].get("ok") else None)
+        return stats, metrics
+
+    def _fmt(value, nd=2):
+        return "-" if value is None else f"{value:.{nd}f}"
+
+    def _render(stats, metrics) -> str:
+        lines = [f"repro top — {args.host}:{args.port}"]
+        if stats:
+            lines.append(
+                f"qps {_fmt(stats.get('qps'), 1)}  "
+                f"p50 {_fmt(stats.get('p50_ms'))} ms  "
+                f"p99 {_fmt(stats.get('p99_ms'))} ms  "
+                f"completed {stats.get('completed', 0)}  "
+                f"pending {stats.get('pending', stats.get('inflight', 0))}"
+            )
+            replicas = stats.get("replicas")
+            if isinstance(replicas, dict):  # router: replica health
+                for name, snap in sorted(replicas.items()):
+                    state = ("DRAINING" if snap.get("draining")
+                             else "UP" if snap.get("up") else "DOWN")
+                    lines.append(
+                        f"  {name:<12} {state:<8} "
+                        f"inflight {snap.get('inflight', 0):>4}  "
+                        f"transitions {snap.get('transitions', 0)}"
+                    )
+            cache = stats.get("cache")
+            if isinstance(cache, dict):  # single server: engine caches
+                lines.append("cache: " + "  ".join(
+                    f"{key}={value}" for key, value in cache.items()
+                ))
+        else:
+            lines.append("stats: unavailable")
+        if metrics:
+            for row in metrics.get("gauges", {}).get(
+                "serve.cache_entries", []
+            ):
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(row.get("labels", {}).items())
+                )
+                lines.append(
+                    f"  serve.cache_entries{{{labels}}} = "
+                    f"{row.get('value', 0):g}"
+                )
+            hist_rows = [
+                (name, row)
+                for name, rows in metrics.get("histograms", {}).items()
+                for row in rows
+            ]
+            hist_rows.sort(
+                key=lambda item: item[1].get("count", 0), reverse=True
+            )
+            if hist_rows:
+                lines.append(
+                    f"{'histogram':<26} {'labels':<28} "
+                    f"{'count':>7} {'p50':>9} {'p99':>9}"
+                )
+                for name, row in hist_rows[:args.rows]:
+                    labels = ",".join(
+                        f"{k}={v}"
+                        for k, v in sorted(row.get("labels", {}).items())
+                    )
+                    lines.append(
+                        f"{name:<26} {labels:<28.28} "
+                        f"{row.get('count', 0):>7} "
+                        f"{_fmt(row.get('p50')):>9} "
+                        f"{_fmt(row.get('p99')):>9}"
+                    )
+        return "\n".join(lines)
+
+    try:
+        while True:
+            try:
+                stats, metrics = _fetch()
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot reach {args.host}:{args.port}: "
+                      f"{exc}", file=sys.stderr)
+                if args.once:
+                    return 1
+                time_mod.sleep(args.interval)
+                continue
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear + home
+            print(_render(stats, metrics), flush=True)
+            if args.once:
+                return 0
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -628,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=10.0,
                    help="seconds to flush in-flight batches on "
                         "SIGTERM/SIGINT before stopping")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="dump flight-recorder rings (recent spans + "
+                        "events) into DIR on drain/kill/worker crash")
     _add_table_cache_arg(p)
 
     p = add_command(
@@ -646,6 +802,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prewarm a network on every replica")
     p.add_argument("--ring-seed", type=int, default=0,
                    help="consistent-hash ring seed")
+    p.add_argument("--shards-per-replica", type=int, default=0,
+                   help="shard worker processes behind each replica "
+                        "(0 = in-process engines)")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="dump flight-recorder rings (recent spans + "
+                        "events) into DIR on drain/kill/worker crash")
     _add_table_cache_arg(p)
 
     p = add_command("loadgen", help="fire a seeded workload at a server")
@@ -682,8 +844,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay-speed", type=float,
                    help="honor recorded `ts` arrival stamps, scaled "
                         "(1.0 = real time, 2.0 = twice as fast)")
+    p.add_argument("--trace-sample", type=float, metavar="RATE",
+                   help="sample this fraction (0..1) of requests for "
+                        "end-to-end distributed tracing")
+    p.add_argument("--trace-trees", metavar="FILE",
+                   help="write merged trace trees (one JSON object "
+                        "per trace) to FILE; needs --trace-sample")
+    p.add_argument("--cluster-shards", type=int, default=0,
+                   help="with --cluster: shard worker processes per "
+                        "replica (0 = in-process engines)")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="dump flight-recorder rings into DIR on "
+                        "drain/kill/worker crash")
     p.add_argument("--json", action="store_true",
                    help="emit the loadgen summary as JSON")
+
+    p = add_command("top", help="live qps/latency/replica dashboard "
+                                "for a running server or cluster")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7420,
+                   help="router (7420) or server (7421) port")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--rows", type=int, default=8,
+                   help="histogram series to show, busiest first")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="admin-op response timeout in seconds")
 
     p = add_command("girth", help="girth + bipartiteness")
     _add_network_args(p)
@@ -711,6 +899,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "cluster": cmd_cluster,
     "loadgen": cmd_loadgen,
+    "top": cmd_top,
     "girth": cmd_girth,
     "connectivity": cmd_connectivity,
     "report": cmd_report,
@@ -735,9 +924,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             stack.enter_context(use_registry(registry))
         if profiler is not None:
             stack.enter_context(use_profiler(profiler))
+        # serving commands install a live registry by default
+        # (_serving_obs_defaults); restore the caller's on the way out
+        # so in-process invocations don't leak process-global state
+        prev_registry = get_registry()
         try:
             code = COMMANDS[args.command](args)
         finally:
+            if get_registry() is not prev_registry:
+                set_registry(prev_registry)
             # Observability output goes to stderr so --json (and any
             # other machine-readable stdout) stays pipeable.
             if tracer is not None and args.trace_out:

@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..obs import record_event
+
 ACTIONS = ("kill", "restart")
 
 
@@ -194,8 +196,12 @@ class ChaosRunner:
             # post-date the detection it is compared against
             offset = time.monotonic() - self.started_at
             if event.action == "kill" and replica.running:
+                record_event("chaos.kill", replica=event.replica,
+                             offset=offset)
                 self.manager.kill(event.replica)
             elif event.action == "restart" and not replica.running:
+                record_event("chaos.restart", replica=event.replica,
+                             offset=offset)
                 self.manager.restart(event.replica)
             else:
                 self.applied.append({

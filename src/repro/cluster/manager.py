@@ -29,8 +29,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import record_event
 from ..serve.engine import QueryEngine
 from ..serve.server import ServerThread
+from ..serve.shard import ShardPool
 from .router import RouterThread
 
 #: the default health-probe query: a real ``properties`` op on the
@@ -41,7 +43,15 @@ DEFAULT_PROBE_SPEC = {"family": "MS", "l": 2, "n": 1}
 
 class Replica:
     """One serving replica: engine + server thread, restartable on a
-    stable port."""
+    stable port.
+
+    ``shards > 0`` gives the replica a
+    :class:`~repro.serve.shard.ShardPool` backend — ``shards`` worker
+    *processes* behind the server thread instead of an in-process
+    engine — which is what makes a mini-cluster's request path cross
+    real process boundaries (router process → replica thread → shard
+    worker process), the topology the distributed tracer exists for.
+    """
 
     def __init__(
         self,
@@ -50,14 +60,17 @@ class Replica:
         table_cache: Optional[str] = None,
         batch_window: float = 0.002,
         request_timeout: float = 5.0,
+        shards: int = 0,
     ):
         self.name = name
         self.host = host
         self.table_cache = table_cache
         self.batch_window = batch_window
         self.request_timeout = request_timeout
+        self.shards = shards
         self.port = 0  # pinned after first start
         self.engine: Optional[QueryEngine] = None
+        self.pool: Optional[ShardPool] = None
         self.thread: Optional[ServerThread] = None
         self.kills = 0
         self.restarts = 0
@@ -69,22 +82,45 @@ class Replica:
     def start(self) -> "Replica":
         if self.thread is not None:
             return self
-        self.engine = QueryEngine(table_cache=self.table_cache)
+        if self.shards > 0:
+            self.engine = None
+            self.pool = ShardPool(
+                num_shards=self.shards, table_cache=self.table_cache
+            ).start()
+            backend = self.pool
+        else:
+            self.engine = QueryEngine(table_cache=self.table_cache)
+            backend = self.engine
         self.thread = ServerThread(
-            self.engine,
+            backend,
             host=self.host,
             port=self.port,
             batch_window=self.batch_window,
             request_timeout=self.request_timeout,
+            name=self.name,
         ).__enter__()
         self.port = self.thread.port  # ephemeral on first start, then pinned
         return self
 
     def warm(self, specs) -> None:
         """Compile (or cache-load) networks into this replica's engine
-        before it takes traffic."""
-        for spec in specs:
-            self.engine.network(spec)
+        (or its shard workers) before it takes traffic."""
+        specs = list(specs)
+        if self.engine is not None:
+            for spec in specs:
+                self.engine.network(spec)
+        elif self.pool is not None:
+            # Shard workers warm by answering a properties op per spec
+            # (each spec lands on its family's pinned shard).
+            self.pool.execute_many([
+                {"op": "properties", "network": dict(spec)}
+                for spec in specs
+            ])
+
+    def _close_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
     def stop(self) -> None:
         """Graceful stop: answer what's parked, then shut down."""
@@ -92,6 +128,7 @@ class Replica:
             return
         self.thread.__exit__(None, None, None)
         self.thread = None
+        self._close_pool()
 
     def drain_and_stop(self, timeout: float = 10.0) -> bool:
         """Flush in-flight batches through the engine, then stop."""
@@ -108,6 +145,7 @@ class Replica:
         self.kills += 1
         self.thread.kill()
         self.thread = None
+        self._close_pool()
 
     def restart(self) -> "Replica":
         """Back on the same port (dead or stopped replicas only)."""
@@ -149,9 +187,11 @@ class ClusterManager:
         request_timeout: float = 5.0,
         ring_seed: int = 0,
         batch_window: float = 0.002,
+        shards_per_replica: int = 0,
     ):
         if replicas < 1:
             raise ValueError(f"need at least 1 replica, got {replicas}")
+        self.shards_per_replica = shards_per_replica
         self.replicas: Dict[str, Replica] = {
             f"replica-{i}": Replica(
                 f"replica-{i}",
@@ -159,6 +199,7 @@ class ClusterManager:
                 table_cache=table_cache,
                 batch_window=batch_window,
                 request_timeout=request_timeout,
+                shards=shards_per_replica,
             )
             for i in range(replicas)
         }
@@ -230,6 +271,7 @@ class ClusterManager:
     def kill(self, name: str) -> None:
         """Abrupt replica death (chaos): connections abort mid-batch;
         the router fails over the in-flight calls."""
+        record_event("cluster.kill", replica=name)
         self.replicas[name].kill()
 
     def restart(self, name: str, wait_up: float = 15.0) -> None:
@@ -263,6 +305,7 @@ class ClusterManager:
         """
         if self.router is None:
             raise RuntimeError("cluster is not running")
+        record_event("cluster.drain", replica=name)
         moved = self.router.start_drain(name)
         deadline = time.monotonic() + timeout
         while self.router.inflight(name) > 0 \

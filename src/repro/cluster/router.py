@@ -41,7 +41,15 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
-from ..obs import get_registry
+from ..obs import (
+    LogHistogram,
+    extract,
+    get_registry,
+    inject,
+    merge_metrics_snapshots,
+    record_event,
+    start_span,
+)
 from .ring import HashRing
 
 DEFAULT_PROBE_INTERVAL = 0.25
@@ -104,6 +112,7 @@ class RouterStats:
         self.failed = 0
         self.retries = 0
         self.failovers = 0
+        self.started = time.monotonic()
 
     @property
     def closed(self) -> bool:
@@ -144,6 +153,7 @@ class ClusterRouter:
         self.max_inflight = max_inflight
         self.probe_spec = probe_spec
         self.stats_counters = RouterStats()
+        self._latencies = LogHistogram()
         self.backends: Dict[str, _Backend] = {
             name: _Backend(name, addr[0], addr[1])
             for name, addr in backends.items()
@@ -234,6 +244,8 @@ class ClusterRouter:
         if was_up:
             backend.transitions += 1
             backend.down_at = time.monotonic()
+            record_event("router.replica-down", replica=backend.name,
+                         reason=reason)
             registry = get_registry()
             if registry.enabled:
                 registry.gauge(UP_METRIC).set(0, replica=backend.name)
@@ -256,6 +268,7 @@ class ClusterRouter:
             backend.up = True
             backend.transitions += 1
             backend.up_at = time.monotonic()
+            record_event("router.replica-up", replica=backend.name)
             registry = get_registry()
             if registry.enabled:
                 registry.gauge(UP_METRIC).set(1, replica=backend.name)
@@ -427,6 +440,18 @@ class ClusterRouter:
                     **({"id": request["id"]} if "id" in request else {}),
                 })
                 continue
+            if request.get("op") == "metrics":
+                # Cluster-wide metric aggregation: fan the op out to
+                # every available replica and merge with per-replica
+                # labels (the router's own registry rides along as
+                # replica="router").
+                stats.completed += 1
+                merged = await self._metrics()
+                await self._send(writer, {
+                    "ok": True, "op": "metrics", "result": merged,
+                    **({"id": request["id"]} if "id" in request else {}),
+                })
+                continue
             if self._inflight >= self.max_inflight:
                 stats.rejected += 1
                 await self._send(writer, self._error_response(
@@ -434,10 +459,14 @@ class ClusterRouter:
                 ))
                 continue
             self._inflight += 1
+            start = time.monotonic()
             try:
                 response = await self._route(request)
             finally:
                 self._inflight -= 1
+                self._latencies.observe(
+                    (time.monotonic() - start) * 1000.0
+                )
             await self._send(writer, response)
 
     async def _route(
@@ -445,9 +474,28 @@ class ClusterRouter:
     ) -> Dict[str, object]:
         """Place one request; exactly one response comes back.
 
-        Attempt one goes to the key's first available replica.  If the
-        call dies with its backend (severed connection, timeout), the
-        query — idempotent by construction — is retried on a
+        A sampled request gets the router's hop span here —
+        ``router.route``, parent of whatever replica span the forwarded
+        child context produces."""
+        ctx = extract(request)
+        if ctx is None:
+            return await self._route_inner(request)
+        with start_span("router.route", ctx, {
+            "op": str(request.get("op")),
+            "key": self.family_key(request),
+        }) as span:
+            response = await self._route_inner(
+                inject(request, span.context())
+            )
+            span.ok = bool(response.get("ok"))
+            return response
+
+    async def _route_inner(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Attempt one goes to the key's first available replica.  If
+        the call dies with its backend (severed connection, timeout),
+        the query — idempotent by construction — is retried on a
         *different* surviving replica exactly once.
         """
         stats = self.stats_counters
@@ -467,6 +515,8 @@ class ClusterRouter:
             )
         except (BackendDied, asyncio.TimeoutError):
             stats.retries += 1
+            record_event("router.retry", replica=first.name,
+                         op=str(request.get("op")))
             if registry.enabled:
                 registry.counter("cluster.router.retries").inc(1)
             second, _ = self._pick(key, exclude=(first.name,))
@@ -527,9 +577,44 @@ class ClusterRouter:
 
     # -- introspection --------------------------------------------------
 
+    async def _metrics(self) -> Dict[str, object]:
+        """The cluster-wide metric snapshot behind the ``metrics`` op.
+
+        Every available replica's ``metrics`` answer merges under a
+        ``replica=<name>`` label; the router's own registry joins as
+        ``replica="router"``.  Unreachable replicas are simply absent —
+        a partial snapshot now beats a complete one never.  (In the
+        in-process test cluster all replicas share one registry, so
+        their snapshots coincide; separate server processes each bring
+        their own.)
+        """
+        snapshots = [get_registry().snapshot()]
+        extras: List[Dict[str, object]] = [{"replica": "router"}]
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            if not backend.available:
+                continue
+            try:
+                response = await self._call(
+                    backend, {"op": "metrics"},
+                    timeout=self.probe_timeout,
+                )
+            except (BackendDied, asyncio.TimeoutError):
+                continue
+            if response.get("ok") and isinstance(
+                response.get("result"), dict
+            ):
+                snapshots.append(response["result"])
+                extras.append({"replica": name})
+        return merge_metrics_snapshots(snapshots, extras)
+
     def stats(self) -> Dict[str, object]:
         stats = self.stats_counters
+        elapsed = max(time.monotonic() - stats.started, 1e-9)
         return {
+            "qps": stats.completed / elapsed,
+            "p50_ms": self._latencies.percentile(50.0),
+            "p99_ms": self._latencies.percentile(99.0),
             "received": stats.received,
             "completed": stats.completed,
             "rejected": stats.rejected,

@@ -433,6 +433,7 @@ class ServeRow:
     qps: float
     p50_ms: Optional[float]
     p99_ms: Optional[float]
+    traced: int = 0
 
     @property
     def closed(self) -> bool:
@@ -451,6 +452,7 @@ def serve_sweep(
     concurrency: int = 4,
     seed: int = 0,
     table_cache: Optional[str] = None,
+    trace_sample: Optional[float] = None,
 ) -> Iterator[ServeRow]:
     """Serve one network instance through a live in-process server and
     drive each workload shape through the loadgen, row per workload.
@@ -483,6 +485,7 @@ def serve_sweep(
                 result = run_loadgen(
                     server.host, server.port, requests,
                     concurrency=concurrency,
+                    trace_sample=trace_sample, trace_seed=seed,
                 )
                 sp.set(qps=result.qps, ok=result.ok)
             yield ServeRow(
@@ -497,6 +500,7 @@ def serve_sweep(
                 qps=result.qps,
                 p50_ms=result.p50_ms,
                 p99_ms=result.p99_ms,
+                traced=result.traced,
             )
 
 
@@ -525,6 +529,7 @@ class ClusterRow:
     qps: float
     p50_ms: Optional[float]
     p99_ms: Optional[float]
+    traced: int = 0
 
     @property
     def closed(self) -> bool:
@@ -549,6 +554,8 @@ def cluster_sweep(
     concurrency: int = 4,
     seed: int = 0,
     table_cache: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    shards_per_replica: int = 0,
 ) -> Iterator[ClusterRow]:
     """Drive a replicated cluster through seeded chaos scenarios, one
     row per scenario:
@@ -585,6 +592,7 @@ def cluster_sweep(
                 replication_factor=replication_factor,
                 table_cache=table_cache,
                 warm_specs=(spec,),
+                shards_per_replica=shards_per_replica,
             ) as cluster:
                 chaos: Optional[threading.Thread] = None
                 if scenario == "kill-primary":
@@ -607,6 +615,7 @@ def cluster_sweep(
                 result = run_loadgen(
                     cluster.host, cluster.port, requests,
                     concurrency=concurrency,
+                    trace_sample=trace_sample, trace_seed=seed,
                 )
                 if chaos is not None:
                     chaos.join(timeout=30.0)
@@ -631,4 +640,5 @@ def cluster_sweep(
             qps=result.qps,
             p50_ms=result.p50_ms,
             p99_ms=result.p99_ms,
+            traced=result.traced,
         )

@@ -1,0 +1,180 @@
+"""Trace collection: merge per-process span buffers into trace trees.
+
+Every hop of a sampled request appends its finished
+:class:`~repro.obs.propagate.RemoteSpan` dict to its own process's
+buffer; shard workers ship theirs to the pool parent over the result
+queue.  The collector is the final assembly step: feed it span dicts
+from any number of processes, and it groups them by ``trace_id``,
+resolves parentage, and emits one tree per request — the artifact the
+CI smoke and the chaos post-mortems read.
+
+Spans arrive in no particular order (queue interleaving, buffer
+drains racing request completion), so assembly is id-driven: a span
+whose ``parent_span_id`` matches no collected span becomes a root
+(the client's root span normally, or an orphan if its parent was
+dropped by a bounded buffer — orphans are kept and flagged rather
+than discarded, since a partial trace still localises a regression).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class TraceCollector:
+    """Accumulates span dicts and assembles per-trace trees."""
+
+    def __init__(self):
+        self._spans: Dict[str, List[Dict[str, Any]]] = {}
+        self.collected = 0
+        self.malformed = 0
+
+    def add(self, span: Dict[str, Any]) -> None:
+        """Collect one span dict (ignores dicts without ids — a span
+        that can't be placed in any tree is counted, not raised)."""
+        if not isinstance(span, dict):
+            self.malformed += 1
+            return
+        trace_id = span.get("trace_id")
+        if not trace_id or not span.get("span_id"):
+            self.malformed += 1
+            return
+        self._spans.setdefault(str(trace_id), []).append(span)
+        self.collected += 1
+
+    def add_many(self, spans: Iterable[Dict[str, Any]]) -> None:
+        for span in spans:
+            self.add(span)
+
+    def trace_ids(self) -> List[str]:
+        return sorted(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- assembly ------------------------------------------------------
+
+    def tree(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The assembled tree for one trace, or ``None`` if unknown.
+
+        Shape::
+
+            {"trace_id": ..., "spans": N, "pids": [...],
+             "orphans": M, "roots": [span, ...]}
+
+        where each span dict gains a ``children`` list (sorted by
+        ``start_ts`` for deterministic output).  ``orphans`` counts
+        roots whose ``parent_span_id`` was set but never collected.
+        """
+        spans = self._spans.get(str(trace_id))
+        if not spans:
+            return None
+        by_id: Dict[str, Dict[str, Any]] = {}
+        for span in spans:
+            node = dict(span)
+            node["children"] = []
+            by_id[str(span["span_id"])] = node
+        roots: List[Dict[str, Any]] = []
+        orphans = 0
+        for node in by_id.values():
+            parent_id = node.get("parent_span_id")
+            parent = by_id.get(str(parent_id)) if parent_id else None
+            if parent is not None and parent is not node:
+                parent["children"].append(node)
+            else:
+                if parent_id is not None:
+                    orphans += 1
+                    node["orphan"] = True
+                roots.append(node)
+
+        def sort_key(node):
+            return (node.get("start_ts") or 0.0, node["span_id"])
+
+        stack = list(by_id.values())
+        for node in stack:
+            node["children"].sort(key=sort_key)
+        roots.sort(key=sort_key)
+        pids = sorted({
+            span.get("pid") for span in spans
+            if span.get("pid") is not None
+        })
+        return {
+            "trace_id": str(trace_id),
+            "spans": len(spans),
+            "pids": pids,
+            "orphans": orphans,
+            "roots": roots,
+        }
+
+    def trees(self) -> List[Dict[str, Any]]:
+        """All assembled trees, ordered by trace id."""
+        return [t for t in (self.tree(tid) for tid in self.trace_ids())
+                if t is not None]
+
+
+def span_names(tree: Dict[str, Any]) -> List[str]:
+    """Every span name in a tree, depth-first (assertion helper)."""
+    names: List[str] = []
+    stack = list(reversed(tree.get("roots", [])))
+    while stack:
+        node = stack.pop()
+        names.append(node.get("name"))
+        stack.extend(reversed(node.get("children", [])))
+    return names
+
+
+def find_span(tree: Dict[str, Any], name: str) -> Optional[Dict[str, Any]]:
+    """The first span with ``name`` in depth-first order, or ``None``."""
+    stack = list(reversed(tree.get("roots", [])))
+    while stack:
+        node = stack.pop()
+        if node.get("name") == name:
+            return node
+        stack.extend(reversed(node.get("children", [])))
+    return None
+
+
+def parentage_path(tree: Dict[str, Any], name: str) -> List[str]:
+    """Span names from a root down to the first span named ``name``
+    (empty if absent) — the test's way to assert a trace crossed
+    router → server → shard → engine in order."""
+
+    def walk(node, path):
+        path = path + [node.get("name")]
+        if node.get("name") == name:
+            return path
+        for child in node.get("children", []):
+            found = walk(child, path)
+            if found:
+                return found
+        return None
+
+    for root in tree.get("roots", []):
+        found = walk(root, [])
+        if found:
+            return found
+    return []
+
+
+def write_trace_trees(trees: Iterable[Dict[str, Any]], path) -> int:
+    """Write assembled trees as JSONL (one tree per line); returns the
+    tree count.  This is the ``--trace-sample`` output format."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for tree in trees:
+            fh.write(json.dumps(tree, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_trees(path) -> List[Dict[str, Any]]:
+    """Load a :func:`write_trace_trees` JSONL file."""
+    trees = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                trees.append(json.loads(line))
+    return trees

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from .metrics import MetricsRegistry
+from .histogram import LogHistogram
+from .metrics import MetricsRegistry, _key
 from .profiler import Profiler
 from .tracer import Span
 
@@ -54,6 +55,94 @@ def save_metrics_snapshot(
 
 def load_metrics_snapshot(path: Union[str, Path]) -> Dict[str, object]:
     return json.loads(Path(path).read_text())
+
+
+def merge_metrics_snapshots(
+    snapshots: Sequence[Dict[str, object]],
+    extra_labels: Optional[Sequence[Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Merge per-process metric snapshots into one snapshot dict.
+
+    This is the cluster-wide aggregation primitive: the shard pool
+    merges worker snapshots with ``{"shard": i}`` extras, the router
+    merges replica snapshots with ``{"replica": name}`` extras.  The
+    ``i``-th entry of ``extra_labels`` (when given) is layered onto
+    every series of the ``i``-th snapshot *before* merging, so sources
+    stay distinguishable; series whose final label sets match merge by
+    value — counters add, gauges last-write-wins, histograms vector-add
+    their buckets (:meth:`LogHistogram.merge`).
+
+    Output ordering is deterministic: names sorted, series sorted by
+    canonical label key — merging the same snapshots twice yields
+    byte-identical JSON.
+    """
+    if extra_labels is not None and len(extra_labels) != len(snapshots):
+        raise ValueError(
+            f"extra_labels has {len(extra_labels)} entries for "
+            f"{len(snapshots)} snapshots"
+        )
+    counters: Dict[str, Dict[tuple, float]] = {}
+    gauges: Dict[str, Dict[tuple, float]] = {}
+    histograms: Dict[str, Dict[tuple, LogHistogram]] = {}
+
+    def final_labels(entry, extra):
+        labels = dict(entry.get("labels") or {})
+        if extra:
+            labels.update(extra)
+        return _key(labels)
+
+    for i, snap in enumerate(snapshots):
+        extra = extra_labels[i] if extra_labels else None
+        for name, entries in (snap.get("counters") or {}).items():
+            target = counters.setdefault(name, {})
+            for entry in entries:
+                key = final_labels(entry, extra)
+                target[key] = target.get(key, 0) + entry["value"]
+        for name, entries in (snap.get("gauges") or {}).items():
+            target = gauges.setdefault(name, {})
+            for entry in entries:
+                target[final_labels(entry, extra)] = entry["value"]
+        for name, entries in (snap.get("histograms") or {}).items():
+            hists = histograms.setdefault(name, {})
+            for entry in entries:
+                key = final_labels(entry, extra)
+                incoming = LogHistogram.from_dict(entry)
+                if key in hists:
+                    hists[key].merge(incoming)
+                else:
+                    hists[key] = incoming
+
+    def hist_row(key, hist):
+        row: Dict[str, object] = {"labels": dict(key)}
+        row.update(hist.to_dict())
+        row["mean"] = hist.mean
+        row["p50"] = hist.percentile(50.0)
+        row["p99"] = hist.percentile(99.0)
+        return row
+
+    return {
+        "counters": {
+            name: [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(series.items())
+            ]
+            for name, series in sorted(counters.items())
+        },
+        "gauges": {
+            name: [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(series.items())
+            ]
+            for name, series in sorted(gauges.items())
+        },
+        "histograms": {
+            name: [
+                hist_row(key, hist)
+                for key, hist in sorted(series.items())
+            ]
+            for name, series in sorted(histograms.items())
+        },
+    }
 
 
 def _format_labels(labels: Dict[str, str]) -> str:

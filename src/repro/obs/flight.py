@@ -1,0 +1,164 @@
+"""Flight recorder: a bounded ring of recent events per process.
+
+Final aggregates tell you *that* a chaos run hurt p99; they cannot tell
+you what the dying worker was doing in its last half second.  The
+flight recorder keeps a fixed-size ring of recent events (request
+milestones, chaos actions, drain/kill transitions, recent remote
+spans) that costs one deque append per event while healthy, and is
+dumped to a JSON artifact exactly when something goes wrong:
+
+* a shard worker exits unexpectedly (``ShardPool._reap``, reason
+  ``worker-crash``; the worker side dumps ``worker-error`` if it dies
+  to an exception rather than a hard ``os._exit``),
+* a server drains or is killed (reasons ``drain`` / ``kill``),
+* a chaos action fires (recorded as an event; the kill path dumps),
+* the serve CLI receives SIGTERM (covered by the drain path).
+
+Recording is always on — the ring is too cheap to gate — but *dumping*
+only happens when a dump directory is configured, either explicitly or
+via the ``REPRO_FLIGHT_DIR`` environment variable (which forked shard
+workers inherit for free).  No directory, no artifact, no error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+#: environment variable naming the dump directory; unset means dumps
+#: are disabled (events are still recorded in the ring).
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """A thread-safe bounded ring of ``{"ts", "kind", ...}`` events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+        self._dumps = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event; oldest events fall off past capacity."""
+        event = {"ts": time.time(), "kind": kind}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            self._recorded += 1
+
+    def events(self) -> List[Dict[str, Any]]:
+        """A snapshot copy of the ring, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (not just the surviving window)."""
+        return self._recorded
+
+    @property
+    def dumps(self) -> int:
+        return self._dumps
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- dumping -------------------------------------------------------
+
+    def dump(
+        self,
+        reason: str,
+        directory: Optional[str] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Path]:
+        """Write the ring (plus optional recent spans and context) as a
+        JSON artifact; returns the path, or ``None`` when no dump
+        directory is configured.
+
+        The filename embeds reason/pid/milliseconds so concurrent dumps
+        from a parent and its dying workers never collide.
+        """
+        target = directory or os.environ.get(FLIGHT_DIR_ENV)
+        if not target:
+            return None
+        payload: Dict[str, Any] = {
+            "reason": reason,
+            "pid": os.getpid(),
+            "dumped_at": time.time(),
+            "recorded": self._recorded,
+            "window": len(self),
+            "events": self.events(),
+        }
+        if spans is not None:
+            payload["spans"] = list(spans)
+        if extra:
+            payload["extra"] = dict(extra)
+        directory_path = Path(target)
+        try:
+            directory_path.mkdir(parents=True, exist_ok=True)
+            name = (
+                f"flight-{reason}-{os.getpid()}-"
+                f"{int(time.time() * 1000)}.json"
+            )
+            path = directory_path / name
+            with path.open("w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+        except OSError:
+            # A failing dump must never take down the failure path
+            # that triggered it.
+            return None
+        with self._lock:
+            self._dumps += 1
+        return path
+
+
+_recorder = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-global flight recorder."""
+    return _recorder
+
+
+def reset_flight_recorder(
+    capacity: int = DEFAULT_CAPACITY,
+) -> FlightRecorder:
+    """Replace the process-global recorder (forked workers call this so
+    inherited parent events don't pollute their ring)."""
+    global _recorder
+    _recorder = FlightRecorder(capacity)
+    return _recorder
+
+
+def record_event(kind: str, **fields: Any) -> None:
+    """Record into the process-global ring (module-level convenience)."""
+    _recorder.record(kind, **fields)
+
+
+def dump_flight(
+    reason: str,
+    directory: Optional[str] = None,
+    spans: Optional[List[Dict[str, Any]]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Optional[Path]:
+    """Dump the process-global ring; see :meth:`FlightRecorder.dump`."""
+    return _recorder.dump(reason, directory=directory, spans=spans,
+                          extra=extra)

@@ -1,0 +1,230 @@
+"""Bounded, mergeable, log-bucketed streaming histograms.
+
+The serving layer's latency tracking started life as raw Python lists
+(a loadgen run appended every sample; the TCP server kept a 10k-deep
+reservoir).  Lists don't merge across processes and grow with run
+length, so the distributed observability layer replaces them with
+:class:`LogHistogram`:
+
+* **bounded** — a fixed number of logarithmically spaced buckets
+  (sparse dict of bucket index -> count), so a week-long open-loop
+  loadgen run costs the same memory as a one-second one;
+* **mergeable** — merging two histograms is a per-bucket integer add,
+  which is what makes cluster-wide aggregation (shard workers ->
+  parent, replicas -> router) a vector operation instead of a sample
+  shuffle;
+* **quantile-accurate to one bucket** — with the default growth factor
+  ``2**0.25`` adjacent bucket bounds differ by ~19%, so p50/p99
+  estimates land within one bucket of the exact order statistic
+  (asserted in ``tests/test_obs.py``).
+
+Values are arbitrary non-negative floats (latencies in ms here, but
+nothing is unit-specific); values at or below ``min_positive`` fold
+into bucket 0, values beyond the last bucket bound clamp into the last
+bucket (both still counted exactly in ``count``/``sum``/``min``/
+``max``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+#: adjacent bucket bounds differ by this factor: 2**0.25 ~ 1.189, so a
+#: quantile estimate is within ~19% (one bucket) of the exact sample.
+DEFAULT_GROWTH = 2.0 ** 0.25
+
+#: bucket 0's upper bound; smaller observations fold into it.  1e-6 ms
+#: is far below anything a Python server can measure.
+DEFAULT_MIN_POSITIVE = 1e-6
+
+#: with the defaults, 256 buckets span 1e-6 .. ~1.8e13 — every latency
+#: a process can observe without clamping.
+DEFAULT_MAX_BUCKETS = 256
+
+
+class LogHistogram:
+    """A fixed-size log-bucketed histogram with exact count/sum/min/max.
+
+    ``observe`` is O(1); ``merge`` is O(occupied buckets);
+    ``percentile`` walks the occupied buckets once.  Two histograms
+    merge only if their bucket geometry (``growth``, ``min_positive``,
+    ``max_buckets``) matches — the default geometry is shared by every
+    emitter in the repo, so cross-process merges always line up.
+    """
+
+    __slots__ = ("growth", "min_positive", "max_buckets", "_log_growth",
+                 "_buckets", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        growth: float = DEFAULT_GROWTH,
+        min_positive: float = DEFAULT_MIN_POSITIVE,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ):
+        if growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        if min_positive <= 0:
+            raise ValueError(
+                f"min_positive must be positive, got {min_positive}"
+            )
+        if max_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {max_buckets}")
+        self.growth = float(growth)
+        self.min_positive = float(min_positive)
+        self.max_buckets = int(max_buckets)
+        self._log_growth = math.log(self.growth)
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- geometry ------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value lands in (clamped to the fixed range)."""
+        if value <= self.min_positive:
+            return 0
+        index = int(math.log(value / self.min_positive)
+                    / self._log_growth) + 1
+        return min(index, self.max_buckets - 1)
+
+    def bucket_bounds(self, index: int) -> tuple:
+        """``(low, high)`` value bounds of a bucket."""
+        if index <= 0:
+            return (0.0, self.min_positive)
+        return (
+            self.min_positive * self.growth ** (index - 1),
+            self.min_positive * self.growth ** index,
+        )
+
+    def compatible(self, other: "LogHistogram") -> bool:
+        return (
+            self.growth == other.growth
+            and self.min_positive == other.min_positive
+            and self.max_buckets == other.max_buckets
+        )
+
+    # -- recording -----------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = self.bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Add another histogram into this one (the cross-process
+        aggregation primitive); returns self."""
+        if not self.compatible(other):
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry"
+            )
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None \
+                else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None \
+                else max(self.max, other.max)
+        return self
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile, accurate to one bucket.
+
+        Returns the geometric midpoint of the bucket holding the
+        target order statistic, clamped to the exact observed
+        ``[min, max]`` (so single-sample and extreme quantiles are
+        exact).
+        """
+        if not self.count:
+            return None
+        if q <= 0:
+            return self.min
+        if q >= 100:
+            return self.max
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                low, high = self.bucket_bounds(index)
+                estimate = math.sqrt(max(low, self.min_positive * 1e-12)
+                                     * high) if index > 0 else low
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative covers count
+
+    def occupied_buckets(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return self.count
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form; ``buckets`` is sparse (index -> count)."""
+        return {
+            "growth": self.growth,
+            "min_positive": self.min_positive,
+            "max_buckets": self.max_buckets,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(i): n for i, n in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LogHistogram":
+        hist = cls(
+            growth=float(data.get("growth", DEFAULT_GROWTH)),
+            min_positive=float(data.get("min_positive",
+                                        DEFAULT_MIN_POSITIVE)),
+            max_buckets=int(data.get("max_buckets", DEFAULT_MAX_BUCKETS)),
+        )
+        hist._buckets = {
+            int(i): int(n) for i, n in (data.get("buckets") or {}).items()
+        }
+        hist.count = int(data.get("count", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        hist.min = None if data.get("min") is None else float(data["min"])
+        hist.max = None if data.get("max") is None else float(data["max"])
+        return hist
+
+    def summary(self) -> Dict[str, object]:
+        """The metric-snapshot row shape (count/sum/min/max/mean +
+        p50/p99 + sparse buckets)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "buckets": {str(i): n for i, n in sorted(self._buckets.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<LogHistogram: {self.count} samples in "
+            f"{len(self._buckets)} buckets, mean={self.mean}>"
+        )

@@ -6,6 +6,20 @@ Each instrument holds one *series* per distinct label set, so
 one metric name — the ``name{label=value}`` convention of Prometheus,
 kept in-process and dependency-free.
 
+Two properties matter for the distributed layer:
+
+* **bounded cardinality** — every instrument caps its distinct label
+  sets (:data:`DEFAULT_MAX_LABEL_SETS` per instrument).  Past the cap,
+  new label sets fold into a single ``{overflow="true"}`` series (with
+  a one-time warning and an ``obs.label_overflow`` counter), so a
+  per-request or per-trace label mistake degrades a metric instead of
+  OOMing a week-old replica;
+* **mergeable histograms** — histogram series are
+  :class:`~repro.obs.histogram.LogHistogram`\\ s, so cross-process
+  aggregation (shard → parent, replica → router) is a per-bucket add
+  (:func:`repro.obs.export.merge_metrics_snapshots`), and snapshots
+  carry real p50/p99 instead of just count/mean/min/max.
+
 The process-global default is a :class:`NullRegistry` whose instruments
 are shared no-ops, so instrumented hot paths (the simulator's run loop,
 ``sc_route``) pay one ``enabled`` check when metrics are off.  Check
@@ -16,10 +30,20 @@ just call the null instruments.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .histogram import LogHistogram
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: per-instrument cap on distinct label sets; the 257th distinct set
+#: folds into :data:`OVERFLOW_KEY`.
+DEFAULT_MAX_LABEL_SETS = 256
+
+#: the label set absorbing every series past the cardinality cap.
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
 
 
 def _key(labels: Dict[str, object]) -> LabelKey:
@@ -27,17 +51,55 @@ def _key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
-class Counter:
+class _BoundedSeries:
+    """Shared label-set bookkeeping: resolve a label set to its series
+    key, folding past-cap sets into the overflow series."""
+
+    def __init__(
+        self,
+        name: str,
+        max_label_sets: int,
+        on_overflow: Optional[Callable[[str], None]] = None,
+    ):
+        self.name = name
+        self._max_label_sets = max(1, int(max_label_sets))
+        self._on_overflow = on_overflow
+        self._warned = False
+        self.overflowed = 0
+
+    def _resolve(self, series: Dict[LabelKey, object],
+                 labels: Dict[str, object]) -> LabelKey:
+        key = _key(labels)
+        if key in series or len(series) < self._max_label_sets:
+            return key
+        self.overflowed += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"metric {self.name!r} exceeded {self._max_label_sets} "
+                f"distinct label sets; further label sets fold into the "
+                f"{{overflow=\"true\"}} series",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if self._on_overflow is not None:
+            self._on_overflow(self.name)
+        return OVERFLOW_KEY
+
+
+class Counter(_BoundedSeries):
     """A monotonically increasing count per label set."""
 
-    def __init__(self, name: str):
-        self.name = name
+    def __init__(self, name: str,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+                 on_overflow: Optional[Callable[[str], None]] = None):
+        super().__init__(name, max_label_sets, on_overflow)
         self._series: Dict[LabelKey, float] = {}
 
     def inc(self, amount: float = 1, **labels) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative inc {amount}")
-        key = _key(labels)
+        key = self._resolve(self._series, labels)
         self._series[key] = self._series.get(key, 0) + amount
 
     def value(self, **labels) -> float:
@@ -57,15 +119,17 @@ class Counter:
         ]
 
 
-class Gauge:
+class Gauge(_BoundedSeries):
     """A point-in-time value per label set (last write wins)."""
 
-    def __init__(self, name: str):
-        self.name = name
+    def __init__(self, name: str,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+                 on_overflow: Optional[Callable[[str], None]] = None):
+        super().__init__(name, max_label_sets, on_overflow)
         self._series: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels) -> None:
-        self._series[_key(labels)] = value
+        self._series[self._resolve(self._series, labels)] = value
 
     def value(self, **labels) -> Optional[float]:
         return self._series.get(_key(labels))
@@ -80,43 +144,26 @@ class Gauge:
         ]
 
 
-class _HistogramSeries:
-    __slots__ = ("count", "sum", "min", "max")
+class Histogram(_BoundedSeries):
+    """A :class:`LogHistogram` per label set.
 
-    def __init__(self):
-        self.count = 0
-        self.sum = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-
-    @property
-    def mean(self) -> Optional[float]:
-        return self.sum / self.count if self.count else None
-
-
-class Histogram:
-    """Streaming summary (count/sum/min/max/mean) per label set.
-
-    Summaries rather than buckets: the paper's distributions (hop
-    counts, queue depths) are small integers where min/mean/max answer
-    the questions the theorems ask (constant-factor optimality).
+    Snapshot rows keep the original count/sum/min/max/mean keys (the
+    table renderer and older artifacts rely on them) and add p50/p99
+    plus the sparse bucket vector, which is what makes two processes'
+    snapshots mergeable.
     """
 
-    def __init__(self, name: str):
-        self.name = name
-        self._series: Dict[LabelKey, _HistogramSeries] = {}
+    def __init__(self, name: str,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+                 on_overflow: Optional[Callable[[str], None]] = None):
+        super().__init__(name, max_label_sets, on_overflow)
+        self._series: Dict[LabelKey, LogHistogram] = {}
 
     def observe(self, value: float, **labels) -> None:
-        key = _key(labels)
+        key = self._resolve(self._series, labels)
         series = self._series.get(key)
         if series is None:
-            series = self._series[key] = _HistogramSeries()
+            series = self._series[key] = LogHistogram()
         series.observe(value)
 
     def count(self, **labels) -> int:
@@ -127,49 +174,69 @@ class Histogram:
         series = self._series.get(_key(labels))
         return series.mean if series else None
 
-    def series(self) -> Dict[LabelKey, _HistogramSeries]:
+    def percentile(self, q: float, **labels) -> Optional[float]:
+        series = self._series.get(_key(labels))
+        return series.percentile(q) if series else None
+
+    def series(self) -> Dict[LabelKey, LogHistogram]:
         return dict(self._series)
 
     def snapshot(self) -> List[Dict[str, object]]:
-        return [
-            {
-                "labels": dict(key),
-                "count": s.count,
-                "sum": s.sum,
-                "min": s.min,
-                "max": s.max,
-                "mean": s.mean,
-            }
-            for key, s in sorted(self._series.items())
-        ]
+        rows: List[Dict[str, object]] = []
+        for key, s in sorted(self._series.items()):
+            row: Dict[str, object] = {"labels": dict(key)}
+            row.update(s.to_dict())
+            row["mean"] = s.mean
+            row["p50"] = s.percentile(50.0)
+            row["p99"] = s.percentile(99.0)
+            rows.append(row)
+        return rows
 
 
 class MetricsRegistry:
-    """Create-or-get instruments by name; snapshot the lot as JSON."""
+    """Create-or-get instruments by name; snapshot the lot as JSON.
+
+    ``max_label_sets`` bounds every instrument's label cardinality;
+    overflows additionally tick the registry's own
+    ``obs.label_overflow{instrument=...}`` counter so a capped metric
+    is visible in the snapshot it degraded.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        self.max_label_sets = max(1, int(max_label_sets))
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
+    def _note_overflow(self, instrument: str) -> None:
+        # One bounded series per instrument name — this cannot itself
+        # overflow unless the registry holds >cap distinct instruments.
+        self.counter("obs.label_overflow").inc(1, instrument=instrument)
+
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter(name)
+            inst = self._counters[name] = Counter(
+                name, self.max_label_sets, self._note_overflow,
+            )
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge(name)
+            inst = self._gauges[name] = Gauge(
+                name, self.max_label_sets, self._note_overflow,
+            )
         return inst
 
     def histogram(self, name: str) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name)
+            inst = self._histograms[name] = Histogram(
+                name, self.max_label_sets, self._note_overflow,
+            )
         return inst
 
     def snapshot(self) -> Dict[str, object]:
@@ -220,6 +287,9 @@ class _NullInstrument:
         return 0
 
     def mean(self, **labels) -> None:
+        return None
+
+    def percentile(self, q: float, **labels) -> None:
         return None
 
     def series(self) -> Dict[LabelKey, float]:

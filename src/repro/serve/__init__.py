@@ -37,9 +37,11 @@ from .workload import (
     hotspot_pairs,
     make_workload,
     percentile,
+    query_server,
     replay_trace,
     requests_from_pairs,
     run_loadgen,
+    sample_traces,
     save_trace,
     stamp_arrivals,
     transpose_pairs,
@@ -62,12 +64,14 @@ __all__ = [
     "parse_node",
     "parse_symbols",
     "percentile",
+    "query_server",
     "relative_ranks",
     "replay_trace",
     "requests_from_pairs",
     "reverse_table",
     "route_payload",
     "run_loadgen",
+    "sample_traces",
     "save_trace",
     "stamp_arrivals",
     "transpose_pairs",

@@ -45,7 +45,7 @@ from ..core.lru import EVICTION_METRIC, LRUCache
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork
 from ..networks import make_network
-from ..obs import get_registry, get_tracer
+from ..obs import extract, get_registry, get_tracer, start_span
 from ..routing import star_distance_between
 
 NodeSpec = Union[str, Sequence[int]]
@@ -402,12 +402,33 @@ class QueryEngine:
 
     def execute(self, request: Dict[str, object]) -> Dict[str, object]:
         """Answer one request; errors come back as ``ok: false``
-        responses, never exceptions (the protocol boundary)."""
+        responses, never exceptions (the protocol boundary).
+
+        Sampled requests (a ``trace`` context on the wire) emit an
+        ``engine.execute`` remote span — the innermost hop of the
+        distributed trace; unsampled requests pay one dict lookup."""
+        ctx = extract(request)
+        if ctx is None:
+            return self._execute_inner(request)
+        with start_span(
+            "engine.execute", ctx, {"op": str(request.get("op"))},
+        ) as span:
+            response = self._execute_inner(request)
+            span.ok = bool(response.get("ok"))
+            return response
+
+    def _execute_inner(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
         op = request.get("op")
         handler = self._HANDLERS.get(op)
         registry = get_registry()
         if registry.enabled:
             registry.counter("serve.queries").inc(1, op=str(op))
+            gauge = registry.gauge("serve.cache_entries")
+            gauge.set(len(self._graphs), cache="graphs")
+            gauge.set(len(self._route_tables), cache="route-tables")
+            gauge.set(len(self._embeddings), cache="embeddings")
         if handler is None:
             return self._fail(request, f"unknown op {op!r}")
         with get_tracer().span("serve.execute", op=str(op)):
@@ -470,6 +491,19 @@ class QueryEngine:
         """One vectorised distance pass for several same-network
         requests, or ``None`` to fall back to per-request execution
         (any malformed member poisons the merge)."""
+        # Sampled members still get their engine.execute span even
+        # though the coalesced path bypasses execute(); on fallback the
+        # spans are discarded unclosed (the per-request retry emits its
+        # own) so a trace never shows the same hop twice.
+        spans = []
+        for request in requests:
+            span = start_span(
+                "engine.execute", extract(request),
+                {"op": "distance", "coalesced": True},
+            )
+            if span is not None:
+                span.__enter__()
+                spans.append(span)
         try:
             net = self.network(requests[0].get("network"))
             sizes: List[int] = []
@@ -481,6 +515,8 @@ class QueryEngine:
             distances = self._distance_batch(net, all_pairs)
         except (QueryError, KeyError, TypeError, ValueError):
             return None
+        for span in spans:
+            span.__exit__(None, None, None)
         registry = get_registry()
         if registry.enabled:
             registry.counter("serve.queries").inc(

@@ -24,7 +24,15 @@ rejected + timeouts + malformed`` is asserted by :meth:`QueryServer.stats`
 and checked end-to-end by the loadgen smoke tests.  Metrics flow
 through :mod:`repro.obs` under ``serve.*`` (requests, batch sizes,
 queue depth, latency); latency quantiles (p50/p99) come from a bounded
-in-server reservoir.
+mergeable :class:`~repro.obs.histogram.LogHistogram`.
+
+The server is also a hop in the distributed trace: a sampled request (a
+``trace`` context on the wire) gets a ``server.request`` span covering
+arrival to response, and the child context is forwarded to the back end
+so shard workers and the engine nest underneath.  Two admin ops answer
+inline even with a wedged backend: ``stats`` (accounting + quantiles)
+and ``metrics`` (the full metric snapshot, merged with the shard pool's
+workers when the backend ships them).
 """
 
 from __future__ import annotations
@@ -33,17 +41,26 @@ import asyncio
 import json
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from ..obs import get_registry, get_tracer
-from .workload import percentile
+from ..obs import (
+    LogHistogram,
+    RemoteSpan,
+    dump_flight,
+    extract,
+    get_registry,
+    get_span_buffer,
+    get_tracer,
+    inject,
+    merge_metrics_snapshots,
+    record_event,
+    start_span,
+)
 
 DEFAULT_BATCH_WINDOW = 0.002
 DEFAULT_MAX_PENDING = 1024
 DEFAULT_REQUEST_TIMEOUT = 5.0
-LATENCY_RESERVOIR = 10_000
 
 
 @dataclass
@@ -54,6 +71,7 @@ class _Pending:
     writer: asyncio.StreamWriter
     arrived: float
     deadline: float
+    span: Optional[RemoteSpan] = None
 
 
 @dataclass
@@ -97,6 +115,7 @@ class QueryServer:
         batch_window: float = DEFAULT_BATCH_WINDOW,
         max_pending: int = DEFAULT_MAX_PENDING,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        name: Optional[str] = None,
     ):
         self.backend = backend
         self.host = host
@@ -104,9 +123,10 @@ class QueryServer:
         self.batch_window = batch_window
         self.max_pending = max_pending
         self.request_timeout = request_timeout
+        self.name = name  # replica label on spans/flight events
         self.stats_counters = ServerStats()
         self._pending: List[_Pending] = []
-        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._latencies = LogHistogram()
         self._wake: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher: Optional[asyncio.Task] = None
@@ -138,13 +158,20 @@ class QueryServer:
         every in-flight request was answered within ``timeout``.
         """
         self._draining = True
+        record_event("server.drain", name=self.name, port=self.port,
+                     pending=len(self._pending))
         deadline = time.monotonic() + timeout
         while (self._pending or self._in_batch) \
                 and time.monotonic() < deadline:
             if self._wake is not None:
                 self._wake.set()
             await asyncio.sleep(0.005)
-        return not self._pending and not self._in_batch
+        clean = not self._pending and not self._in_batch
+        dump_flight("drain", spans=get_span_buffer().peek(), extra={
+            "name": self.name, "port": self.port, "clean": clean,
+            "stats": self.stats(),
+        })
+        return clean
 
     async def stop(self) -> None:
         """Stop accepting, answer every parked request (as timeouts),
@@ -160,6 +187,7 @@ class QueryServer:
             await self._batcher
         for item in self._pending:
             self.stats_counters.timeouts += 1
+            self._close_span(item, ok=False, error="server shutting down")
             await self._send(item.writer, self._error_response(
                 item.request, "server shutting down"
             ))
@@ -178,6 +206,12 @@ class QueryServer:
         with a RST and close the listener, mid-batch, no answers.  The
         front proxy sees the connection sever and fails over."""
         self._closing = True
+        record_event("server.kill", name=self.name, port=self.port,
+                     pending=len(self._pending))
+        dump_flight("kill", spans=get_span_buffer().peek(), extra={
+            "name": self.name, "port": self.port,
+            "pending": len(self._pending),
+        })
         if self._server is not None:
             self._server.close()
         for writer in list(self._clients):
@@ -256,6 +290,17 @@ class QueryServer:
                     **({"id": request["id"]} if "id" in request else {}),
                 })
                 continue
+            if request.get("op") == "metrics":
+                # Also inline: the live metric snapshot (own process +
+                # shard workers) must stay readable under overload —
+                # that is exactly when `repro top` matters.
+                stats.completed += 1
+                await self._send(writer, {
+                    "ok": True, "op": "metrics",
+                    "result": self.metrics_snapshot(),
+                    **({"id": request["id"]} if "id" in request else {}),
+                })
+                continue
             if self._draining:
                 stats.rejected += 1
                 if registry.enabled:
@@ -272,16 +317,39 @@ class QueryServer:
                     request, "overloaded"
                 ))
                 continue
+            # Admission granted: a sampled request opens its
+            # server.request span here (covering queueing + batching +
+            # backend time) and the *child* context is what the back
+            # end sees, so shard/engine spans nest underneath.
+            ctx = extract(request)
+            span = start_span("server.request", ctx, {
+                "op": str(request.get("op")), "replica": self.name,
+            })
+            if span is not None:
+                span.__enter__()
+                request = inject(request, span.context())
             now = time.monotonic()
             self._pending.append(_Pending(
                 request=request, writer=writer, arrived=now,
-                deadline=now + self.request_timeout,
+                deadline=now + self.request_timeout, span=span,
             ))
             if registry.enabled:
                 registry.gauge("serve.queue_depth").set(
                     len(self._pending)
                 )
             self._wake.set()
+
+    @staticmethod
+    def _close_span(
+        item: _Pending, ok: bool, error: Optional[str] = None
+    ) -> None:
+        if item.span is None:
+            return
+        item.span.ok = ok
+        if error is not None:
+            item.span.set_attribute("error", error)
+        item.span.__exit__(None, None, None)
+        item.span = None
 
     @staticmethod
     def _error_response(
@@ -327,6 +395,7 @@ class QueryServer:
                     self.stats_counters.timeouts += 1
                     if registry.enabled:
                         registry.counter("serve.timeouts").inc(1)
+                    self._close_span(item, ok=False, error="timeout")
                     await self._send(item.writer, self._error_response(
                         item.request, "timeout"
                     ))
@@ -380,12 +449,13 @@ class QueryServer:
                         item.request, "no response from backend"
                     )
                 latency_ms = (done - item.arrived) * 1000.0
-                self._latencies.append(latency_ms)
+                self._latencies.observe(latency_ms)
                 self.stats_counters.completed += 1
                 if registry.enabled:
                     registry.histogram("serve.latency_ms").observe(
                         latency_ms
                     )
+                self._close_span(item, ok=bool(response.get("ok")))
                 await self._send(item.writer, response)
             self._in_batch = 0
 
@@ -395,8 +465,7 @@ class QueryServer:
         """JSON-able accounting + latency summary (the ``stats`` op)."""
         stats = self.stats_counters
         elapsed = max(time.monotonic() - stats.started, 1e-9)
-        latencies = list(self._latencies)
-        return {
+        payload = {
             "received": stats.received,
             "completed": stats.completed,
             "rejected": stats.rejected,
@@ -408,9 +477,26 @@ class QueryServer:
             "pending": len(self._pending),
             "draining": self._draining,
             "qps": stats.completed / elapsed,
-            "p50_ms": percentile(latencies, 50.0),
-            "p99_ms": percentile(latencies, 99.0),
+            "p50_ms": self._latencies.percentile(50.0),
+            "p99_ms": self._latencies.percentile(99.0),
         }
+        cache = getattr(self.backend, "cache_stats", None)
+        if callable(cache):
+            payload["cache"] = cache()
+        return payload
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The live metric view behind the ``metrics`` admin op: this
+        process's registry merged with the shard workers' latest
+        shipped snapshots (when the backend is a
+        :class:`~repro.serve.shard.ShardPool`).  The in-process engine
+        backend has no extra processes, so its snapshot is just the
+        registry's."""
+        snapshots = [get_registry().snapshot()]
+        backend_snap = getattr(self.backend, "metrics_snapshot", None)
+        if callable(backend_snap):
+            snapshots.append(backend_snap())
+        return merge_metrics_snapshots(snapshots)
 
 
 class ServerThread:

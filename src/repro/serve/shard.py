@@ -36,10 +36,26 @@ import time
 from typing import Dict, List, Optional, Sequence, Set
 from zlib import crc32
 
-from ..obs import get_registry
+from ..obs import (
+    MetricsRegistry,
+    dump_flight,
+    extract,
+    get_flight_recorder,
+    get_registry,
+    get_span_buffer,
+    inject,
+    record_event,
+    reset_flight_recorder,
+    reset_span_buffer,
+    set_registry,
+    start_span,
+)
 from .engine import QueryEngine
 
 _STOP = None  # queue sentinel
+
+#: how often a worker ships its metric snapshot to the pool parent.
+METRICS_SHIP_INTERVAL_S = 0.25
 
 
 class ShardOverload(RuntimeError):
@@ -47,39 +63,100 @@ class ShardOverload(RuntimeError):
 
 
 def _worker_main(shard_index, in_queue, out_queue, table_cache):
-    """Worker loop: claim, execute, answer — one engine per process."""
+    """Worker loop: claim, execute, answer — one engine per process.
+
+    Observability shipping rides the same results queue as answers,
+    tagged by message kind: finished remote spans go up as
+    ``("spans", shard, rid, [span, ...])`` immediately *before* the
+    request's result (queue FIFO guarantees the parent sees them
+    first), and the worker's full metric snapshot goes up as
+    ``("metrics", shard, None, snapshot)`` at most every
+    :data:`METRICS_SHIP_INTERVAL_S` (snapshot *replacement*, not
+    deltas, so a lost ship self-heals on the next one).
+    """
+    # A fork inherits the parent's registry, span buffer, and flight
+    # ring; keeping them would double-count everything the parent
+    # already recorded, so the worker starts its own.
+    registry = MetricsRegistry()
+    set_registry(registry)
+    spans = reset_span_buffer()
+    reset_flight_recorder()
+    requests_hist = registry.histogram("serve.shard_request_ms")
+    last_ship = 0.0  # ship the first snapshot immediately
     engine = QueryEngine(table_cache=table_cache)
-    while True:
-        item = in_queue.get()
-        if item is _STOP:
-            break
-        rid, request = item
-        op = request.get("op") if isinstance(request, dict) else None
-        if op == "_crash_silent":
-            # Die after dequeuing but before claiming — the request is
-            # in neither the shard queue nor the claim set, the case
-            # dispatch tracking exists to reconcile.
-            os._exit(13)
-        out_queue.put(("claim", shard_index, rid, None))
-        if op == "_crash":
-            # Give the queue's feeder thread time to flush the claim,
-            # then die without cleanup — the pool must reconcile.
-            time.sleep(float(request.get("delay", 0.2)))
-            os._exit(13)
-        if op == "_sleep":
-            time.sleep(float(request.get("seconds", 0.1)))
-            response = {"ok": True, "op": "_sleep", "result": {}}
-        else:
+    try:
+        while True:
+            item = in_queue.get()
+            if item is _STOP:
+                out_queue.put(
+                    ("metrics", shard_index, None, registry.snapshot())
+                )
+                break
+            rid, request = item
+            op = request.get("op") if isinstance(request, dict) else None
+            if op == "_crash_silent":
+                # Die after dequeuing but before claiming — the request
+                # is in neither the shard queue nor the claim set, the
+                # case dispatch tracking exists to reconcile.
+                os._exit(13)
+            out_queue.put(("claim", shard_index, rid, None))
+            record_event("shard.claim", shard=shard_index, rid=rid, op=op)
+            if op == "_crash":
+                # Give the queue's feeder thread time to flush the
+                # claim, then die without cleanup — the pool must
+                # reconcile.
+                time.sleep(float(request.get("delay", 0.2)))
+                os._exit(13)
+            ctx = extract(request)
+            span = start_span(
+                "shard.execute", ctx,
+                {"shard": shard_index, "op": op},
+            )
+            started = time.perf_counter()
+            if span is not None:
+                span.__enter__()
+                request = inject(request, span.context())
+            response = None
             try:
-                response = engine.execute(request)
-            except Exception as exc:  # never kill the worker on a request
-                response = {
-                    "ok": False, "op": op,
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
-        if isinstance(request, dict) and "id" in request:
-            response["id"] = request["id"]
-        out_queue.put(("result", shard_index, rid, response))
+                if op == "_sleep":
+                    time.sleep(float(request.get("seconds", 0.1)))
+                    response = {"ok": True, "op": "_sleep", "result": {}}
+                else:
+                    try:
+                        response = engine.execute(request)
+                    except Exception as exc:  # never die on a request
+                        response = {
+                            "ok": False, "op": op,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+            finally:
+                if span is not None:
+                    span.ok = bool(response and response.get("ok"))
+                    span.__exit__(None, None, None)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            requests_hist.observe(elapsed_ms, shard=shard_index)
+            registry.counter("serve.shard_requests").inc(
+                1, shard=shard_index,
+                ok=bool(response.get("ok")),
+            )
+            if isinstance(request, dict) and "id" in request:
+                response["id"] = request["id"]
+            finished = spans.drain()
+            if finished:
+                out_queue.put(("spans", shard_index, rid, finished))
+            out_queue.put(("result", shard_index, rid, response))
+            now = time.monotonic()
+            if now - last_ship >= METRICS_SHIP_INTERVAL_S or last_ship == 0.0:
+                last_ship = now
+                out_queue.put(
+                    ("metrics", shard_index, None, registry.snapshot())
+                )
+    except Exception as exc:  # loop-level failure, not a bad request
+        record_event("shard.worker-error", shard=shard_index,
+                     error=f"{type(exc).__name__}: {exc}")
+        dump_flight("worker-error", spans=spans.peek(),
+                    extra={"shard": shard_index})
+        raise
 
 
 class ShardPool:
@@ -128,6 +205,9 @@ class ShardPool:
         self._shard_of: Dict[int, int] = {}  # rid -> dispatch shard
         self._claimed: List[Set[int]] = [set() for _ in range(num_shards)]
         self._responses: Dict[int, Dict[str, object]] = {}
+        # latest metric snapshot shipped by each live worker (snapshot
+        # replacement: each ship supersedes the previous one)
+        self._shard_metrics: Dict[int, Dict[str, object]] = {}
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -173,6 +253,8 @@ class ShardPool:
                 if worker.is_alive():
                     worker.terminate()
                     worker.join(timeout=timeout)
+        while self._pump(0.0):  # final metric/span ships from STOP
+            pass
         for in_queue in self._in_queues:
             in_queue.close()
         self._out_queue.close()
@@ -225,13 +307,24 @@ class ShardPool:
     # -- collection ----------------------------------------------------
 
     def _pump(self, timeout: float) -> bool:
-        """Move one message off the results queue; True if one arrived."""
+        """Move one message off the results queue; True if one arrived.
+
+        Besides claims and results, workers ship observability traffic
+        on the same queue: ``spans`` messages land in this process's
+        span buffer (where the server's collector drains them), and
+        ``metrics`` messages replace the worker's stored snapshot."""
         try:
             kind, shard, rid, payload = self._out_queue.get(timeout=timeout)
         except queue.Empty:
             return False
         if kind == "claim":
             self._claimed[shard].add(rid)
+        elif kind == "spans":
+            buffer = get_span_buffer()
+            for span in payload:
+                buffer.append(span)
+        elif kind == "metrics":
+            self._shard_metrics[shard] = payload
         else:
             self._record(rid, payload)
             self._claimed[shard].discard(rid)
@@ -290,6 +383,13 @@ class ShardPool:
                 })
             self._claimed[shard].clear()
             self._workers[shard] = None
+            record_event("shard.worker-crash", shard=shard,
+                         exitcode=exitcode, lost=len(lost),
+                         requeued=len(survivors))
+            dump_flight("worker-crash", extra={
+                "shard": shard, "exitcode": exitcode,
+                "lost": len(lost), "requeued": len(survivors),
+            })
             if self.restart_policy:
                 self.restarts += 1
                 registry = get_registry()
@@ -366,6 +466,40 @@ class ShardPool:
             else:
                 out.append(self.take_response(rid))
         return out
+
+    # -- observability -------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The pool's cluster-of-workers metric view: every worker's
+        latest shipped snapshot merged with a ``shard=<i>`` label
+        (counters add, histograms vector-add; see
+        :func:`repro.obs.export.merge_metrics_snapshots`)."""
+        while self._pump(0.0):  # absorb any ships waiting on the queue
+            pass
+        from ..obs import merge_metrics_snapshots
+
+        shards = sorted(self._shard_metrics)
+        return merge_metrics_snapshots(
+            [self._shard_metrics[s] for s in shards],
+            extra_labels=[{"shard": s} for s in shards],
+        )
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Worker cache occupancy summed across shards, read from the
+        latest shipped ``serve.cache_entries`` gauge rows (same shape
+        as :meth:`QueryEngine.cache_stats`, feeding the ``stats`` admin
+        op and ``repro top``)."""
+        while self._pump(0.0):
+            pass
+        totals: Dict[str, object] = {}
+        for snapshot in self._shard_metrics.values():
+            gauges = snapshot.get("gauges", {})
+            for row in gauges.get("serve.cache_entries", []):
+                cache = row.get("labels", {}).get("cache")
+                if cache is not None:
+                    key = str(cache).replace("-", "_")  # engine key names
+                    totals[key] = totals.get(key, 0) + row["value"]
+        return totals
 
     # -- accounting ----------------------------------------------------
 

@@ -91,8 +91,9 @@ class TestHashRing:
         assert moved == len(changed)
         for key in changed:
             assert ring.primary(key) == "newcomer"
-        # expected fraction ~ 1/(N+1); allow generous sampling slack
-        assert len(changed) / n_keys <= 3.0 / (n_replicas + 1)
+        # expected fraction ~ 1/(N+1); a purely fractional bound trips
+        # on sampling noise at small n_keys, so allow absolute slack too
+        assert len(changed) <= 3.0 * n_keys / (n_replicas + 1) + 3
 
     @given(
         n_replicas=st.integers(2, 6),

@@ -397,3 +397,464 @@ class TestCliObservability:
         assert isinstance(get_tracer(), NoopTracer)
         assert isinstance(get_registry(), NullRegistry)
         assert not get_profiler().enabled
+
+
+class TestLogHistogram:
+    def _exact_percentile(self, values, q):
+        ordered = sorted(values)
+        rank = max(1, -(-int(q / 100.0 * len(ordered) * 1000) // 1000))
+        import math
+        k = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[k - 1]
+
+    def test_quantiles_within_one_bucket(self):
+        import random
+
+        from repro.obs import LogHistogram
+
+        rng = random.Random(7)
+        values = [rng.lognormvariate(2.0, 1.5) for _ in range(5000)]
+        hist = LogHistogram()
+        hist.observe_many(values)
+        for q in (50.0, 90.0, 99.0):
+            exact = self._exact_percentile(values, q)
+            estimate = hist.percentile(q)
+            # geometric bucket midpoint: at most one bucket width off
+            assert exact / hist.growth <= estimate <= exact * hist.growth
+
+    def test_merge_matches_union(self):
+        import random
+
+        from repro.obs import LogHistogram
+
+        rng = random.Random(3)
+        a_vals = [rng.uniform(0.1, 50.0) for _ in range(400)]
+        b_vals = [rng.uniform(5.0, 500.0) for _ in range(600)]
+        a, b, union = LogHistogram(), LogHistogram(), LogHistogram()
+        a.observe_many(a_vals)
+        b.observe_many(b_vals)
+        union.observe_many(a_vals + b_vals)
+        a.merge(b)
+        assert a.count == union.count == 1000
+        assert a.sum == pytest.approx(union.sum)
+        assert a.min == union.min and a.max == union.max
+        for q in (1.0, 50.0, 99.0):
+            assert a.percentile(q) == union.percentile(q)
+
+    def test_merge_geometry_mismatch_raises(self):
+        from repro.obs import LogHistogram
+
+        with pytest.raises(ValueError):
+            LogHistogram().merge(LogHistogram(growth=2.0))
+
+    def test_memory_stays_bounded(self):
+        from repro.obs import LogHistogram
+
+        hist = LogHistogram()
+        for i in range(50_000):
+            hist.observe((i % 997) * 1e3 + 1e-9)
+        hist.observe(1e30)  # clamps into the last bucket
+        assert hist.occupied_buckets() <= hist.max_buckets
+        assert hist.count == 50_001
+        assert hist.max == 1e30  # exact extremes survive clamping
+
+    def test_dict_round_trip(self):
+        from repro.obs import LogHistogram
+
+        hist = LogHistogram()
+        hist.observe_many([0.5, 3.0, 3.1, 40.0])
+        clone = LogHistogram.from_dict(
+            json.loads(json.dumps(hist.to_dict()))
+        )
+        assert clone.count == hist.count
+        assert clone.sum == pytest.approx(hist.sum)
+        assert clone.percentile(50.0) == hist.percentile(50.0)
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_edge_percentiles(self):
+        from repro.obs import LogHistogram
+
+        hist = LogHistogram()
+        assert hist.percentile(50.0) is None
+        assert hist.mean is None
+        hist.observe(7.25)
+        # single sample: clamping to [min, max] makes every q exact
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(q) == 7.25
+
+    def test_loadgen_latencies_are_bounded(self):
+        """Satellite: run_loadgen tracks latency in a bounded histogram
+        — memory stays flat and p50/p99 stay within one bucket."""
+        import random
+
+        from repro.serve import LoadGenResult
+
+        rng = random.Random(11)
+        result = LoadGenResult()
+        values = [rng.lognormvariate(1.0, 1.0) for _ in range(30_000)]
+        for value in values:
+            result.latency_hist.observe(value)
+        assert result.latency_hist.occupied_buckets() \
+            <= result.latency_hist.max_buckets
+        growth = result.latency_hist.growth
+        exact_p50 = self._exact_percentile(values, 50.0)
+        exact_p99 = self._exact_percentile(values, 99.0)
+        assert exact_p50 / growth <= result.p50_ms <= exact_p50 * growth
+        assert exact_p99 / growth <= result.p99_ms <= exact_p99 * growth
+
+
+class TestLabelCardinalityCap:
+    def test_counter_folds_past_cap_and_warns_once(self):
+        from repro.obs import OVERFLOW_KEY
+
+        registry = MetricsRegistry(max_label_sets=4)
+        counter = registry.counter("bench.series")
+        with pytest.warns(RuntimeWarning, match="bench.series"):
+            for i in range(10):
+                counter.inc(1, worker=str(i))
+        # another overflow inc does NOT warn again
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            counter.inc(1, worker="yet-another")
+        series = counter.series()
+        assert OVERFLOW_KEY in series
+        assert series[OVERFLOW_KEY] == 7  # 10 - 4 kept + 1 extra
+        assert counter.total() == 11  # nothing lost, just folded
+
+    def test_overflow_is_counted_in_registry(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        gauge = registry.gauge("hot.gauge")
+        with pytest.warns(RuntimeWarning):
+            for i in range(5):
+                gauge.set(i, shard=str(i))
+        snap = registry.snapshot()
+        overflow = snap["counters"]["obs.label_overflow"]
+        assert overflow[0]["labels"] == {"instrument": "hot.gauge"}
+        assert overflow[0]["value"] == 3
+
+    def test_under_cap_no_warning(self):
+        import warnings
+
+        registry = MetricsRegistry(max_label_sets=8)
+        hist = registry.histogram("ok.hist")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for i in range(8):
+                hist.observe(float(i), op=str(i))
+        assert not hist.overflowed
+
+    def test_existing_series_still_writable_past_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("c")
+        counter.inc(1, op="a")
+        counter.inc(1, op="b")
+        with pytest.warns(RuntimeWarning):
+            counter.inc(1, op="c")  # new series: folds
+        counter.inc(5, op="a")  # existing series: unaffected
+        assert counter.value(op="a") == 6
+
+
+class TestPropagate:
+    def test_context_round_trip(self):
+        from repro.obs import TraceContext, extract, inject
+
+        ctx = TraceContext("abc123", "parent-1")
+        request = {"op": "distance", "id": 3}
+        wired = inject(request, ctx)
+        assert "trace" not in request  # original untouched
+        assert extract(wired) == ctx
+        assert extract(request) is None
+        assert extract("not a dict") is None
+
+    def test_strip_removes_context(self):
+        from repro.obs import TraceContext, inject, strip
+
+        wired = inject({"op": "stats"}, TraceContext("t1"))
+        assert strip(wired) == {"op": "stats"}
+        bare = {"op": "stats"}
+        assert strip(bare) is bare
+
+    def test_remote_span_chain(self):
+        import os
+
+        from repro.obs import SpanBuffer, TraceContext, start_span
+
+        buffer = SpanBuffer()
+        root_ctx = TraceContext("trace-9")
+        with start_span("client.request", root_ctx,
+                        {"op": "distance"}, buffer=buffer) as root:
+            child_ctx = root.context()
+            assert child_ctx.trace_id == "trace-9"
+            assert child_ctx.parent_span_id == root.span_id
+            with start_span("server.request", child_ctx,
+                            buffer=buffer) as child:
+                pass
+        spans = buffer.drain()
+        assert [s["name"] for s in spans] \
+            == ["server.request", "client.request"]
+        server, client = spans
+        assert server["parent_span_id"] == client["span_id"]
+        assert client["parent_span_id"] is None
+        assert all(s["pid"] == os.getpid() for s in spans)
+        assert all(s["duration_ms"] >= 0 for s in spans)
+
+    def test_unsampled_is_none(self):
+        from repro.obs import start_span
+
+        assert start_span("anything", None) is None
+
+    def test_span_failure_marked_but_raises(self):
+        from repro.obs import SpanBuffer, TraceContext, start_span
+
+        buffer = SpanBuffer()
+        with pytest.raises(RuntimeError):
+            with start_span("boom", TraceContext("t"), buffer=buffer):
+                raise RuntimeError("nope")
+        (span,) = buffer.drain()
+        assert span["ok"] is False
+        assert span["attributes"]["error"] == "RuntimeError"
+
+    def test_span_buffer_bounded(self):
+        from repro.obs import SpanBuffer
+
+        buffer = SpanBuffer(capacity=3)
+        for i in range(10):
+            buffer.append({"i": i})
+        assert len(buffer) == 3
+        assert buffer.dropped == 7
+        assert [s["i"] for s in buffer.peek()] == [7, 8, 9]
+        assert [s["i"] for s in buffer.drain()] == [7, 8, 9]
+        assert len(buffer) == 0
+
+    def test_span_ids_unique_across_threads(self):
+        import threading
+
+        from repro.obs import new_span_id
+
+        ids = []
+        lock = threading.Lock()
+
+        def mint():
+            minted = [new_span_id() for _ in range(200)]
+            with lock:
+                ids.extend(minted)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(ids)) == len(ids)
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("tick", i=i)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert [e["i"] for e in recorder.events()] == [6, 7, 8, 9]
+        assert all(e["kind"] == "tick" for e in recorder.events())
+
+    def test_dump_writes_artifact(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.record("server.drain", port=7421)
+        path = recorder.dump(
+            "drain", directory=str(tmp_path),
+            spans=[{"name": "server.request"}],
+            extra={"clean": True},
+        )
+        assert path is not None and path.exists()
+        assert "drain" in path.name
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "drain"
+        assert payload["events"][0]["kind"] == "server.drain"
+        assert payload["spans"] == [{"name": "server.request"}]
+        assert payload["extra"] == {"clean": True}
+        assert recorder.dumps == 1
+
+    def test_dump_without_destination_is_none(self, monkeypatch):
+        from repro.obs import FLIGHT_DIR_ENV, FlightRecorder
+
+        monkeypatch.delenv(FLIGHT_DIR_ENV, raising=False)
+        recorder = FlightRecorder()
+        recorder.record("x")
+        assert recorder.dump("kill") is None
+        assert recorder.dumps == 0
+
+    def test_env_var_enables_dumping(self, tmp_path, monkeypatch):
+        from repro.obs import FLIGHT_DIR_ENV, FlightRecorder
+
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path))
+        recorder = FlightRecorder()
+        recorder.record("chaos.kill", replica="replica-1")
+        path = recorder.dump("kill")
+        assert path is not None and path.parent == tmp_path
+
+    def test_global_recorder_reset(self):
+        from repro.obs import (
+            get_flight_recorder,
+            record_event,
+            reset_flight_recorder,
+        )
+
+        reset_flight_recorder()
+        record_event("router.replica-down", replica="r0")
+        assert get_flight_recorder().events()[-1]["kind"] \
+            == "router.replica-down"
+        reset_flight_recorder()
+        assert len(get_flight_recorder()) == 0
+
+
+class TestTraceCollector:
+    def _span(self, trace_id, span_id, parent, name, pid=1, start=0.0):
+        return {
+            "trace_id": trace_id, "span_id": span_id,
+            "parent_span_id": parent, "name": name, "pid": pid,
+            "start_ts": start, "end_ts": start + 1.0,
+            "duration_ms": 1000.0, "ok": True, "attributes": {},
+        }
+
+    def test_tree_assembly_and_parentage(self):
+        from repro.obs import TraceCollector, parentage_path, span_names
+
+        collector = TraceCollector()
+        collector.add_many([
+            self._span("t1", "a-2", "a-1", "router.route", pid=1,
+                       start=1.0),
+            self._span("t1", "a-1", None, "client.request", pid=1,
+                       start=0.0),
+            self._span("t1", "b-1", "a-2", "server.request", pid=2,
+                       start=2.0),
+        ])
+        tree = collector.tree("t1")
+        assert tree["spans"] == 3
+        assert tree["pids"] == [1, 2]
+        assert tree["orphans"] == 0
+        assert span_names(tree) \
+            == ["client.request", "router.route", "server.request"]
+        assert parentage_path(tree, "server.request") \
+            == ["client.request", "router.route", "server.request"]
+
+    def test_orphans_kept_and_flagged(self):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector()
+        collector.add(self._span("t2", "x-2", "never-arrived", "lonely"))
+        tree = collector.tree("t2")
+        assert tree["orphans"] == 1
+        assert tree["roots"][0]["orphan"] is True
+
+    def test_malformed_spans_counted_not_raised(self):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector()
+        collector.add_many([
+            {"no": "ids"}, "not a dict",
+            self._span("t3", "s-1", None, "ok"),
+        ])
+        assert collector.malformed == 2
+        assert collector.trace_ids() == ["t3"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        from repro.obs import (
+            TraceCollector,
+            read_trace_trees,
+            write_trace_trees,
+        )
+
+        collector = TraceCollector()
+        collector.add_many([
+            self._span("t4", "r-1", None, "client.request"),
+            self._span("t5", "q-1", None, "client.request"),
+        ])
+        path = tmp_path / "trees.jsonl"
+        assert write_trace_trees(collector.trees(), path) == 2
+        loaded = read_trace_trees(path)
+        assert loaded == collector.trees()
+
+
+class TestMergeMetricsSnapshots:
+    """Satellite: repro.obs.export merge coverage — round-trip, two
+    process snapshots, deterministic ordering."""
+
+    def _two_process_snapshots(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("serve.queries").inc(3, op="distance")
+        b.counter("serve.queries").inc(4, op="distance")
+        b.counter("serve.queries").inc(2, op="route")
+        a.gauge("serve.queue_depth").set(5)
+        b.gauge("serve.queue_depth").set(9)
+        for value in (1.0, 2.0, 4.0):
+            a.histogram("serve.latency_ms").observe(value)
+        for value in (8.0, 16.0):
+            b.histogram("serve.latency_ms").observe(value)
+        return a.snapshot(), b.snapshot()
+
+    def test_counters_add_gauges_lww_histograms_merge(self):
+        from repro.obs import merge_metrics_snapshots
+
+        snap_a, snap_b = self._two_process_snapshots()
+        merged = merge_metrics_snapshots([snap_a, snap_b])
+        queries = {
+            tuple(sorted(row["labels"].items())): row["value"]
+            for row in merged["counters"]["serve.queries"]
+        }
+        assert queries[(("op", "distance"),)] == 7
+        assert queries[(("op", "route"),)] == 2
+        (depth,) = merged["gauges"]["serve.queue_depth"]
+        assert depth["value"] == 9  # last write wins
+        (lat,) = merged["histograms"]["serve.latency_ms"]
+        assert lat["count"] == 5
+        assert lat["min"] == 1.0 and lat["max"] == 16.0
+
+    def test_extra_labels_keep_sources_apart(self):
+        from repro.obs import merge_metrics_snapshots
+
+        snap_a, snap_b = self._two_process_snapshots()
+        merged = merge_metrics_snapshots(
+            [snap_a, snap_b],
+            extra_labels=[{"shard": 0}, {"shard": 1}],
+        )
+        rows = merged["histograms"]["serve.latency_ms"]
+        assert [row["labels"]["shard"] for row in rows] == ["0", "1"]
+        assert [row["count"] for row in rows] == [3, 2]
+
+    def test_deterministic_ordering(self):
+        from repro.obs import merge_metrics_snapshots
+
+        snap_a, snap_b = self._two_process_snapshots()
+        once = merge_metrics_snapshots([snap_a, snap_b])
+        again = merge_metrics_snapshots([snap_a, snap_b])
+        assert json.dumps(once, sort_keys=True) \
+            == json.dumps(again, sort_keys=True)
+        # JSON round-trip preserves the merged snapshot exactly
+        assert json.loads(json.dumps(once)) == once
+
+    def test_extra_labels_length_mismatch(self):
+        from repro.obs import merge_metrics_snapshots
+
+        with pytest.raises(ValueError):
+            merge_metrics_snapshots(
+                [MetricsRegistry().snapshot()], extra_labels=[{}, {}]
+            )
+
+    def test_merge_of_loaded_snapshots(self, tmp_path):
+        from repro.obs import merge_metrics_snapshots
+
+        snap_a, snap_b = self._two_process_snapshots()
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        path_a.write_text(json.dumps(snap_a))
+        path_b.write_text(json.dumps(snap_b))
+        merged = merge_metrics_snapshots([
+            json.loads(path_a.read_text()),
+            json.loads(path_b.read_text()),
+        ])
+        assert merged == merge_metrics_snapshots([snap_a, snap_b])
