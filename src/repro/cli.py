@@ -114,6 +114,16 @@ def _add_obs_args(parser):
                        help="time the hot paths; print the table at exit")
 
 
+def _add_shared_tables_arg(parser):
+    parser.add_argument(
+        "--shared-tables", action="store_true",
+        help="one host copy of each family's compiled tables: workers "
+             "and replicas attach read-only shared stores (mmap'd "
+             "under --table-cache when given, shared memory otherwise) "
+             "instead of compiling private copies",
+    )
+
+
 def _serving_obs_defaults(args) -> None:
     """Serving commands collect metrics by default (the ``metrics``
     admin op and ``repro top`` are useless against a no-op registry)
@@ -371,12 +381,22 @@ def cmd_serve(args) -> int:
             num_shards=args.shards,
             queue_depth=args.queue_depth,
             table_cache=args.table_cache,
+            shared_tables=args.shared_tables,
         ).start()
     else:
-        backend = QueryEngine(table_cache=args.table_cache)
+        backend = QueryEngine(
+            table_cache=args.table_cache,
+            shared_tables=args.shared_tables,
+        )
     if args.warm:
         warm_specs = [json.loads(text) for text in args.warm]
         if isinstance(backend, ShardPool):
+            # Build (or validate) the host-shared stores once in this
+            # parent before any worker compiles privately.
+            for name, mode in backend.prepare_shared_tables(
+                warm_specs
+            ).items():
+                print(f"shared tables: {mode} {name}", file=sys.stderr)
             # Warm the worker processes that will actually serve: a
             # properties op lands on each spec's family-pinned shard
             # and compiles (or cache-loads) the graph there.  Warming
@@ -459,6 +479,7 @@ def cmd_cluster(args) -> int:
         warm_specs=warm_specs,
         ring_seed=args.ring_seed,
         shards_per_replica=args.shards_per_replica,
+        shared_tables=args.shared_tables,
     )
     stop_requested = threading.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -530,10 +551,14 @@ def cmd_loadgen(args) -> int:
             table_cache=args.table_cache,
             warm_specs=(spec,),
             shards_per_replica=args.cluster_shards,
+            shared_tables=args.shared_tables,
         ) as cluster:
             result = _fire(cluster.host, cluster.port)
     elif args.self_serve:
-        engine = QueryEngine(table_cache=args.table_cache)
+        engine = QueryEngine(
+            table_cache=args.table_cache,
+            shared_tables=args.shared_tables,
+        )
         with ServerThread(engine) as srv:
             result = _fire(srv.host, srv.port)
     elif args.host is not None:
@@ -640,6 +665,28 @@ def cmd_top(args) -> int:
                 )
                 lines.append(
                     f"  serve.cache_entries{{{labels}}} = "
+                    f"{row.get('value', 0):g}"
+                )
+            for row in metrics.get("gauges", {}).get(
+                "serve.table_bytes", []
+            ):
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(row.get("labels", {}).items())
+                )
+                lines.append(
+                    f"  serve.table_bytes{{{labels}}} = "
+                    f"{row.get('value', 0):g}"
+                )
+            for row in metrics.get("counters", {}).get(
+                "serve.table_attach", []
+            ):
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(row.get("labels", {}).items())
+                )
+                lines.append(
+                    f"  serve.table_attach{{{labels}}} = "
                     f"{row.get('value', 0):g}"
                 )
             hist_rows = [
@@ -785,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump flight-recorder rings (recent spans + "
                         "events) into DIR on drain/kill/worker crash")
     _add_table_cache_arg(p)
+    _add_shared_tables_arg(p)
 
     p = add_command(
         "cluster",
@@ -809,10 +857,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump flight-recorder rings (recent spans + "
                         "events) into DIR on drain/kill/worker crash")
     _add_table_cache_arg(p)
+    _add_shared_tables_arg(p)
 
     p = add_command("loadgen", help="fire a seeded workload at a server")
     _add_network_args(p)
     _add_table_cache_arg(p)
+    _add_shared_tables_arg(p)
     p.add_argument("--host", help="server host (omit with --self-serve)")
     p.add_argument("--port", type=int, default=7421)
     p.add_argument("--self-serve", action="store_true",

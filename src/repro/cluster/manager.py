@@ -61,6 +61,7 @@ class Replica:
         batch_window: float = 0.002,
         request_timeout: float = 5.0,
         shards: int = 0,
+        shared_tables: bool = False,
     ):
         self.name = name
         self.host = host
@@ -68,10 +69,14 @@ class Replica:
         self.batch_window = batch_window
         self.request_timeout = request_timeout
         self.shards = shards
+        self.shared_tables = shared_tables
         self.port = 0  # pinned after first start
         self.engine: Optional[QueryEngine] = None
         self.pool: Optional[ShardPool] = None
         self.thread: Optional[ServerThread] = None
+        # shm segments created by an in-thread engine backend (pool
+        # backends track their own); released on stop/kill.
+        self._owned_segments: set = set()
         self.kills = 0
         self.restarts = 0
 
@@ -85,11 +90,17 @@ class Replica:
         if self.shards > 0:
             self.engine = None
             self.pool = ShardPool(
-                num_shards=self.shards, table_cache=self.table_cache
+                num_shards=self.shards,
+                table_cache=self.table_cache,
+                shared_tables=self.shared_tables,
             ).start()
             backend = self.pool
         else:
-            self.engine = QueryEngine(table_cache=self.table_cache)
+            self.engine = QueryEngine(
+                table_cache=self.table_cache,
+                shared_tables=self.shared_tables,
+                on_table_create=self._owned_segments.add,
+            )
             backend = self.engine
         self.thread = ServerThread(
             backend,
@@ -110,6 +121,9 @@ class Replica:
             for spec in specs:
                 self.engine.network(spec)
         elif self.pool is not None:
+            # With shared tables the parent builds (or validates) the
+            # host stores first, so each worker's warm-up is an attach.
+            self.pool.prepare_shared_tables(specs)
             # Shard workers warm by answering a properties op per spec
             # (each spec lands on its family's pinned shard).
             self.pool.execute_many([
@@ -121,6 +135,12 @@ class Replica:
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        if self._owned_segments:
+            from ..io import release_compiled_tables
+
+            for name in sorted(self._owned_segments):
+                release_compiled_tables(name)
+            self._owned_segments.clear()
 
     def stop(self) -> None:
         """Graceful stop: answer what's parked, then shut down."""
@@ -188,10 +208,12 @@ class ClusterManager:
         ring_seed: int = 0,
         batch_window: float = 0.002,
         shards_per_replica: int = 0,
+        shared_tables: bool = False,
     ):
         if replicas < 1:
             raise ValueError(f"need at least 1 replica, got {replicas}")
         self.shards_per_replica = shards_per_replica
+        self.shared_tables = shared_tables
         self.replicas: Dict[str, Replica] = {
             f"replica-{i}": Replica(
                 f"replica-{i}",
@@ -200,6 +222,7 @@ class ClusterManager:
                 batch_window=batch_window,
                 request_timeout=request_timeout,
                 shards=shards_per_replica,
+                shared_tables=shared_tables,
             )
             for i in range(replicas)
         }

@@ -26,6 +26,17 @@ from .compiled import (
     rank_array,
     unrank_array,
 )
+from .tablestore import (
+    StoreHandle,
+    TableStoreError,
+    TableStoreMissing,
+    attach_dir_store,
+    attach_segment,
+    create_dir_store,
+    create_segment,
+    host_lock,
+    segment_name,
+)
 from .super_cayley import SuperCayleyNetwork, split_star_dimension
 from .bag import (
     BagConfiguration,
@@ -57,6 +68,15 @@ __all__ = [
     "unrank_array",
     "permutation_table",
     "parity_array",
+    "StoreHandle",
+    "TableStoreError",
+    "TableStoreMissing",
+    "attach_segment",
+    "attach_dir_store",
+    "create_segment",
+    "create_dir_store",
+    "host_lock",
+    "segment_name",
     "SuperCayleyNetwork",
     "split_star_dimension",
     "BagConfiguration",

@@ -137,6 +137,12 @@ class CayleyGraph:
             self._compiled = CompiledGraph(self)
         return self._compiled
 
+    def compiled_or_none(self) -> Optional[CompiledGraph]:
+        """The installed array backend, or ``None`` if nothing compiled
+        or adopted yet — for accounting walks that must not trigger a
+        BFS as a side effect."""
+        return self._compiled
+
     def adopt_compiled(self, compiled: CompiledGraph) -> None:
         """Install a pre-built :class:`CompiledGraph` (e.g. loaded from
         a ``.npz`` table cache) as this graph's backend."""

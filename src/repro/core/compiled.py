@@ -186,6 +186,11 @@ class CompiledGraph:
         self._reverse_dist: Optional[np.ndarray] = None
         self._inverse_moves: Optional[np.ndarray] = None
         self._perm_cache: Dict[int, Permutation] = {}
+        #: names of arrays that are zero-copy views into a host-shared
+        #: store (see :meth:`from_store`) rather than private copies.
+        self._attached: frozenset = frozenset()
+        #: the store handle keeping an attached segment/mmap alive.
+        self._store = None
 
     # -- construction helpers ------------------------------------------
 
@@ -288,11 +293,16 @@ class CompiledGraph:
         parent_gen: np.ndarray,
         order: np.ndarray,
         layer_starts: np.ndarray,
+        moves: Optional[np.ndarray] = None,
+        inverse_moves: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
     ) -> "CompiledGraph":
         """Rebuild a compiled view from persisted BFS tables (no BFS run).
 
-        Move tables stay lazy — they are only recompiled if a consumer
-        actually needs frontier expansion (e.g. the simulator).
+        Move tables stay lazy unless provided (v2 ``.npz`` archives and
+        the shared table stores persist them) — with only the BFS
+        arrays, they are recompiled if a consumer actually needs
+        frontier expansion (e.g. the simulator).
         """
         compiled = cls(graph)
         n = graph.num_nodes
@@ -302,13 +312,90 @@ class CompiledGraph:
                 raise ValueError(
                     f"{name} has shape {arr.shape}, expected ({n},)"
                 )
+        degree = len(compiled.gen_names)
+        for name, arr in (("moves", moves),
+                          ("inverse_moves", inverse_moves)):
+            if arr is not None and arr.shape != (degree, n):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({degree}, {n})"
+                )
+        if labels is not None and labels.shape != (n, graph.k):
+            raise ValueError(
+                f"labels has shape {labels.shape}, "
+                f"expected ({n}, {graph.k})"
+            )
         compiled._dist = np.asarray(distances, dtype=np.int16)
         compiled._first_hop = np.asarray(first_hop, dtype=np.int16)
         compiled._parent = np.asarray(parent, dtype=np.int32)
         compiled._parent_gen = np.asarray(parent_gen, dtype=np.int16)
         compiled._order = np.asarray(order, dtype=np.int32)
         compiled._layer_starts = np.asarray(layer_starts, dtype=np.int64)
+        if moves is not None:
+            compiled._moves = np.asarray(moves, dtype=np.int32)
+        if inverse_moves is not None:
+            compiled._inverse_moves = np.asarray(
+                inverse_moves, dtype=np.int32
+            )
+        if labels is not None:
+            compiled._labels = np.asarray(labels)
         return compiled
+
+    @classmethod
+    def from_store(cls, graph: "CayleyGraph", handle) -> "CompiledGraph":
+        """Build a compiled view over a host-shared table store.
+
+        ``handle`` is a :class:`repro.core.tablestore.StoreHandle`
+        whose arrays are zero-copy **read-only** views into a shared
+        segment or mmap'd ``.npy`` store — nothing is copied, so forty
+        workers attaching one MS(7,1) store hold one physical copy of
+        its tables between them.  The handle is retained on the
+        instance to keep the underlying mapping alive.
+        """
+        arrays = handle.arrays
+        compiled = cls.from_arrays(
+            graph,
+            distances=arrays["distances"],
+            first_hop=arrays["first_hop"],
+            parent=arrays["parent"],
+            parent_gen=arrays["parent_gen"],
+            order=arrays["order"],
+            layer_starts=arrays["layer_starts"],
+            moves=arrays["moves"],
+            inverse_moves=arrays["inverse_moves"],
+            labels=arrays["labels"],
+        )
+        compiled._attached = frozenset(arrays)
+        compiled._store = handle
+        return compiled
+
+    @property
+    def attached(self) -> bool:
+        """True when the table arrays are views into a shared store."""
+        return bool(self._attached)
+
+    def table_nbytes(self) -> Dict[str, int]:
+        """Byte accounting of materialised tables: ``private`` (owned
+        by this process) vs ``shared`` (views into a host store) —
+        what the ``serve.table_bytes`` gauge and the worker-count
+        benchmark report."""
+        cached = {
+            "labels": self._labels,
+            "moves": self._moves,
+            "inverse_moves": self._inverse_moves,
+            "distances": self._dist,
+            "first_hop": self._first_hop,
+            "parent": self._parent,
+            "parent_gen": self._parent_gen,
+            "order": self._order,
+            "layer_starts": self._layer_starts,
+        }
+        totals = {"private": 0, "shared": 0}
+        for name, arr in cached.items():
+            if arr is None:
+                continue
+            kind = "shared" if name in self._attached else "private"
+            totals[kind] += int(arr.nbytes)
+        return totals
 
     def to_arrays(self) -> Dict[str, np.ndarray]:
         """The BFS tables as plain arrays (see :mod:`repro.io`)."""

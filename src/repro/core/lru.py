@@ -98,6 +98,12 @@ class LRUCache:
                 len(self._entries), **self.labels
             )
 
+    def values(self) -> Iterator[V]:
+        """Iterate cached values without touching recency (accounting
+        walks, e.g. summing warm-graph table bytes, must not reorder
+        the eviction queue)."""
+        return iter(list(self._entries.values()))
+
     def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
         """The cached value, or ``factory()`` inserted and returned."""
         value = self.get(key)

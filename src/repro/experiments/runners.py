@@ -452,6 +452,7 @@ def serve_sweep(
     concurrency: int = 4,
     seed: int = 0,
     table_cache: Optional[str] = None,
+    shared_tables: bool = False,
     trace_sample: Optional[float] = None,
 ) -> Iterator[ServeRow]:
     """Serve one network instance through a live in-process server and
@@ -459,7 +460,8 @@ def serve_sweep(
 
     Every row's accounting must close (``ServeRow.closed``) — the sweep
     is as much a correctness probe of the serving path as a throughput
-    measurement.
+    measurement.  ``shared_tables`` runs the engine attach-first on a
+    host-shared table store (:func:`repro.io.attach_compiled_tables`).
     """
     from ..io import network_spec
     from ..serve import (
@@ -472,7 +474,9 @@ def serve_sweep(
     net = (make_network("IS", k=k) if family == "IS"
            else make_network(family, l=l, n=n))
     spec = network_spec(net)
-    engine = QueryEngine(table_cache=table_cache)
+    engine = QueryEngine(
+        table_cache=table_cache, shared_tables=shared_tables
+    )
     with ServerThread(engine) as server:
         for workload in workloads:
             with get_tracer().span(

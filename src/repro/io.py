@@ -24,18 +24,26 @@ arbitrary Python callables); that covers every Theorem 1-3/6-7 artefact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import zipfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from .comm.simulator import SimulationResult
 from .core.cayley import CayleyGraph
 from .core.compiled import CompiledGraph
+from .core import tablestore
+from .core.tablestore import (
+    StoreHandle,
+    TableStoreError,
+    TableStoreMissing,
+    host_lock,
+)
 from .core.super_cayley import SuperCayleyNetwork
 from .embeddings.base import WordEmbedding
 from .emulation.schedule import Schedule, ScheduleEntry
@@ -156,19 +164,34 @@ def load_simulation_result(path: Union[str, Path]) -> SimulationResult:
 # Compiled distance / first-hop tables (.npz)
 # ----------------------------------------------------------------------
 
-_TABLE_FORMAT = 1
+def _path_lock_key(kind: str, path: Union[str, Path]) -> str:
+    """Host-lock key for a filesystem store: same resolved path ⇒ same
+    key, regardless of how callers spelled it.  The lock file itself
+    lives in the global lock directory so cache directories hold only
+    their payload."""
+    resolved = str(Path(path).resolve())
+    return f"{kind}-{hashlib.sha1(resolved.encode()).hexdigest()[:12]}"
+
+
+#: v2 adds the ``moves`` / ``inverse_moves`` tables so attaching
+#: workers stop paying the O(degree * k!) move recompile; v1 archives
+#: (BFS arrays only) still load.
+_TABLE_FORMAT = 2
+
+#: formats :func:`load_compiled_tables` accepts.
+_READABLE_TABLE_FORMATS = (1, 2)
 
 
 def save_compiled_tables(
     graph: CayleyGraph, path: Union[str, Path]
 ) -> None:
-    """Persist a graph's compiled BFS tables as compressed ``.npz``.
+    """Persist a graph's compiled tables as compressed ``.npz``.
 
-    Stores the distance, first-hop, parent, and layer arrays plus enough
-    metadata (``k``, generator names and one-line actions) for
-    :func:`load_compiled_tables` to refuse tables that do not match the
-    graph they are offered to.  Move tables are *not* stored — they are
-    cheap to recompile lazily and only needed for frontier expansion.
+    Stores the distance, first-hop, parent, and layer arrays — and,
+    since format 2, the per-generator move and inverse-move tables —
+    plus enough metadata (``k``, generator names and one-line actions)
+    for :func:`load_compiled_tables` to refuse tables that do not match
+    the graph they are offered to.
 
     The write is atomic: the archive is written to a temporary file in
     the destination directory and moved into place with ``os.replace``,
@@ -193,6 +216,8 @@ def save_compiled_tables(
                     [g.perm.symbols for g in graph.generators],
                     dtype=np.int16,
                 ),
+                moves=compiled.moves,
+                inverse_moves=compiled.inverse_moves,
                 **arrays,
             )
         os.replace(tmp_name, path)
@@ -214,6 +239,13 @@ def use_table_cache(
     mismatched, or corrupt cache file was recomputed and overwritten),
     or ``None`` (graph not materialisable).  Shared by the CLI's
     ``--table-cache`` flag and the experiment sweeps.
+
+    A cold cache is **stampede-safe**: computing and saving happens
+    under a host-level advisory lock (:func:`repro.core.tablestore.
+    host_lock`, keyed on the cache file, lock file alongside it), so N
+    processes missing simultaneously run one BFS between them — the
+    first computes and saves, the rest block briefly and load the file
+    it published.
     """
     if not graph.can_compile():
         return None
@@ -232,8 +264,18 @@ def use_table_cache(
             # KeyError: an expected array is missing.  All mean the
             # same thing here: recompute and overwrite the file.
             stale = True
-    graph.compiled().distances  # run the shared BFS once
-    save_compiled_tables(graph, path)
+    with host_lock(_path_lock_key("npz", path)):
+        # Double-checked under the lock: whoever held it before us has
+        # probably published the file we missed.
+        if not stale and path.exists():
+            try:
+                load_compiled_tables(graph, path)
+                return "loaded"
+            except (ValueError, KeyError, EOFError, OSError,
+                    zipfile.BadZipFile):
+                stale = True
+        graph.compiled().distances  # run the shared BFS once
+        save_compiled_tables(graph, path)
     return "refreshed" if stale else "saved"
 
 
@@ -244,10 +286,9 @@ def load_compiled_tables(
     output, validate it against ``graph``, and install it as the graph's
     backend (so every statistic/table/tree consumer reuses it)."""
     with np.load(Path(path), allow_pickle=False) as data:
-        if int(data["format"]) != _TABLE_FORMAT:
-            raise ValueError(
-                f"unsupported table format {int(data['format'])}"
-            )
+        fmt = int(data["format"])
+        if fmt not in _READABLE_TABLE_FORMATS:
+            raise ValueError(f"unsupported table format {fmt}")
         if int(data["k"]) != graph.k:
             raise ValueError(
                 f"table is for k={int(data['k'])}, graph has k={graph.k}"
@@ -267,6 +308,117 @@ def load_compiled_tables(
             parent_gen=data["parent_gen"],
             order=data["order"],
             layer_starts=data["layer_starts"],
+            # v1 archives lack the move tables; they stay lazy there.
+            moves=data["moves"] if fmt >= 2 else None,
+            inverse_moves=data["inverse_moves"] if fmt >= 2 else None,
         )
     graph.adopt_compiled(compiled)
     return compiled
+
+
+# ----------------------------------------------------------------------
+# Shared table stores: one copy per host (create / attach / release)
+# ----------------------------------------------------------------------
+
+
+def attach_compiled_tables(
+    graph: CayleyGraph,
+    cache_dir: Optional[Union[str, Path]] = None,
+    create: bool = True,
+) -> Tuple[CompiledGraph, str]:
+    """Attach-first acquisition of a graph's compiled tables.
+
+    The serving stack's one entry point for ``--shared-tables``: give
+    every process on a host read-only views of **one** copy of the
+    family's arrays instead of a private copy each.
+
+    * with ``cache_dir``: the store is an mmap'd ``.npy`` directory
+      under it (page-cache shared, survives restarts);
+    * without: a named shared-memory segment
+      (:func:`repro.core.tablestore.segment_name`).
+
+    Attach is tried first; on a miss the host lock for the store is
+    taken, attach retried (someone else usually built it while we
+    waited), and only then are the tables compiled and the store
+    created — N cold workers run one BFS between them.  Any failure
+    (no shared memory on the platform, lock timeout, corrupt store
+    that cannot be replaced) degrades to a private in-process compile.
+
+    Returns ``(compiled, mode)`` with mode ``"attach"``, ``"create"``,
+    or ``"fallback"``; the compiled view is installed as the graph's
+    backend either way.  Created segments are registered for this
+    process (see :func:`release_compiled_tables`).
+    """
+    if not graph.can_compile():
+        raise ValueError(
+            f"{graph.name}: k = {graph.k} tables cannot be materialised"
+        )
+
+    def _attach() -> StoreHandle:
+        if cache_dir is not None:
+            return tablestore.attach_dir_store(graph, cache_dir)
+        return tablestore.attach_segment(graph)
+
+    def _adopt(handle: StoreHandle, mode: str) -> Tuple[CompiledGraph, str]:
+        compiled = CompiledGraph.from_store(graph, handle)
+        graph.adopt_compiled(compiled)
+        return compiled, mode
+
+    digest = tablestore.store_digest(graph)
+    if cache_dir is not None:
+        lock_key = _path_lock_key(
+            "store", Path(cache_dir) / graph.name
+        )
+    else:
+        lock_key = f"store-{digest}"
+    try:
+        try:
+            return _adopt(_attach(), "attach")
+        except TableStoreMissing:
+            rebuild = False
+        except TableStoreError:
+            rebuild = True  # exists but untrustworthy: replace it
+        if not create:
+            raise TableStoreMissing(f"no table store for {graph.name}")
+        with host_lock(lock_key):
+            try:
+                return _adopt(_attach(), "attach")
+            except TableStoreMissing:
+                pass
+            except TableStoreError:
+                rebuild = True
+            if cache_dir is not None:
+                # Reuse (or seed) the .npz cache for the BFS itself,
+                # then publish the mmap store next to it.
+                use_table_cache(graph, cache_dir)
+                handle = tablestore.create_dir_store(graph, cache_dir)
+            else:
+                if rebuild:
+                    tablestore.unlink_segment(
+                        tablestore.segment_name(graph)
+                    )
+                handle = tablestore.create_segment(graph)
+            return _adopt(handle, "create")
+    except TableStoreMissing:
+        raise
+    except (TableStoreError, OSError, ValueError, MemoryError):
+        # The shared path is an optimisation, never a requirement:
+        # compile privately (still honouring the .npz cache) and report
+        # the degradation as "fallback" so the serve.table_attach
+        # counter surfaces it.
+        if cache_dir is not None:
+            use_table_cache(graph, cache_dir)
+        compiled = graph.compiled()
+        compiled.distances
+        return compiled, "fallback"
+
+
+def release_compiled_tables(name: Optional[str] = None) -> int:
+    """Unlink shared segments this process created: the one named, or
+    every owned segment (``None``).  Pool drain and replica kill route
+    through this so crashed consumers never leak ``/dev/shm``; an
+    ``atexit`` hook covers anything that skips it.  Returns the number
+    of segments actually unlinked."""
+    if name is not None:
+        return int(tablestore.unlink_segment(name))
+    return tablestore.release_owned_segments()

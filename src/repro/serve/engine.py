@@ -36,7 +36,7 @@ every instance the paper tabulates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -322,6 +322,19 @@ class QueryEngine:
         Optional directory of persisted ``.npz`` BFS tables
         (:func:`repro.io.use_table_cache`); warm graphs load from it
         and newly compiled graphs are saved back.
+    shared_tables:
+        Attach-first table acquisition
+        (:func:`repro.io.attach_compiled_tables`): warm graphs are
+        zero-copy read-only views of one host-shared store — an mmap'd
+        directory under ``table_cache`` when given, a named
+        shared-memory segment otherwise — and only degrade to a private
+        compile when the shared path fails.  Each acquisition
+        increments ``serve.table_attach`` with a
+        ``mode=create|attach|fallback`` label.
+    on_table_create:
+        Called with the segment name whenever this engine *creates* a
+        shared-memory segment — the hook shard workers use to ship
+        ownership to the pool parent so drain can unlink it.
     max_graphs / max_route_tables / max_embeddings:
         LRU capacities for the three caches.  Evictions increment
         ``serve.table_evictions`` with a ``cache`` label.
@@ -330,11 +343,15 @@ class QueryEngine:
     def __init__(
         self,
         table_cache: Optional[str] = None,
+        shared_tables: bool = False,
+        on_table_create: Optional[Callable[[str], None]] = None,
         max_graphs: int = DEFAULT_MAX_GRAPHS,
         max_route_tables: int = DEFAULT_MAX_ROUTE_TABLES,
         max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     ):
         self.table_cache = table_cache
+        self.shared_tables = shared_tables
+        self.on_table_create = on_table_create
         self._graphs = LRUCache(
             max_graphs, metric=EVICTION_METRIC, cache="serve-graphs"
         )
@@ -369,12 +386,48 @@ class QueryEngine:
                     f"{net.name} is not materialisable (k = {net.k}); "
                     "the serve engine only answers compiled instances"
                 )
-            if self.table_cache is not None:
+            if self.shared_tables:
+                self._acquire_shared(net)
+            elif self.table_cache is not None:
                 from ..io import use_table_cache
 
                 use_table_cache(net, self.table_cache)
             self._graphs.put(key, net)
         return net
+
+    def _acquire_shared(self, net: SuperCayleyNetwork) -> None:
+        """Attach-first warm-up: one host copy of the tables, counted
+        on ``serve.table_attach{mode=...}``; created segments are
+        reported to :attr:`on_table_create` for pool-drain unlink."""
+        from ..io import attach_compiled_tables
+
+        compiled, mode = attach_compiled_tables(
+            net, cache_dir=self.table_cache
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.table_attach").inc(1, mode=mode)
+        store = getattr(compiled, "_store", None)
+        if (
+            self.on_table_create is not None
+            and store is not None
+            and store.created
+            and store.kind == "shm"
+        ):
+            self.on_table_create(store.name)
+
+    def table_bytes(self) -> Dict[str, int]:
+        """Bytes of table arrays held by warm graphs, split into
+        ``private`` copies vs ``shared`` (store-attached) views — the
+        per-worker RSS accounting behind ``repro top``."""
+        totals = {"private": 0, "shared": 0}
+        for net in self._graphs.values():
+            compiled = net.compiled_or_none()
+            if compiled is None:
+                continue
+            for kind, nbytes in compiled.table_nbytes().items():
+                totals[kind] += nbytes
+        return totals
 
     def route_table(
         self, net: SuperCayleyNetwork, target_id: int
@@ -396,6 +449,7 @@ class QueryEngine:
                 self._graphs.evictions + self._route_tables.evictions
                 + self._embeddings.evictions
             ),
+            "table_bytes": self.table_bytes(),
         }
 
     # -- protocol entry points ------------------------------------------
@@ -429,6 +483,9 @@ class QueryEngine:
             gauge.set(len(self._graphs), cache="graphs")
             gauge.set(len(self._route_tables), cache="route-tables")
             gauge.set(len(self._embeddings), cache="embeddings")
+            table_gauge = registry.gauge("serve.table_bytes")
+            for kind, nbytes in self.table_bytes().items():
+                table_gauge.set(nbytes, kind=kind)
         if handler is None:
             return self._fail(request, f"unknown op {op!r}")
         with get_tracer().span("serve.execute", op=str(op)):

@@ -62,7 +62,8 @@ class ShardOverload(RuntimeError):
     """The target shard's dispatch queue is full (backpressure)."""
 
 
-def _worker_main(shard_index, in_queue, out_queue, table_cache):
+def _worker_main(shard_index, in_queue, out_queue, table_cache,
+                 shared_tables=False):
     """Worker loop: claim, execute, answer — one engine per process.
 
     Observability shipping rides the same results queue as answers,
@@ -73,6 +74,12 @@ def _worker_main(shard_index, in_queue, out_queue, table_cache):
     ``("metrics", shard, None, snapshot)`` at most every
     :data:`METRICS_SHIP_INTERVAL_S` (snapshot *replacement*, not
     deltas, so a lost ship self-heals on the next one).
+
+    With ``shared_tables`` the engine attaches host-shared table
+    stores; any shared-memory segment this worker ends up *creating*
+    (cold host, no pre-warm) is reported up as
+    ``("segment", shard, None, name)`` so the pool parent — which
+    outlives worker crashes — owns the unlink at drain.
     """
     # A fork inherits the parent's registry, span buffer, and flight
     # ring; keeping them would double-count everything the parent
@@ -83,7 +90,13 @@ def _worker_main(shard_index, in_queue, out_queue, table_cache):
     reset_flight_recorder()
     requests_hist = registry.histogram("serve.shard_request_ms")
     last_ship = 0.0  # ship the first snapshot immediately
-    engine = QueryEngine(table_cache=table_cache)
+    engine = QueryEngine(
+        table_cache=table_cache,
+        shared_tables=shared_tables,
+        on_table_create=lambda name: out_queue.put(
+            ("segment", shard_index, None, name)
+        ),
+    )
     try:
         while True:
             item = in_queue.get()
@@ -172,6 +185,14 @@ class ShardPool:
     table_cache:
         Passed to every worker's engine (shared warm ``.npz`` tables;
         safe under concurrent writers since the writes are atomic).
+    shared_tables:
+        One host copy of each family's compiled arrays: workers attach
+        read-only (:func:`repro.io.attach_compiled_tables`) instead of
+        compiling privately.  Call :meth:`prepare_shared_tables` before
+        traffic to create the stores once in the parent; segments
+        created lazily by a cold worker ship their names up so the
+        parent still owns every unlink, and :meth:`close` releases them
+        all — a crashed worker can never leak ``/dev/shm``.
     restart:
         Restart crashed workers (on by default).  Restarting preserves
         the shard's queued requests; only requests the dead worker had
@@ -183,6 +204,7 @@ class ShardPool:
         num_shards: int = 2,
         queue_depth: int = 64,
         table_cache: Optional[str] = None,
+        shared_tables: bool = False,
         restart: bool = True,
     ):
         if num_shards < 1:
@@ -190,6 +212,7 @@ class ShardPool:
         self.num_shards = num_shards
         self.queue_depth = queue_depth
         self.table_cache = table_cache
+        self.shared_tables = shared_tables
         self.restart_policy = restart
         ctx = multiprocessing.get_context()
         self._ctx = ctx
@@ -208,6 +231,10 @@ class ShardPool:
         # latest metric snapshot shipped by each live worker (snapshot
         # replacement: each ship supersedes the previous one)
         self._shard_metrics: Dict[int, Dict[str, object]] = {}
+        # shared-memory segment names this pool must unlink at close:
+        # created in the parent by prepare_shared_tables, or shipped up
+        # by whichever cold worker created one lazily.
+        self._owned_segments: Set[str] = set()
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -229,7 +256,7 @@ class ShardPool:
             target=_worker_main,
             args=(
                 shard, self._in_queues[shard], self._out_queue,
-                self.table_cache,
+                self.table_cache, self.shared_tables,
             ),
             daemon=True,
             name=f"repro-serve-shard-{shard}",
@@ -237,10 +264,51 @@ class ShardPool:
         worker.start()
         return worker
 
+    def prepare_shared_tables(
+        self, specs: Sequence[Dict[str, object]]
+    ) -> Dict[str, str]:
+        """Create or validate the shared table stores for ``specs``
+        once, in the pool parent, before workers attach.
+
+        Run this before traffic (the cluster manager's warm step does):
+        the parent takes the host lock, compiles each family at most
+        once host-wide, and owns every created segment, so worker
+        start-up is pure attach.  Returns ``{network name: mode}`` with
+        the :func:`repro.io.attach_compiled_tables` mode per spec; a
+        no-op (empty dict) unless the pool was built with
+        ``shared_tables``.
+        """
+        if not self.shared_tables:
+            return {}
+        from ..io import attach_compiled_tables
+        from ..networks import make_network
+
+        modes: Dict[str, str] = {}
+        for spec in specs:
+            params = {
+                k: v for k, v in spec.items()
+                if k != "family" and v is not None
+            }
+            net = make_network(spec["family"], **params)
+            if not net.can_compile():
+                continue
+            compiled, mode = attach_compiled_tables(
+                net, cache_dir=self.table_cache
+            )
+            modes[net.name] = mode
+            store = getattr(compiled, "_store", None)
+            if store is not None and store.created \
+                    and store.kind == "shm":
+                self._owned_segments.add(store.name)
+        return modes
+
     def close(self, timeout: float = 5.0) -> None:
         """Stop the workers (pending requests are abandoned; call
-        :meth:`drain` first if you want them answered)."""
+        :meth:`drain` first if you want them answered) and unlink every
+        shared-memory segment the pool owns — nothing survives in
+        ``/dev/shm`` past a drain."""
         if not self._started:
+            self._release_segments()
             return
         for in_queue in self._in_queues:
             try:
@@ -259,6 +327,14 @@ class ShardPool:
             in_queue.close()
         self._out_queue.close()
         self._started = False
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        from ..io import release_compiled_tables
+
+        for name in sorted(self._owned_segments):
+            release_compiled_tables(name)
+        self._owned_segments.clear()
 
     def __enter__(self) -> "ShardPool":
         return self.start()
@@ -317,6 +393,10 @@ class ShardPool:
             kind, shard, rid, payload = self._out_queue.get(timeout=timeout)
         except queue.Empty:
             return False
+        except (ValueError, OSError):
+            # queue already closed: stats read after drain serve from
+            # the last shipped snapshots instead of crashing.
+            return False
         if kind == "claim":
             self._claimed[shard].add(rid)
         elif kind == "spans":
@@ -325,6 +405,10 @@ class ShardPool:
                 buffer.append(span)
         elif kind == "metrics":
             self._shard_metrics[shard] = payload
+        elif kind == "segment":
+            # a cold worker created a segment: the parent (which
+            # outlives worker crashes) takes over the unlink.
+            self._owned_segments.add(payload)
         else:
             self._record(rid, payload)
             self._claimed[shard].discard(rid)
@@ -492,6 +576,7 @@ class ShardPool:
         while self._pump(0.0):
             pass
         totals: Dict[str, object] = {}
+        table_bytes: Dict[str, int] = {}
         for snapshot in self._shard_metrics.values():
             gauges = snapshot.get("gauges", {})
             for row in gauges.get("serve.cache_entries", []):
@@ -499,6 +584,14 @@ class ShardPool:
                 if cache is not None:
                     key = str(cache).replace("-", "_")  # engine key names
                     totals[key] = totals.get(key, 0) + row["value"]
+            for row in gauges.get("serve.table_bytes", []):
+                kind = row.get("labels", {}).get("kind")
+                if kind is not None:
+                    table_bytes[str(kind)] = (
+                        table_bytes.get(str(kind), 0) + row["value"]
+                    )
+        if table_bytes:
+            totals["table_bytes"] = table_bytes
         return totals
 
     # -- accounting ----------------------------------------------------

@@ -1,0 +1,496 @@
+"""Shared table stores: one host copy, many read-only views.
+
+Three layers of guarantees:
+
+* **store correctness** — create/attach round-trips through both store
+  kinds (named shared memory, mmap'd ``.npy`` directory) are
+  byte-identical, torn or corrupt stores are refused, and the publish
+  protocol (manifest length header written last) means a racing
+  attacher sees "not ready", never garbage;
+* **serving equivalence** — a store-attached engine answers
+  distance/route/neighbors/embedding *byte-identically* to a private
+  in-process compile on all ten families;
+* **lifecycle hygiene** — whoever creates a segment owns the unlink,
+  ownership survives worker crashes (cold workers ship segment names
+  to the pool parent), and neither a killed attacher, a crashed
+  worker, nor a hard pool stop leaves anything in ``/dev/shm``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import tablestore
+from repro.core.compiled import CompiledGraph
+from repro.io import (
+    attach_compiled_tables,
+    load_compiled_tables,
+    release_compiled_tables,
+    save_compiled_tables,
+    use_table_cache,
+)
+from repro.networks import make_network
+from repro.serve.engine import QueryEngine
+from repro.serve.shard import ShardPool
+
+ALL_FAMILIES = [
+    ("MS", {"l": 2, "n": 2}),
+    ("RS", {"l": 2, "n": 2}),
+    ("complete-RS", {"l": 2, "n": 2}),
+    ("MR", {"l": 2, "n": 2}),
+    ("RR", {"l": 2, "n": 2}),
+    ("complete-RR", {"l": 2, "n": 2}),
+    ("MIS", {"l": 2, "n": 2}),
+    ("RIS", {"l": 2, "n": 2}),
+    ("complete-RIS", {"l": 2, "n": 2}),
+    ("IS", {"k": 4}),
+]
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Every test in this module must leave ``/dev/shm`` as it found
+    it — the module-level version of the CI smoke gate."""
+    before = set(tablestore.list_host_segments())
+    yield
+    release_compiled_tables()
+    after = set(tablestore.list_host_segments())
+    assert after <= before, f"leaked segments: {sorted(after - before)}"
+
+
+def _spec(family, kwargs):
+    return {"family": family, **kwargs}
+
+
+# ----------------------------------------------------------------------
+# Store round-trips
+# ----------------------------------------------------------------------
+
+
+class TestSegmentStore:
+    def test_round_trip_is_byte_identical(self):
+        net = make_network("MS", l=2, n=2)
+        reference = CompiledGraph(net)
+        handle = tablestore.create_segment(net)
+        try:
+            other = make_network("MS", l=2, n=2)
+            attached = tablestore.attach_segment(other)
+            views = attached.arrays
+            for name in tablestore.TABLE_ARRAYS:
+                expected = getattr(reference, name)
+                assert views[name].dtype == expected.dtype
+                assert np.array_equal(views[name], expected), name
+                assert not views[name].flags.writeable
+        finally:
+            tablestore.unlink_segment(handle.name)
+
+    def test_segment_name_is_deterministic(self):
+        a = make_network("MS", l=2, n=2)
+        b = make_network("MS", l=2, n=2)
+        c = make_network("RS", l=2, n=2)
+        assert tablestore.segment_name(a) == tablestore.segment_name(b)
+        assert tablestore.segment_name(a) != tablestore.segment_name(c)
+        assert tablestore.segment_name(a).startswith(
+            tablestore.SEGMENT_PREFIX
+        )
+
+    def test_attach_missing_raises_missing(self):
+        net = make_network("MS", l=2, n=2)
+        with pytest.raises(tablestore.TableStoreMissing):
+            tablestore.attach_segment(net)
+
+    def test_attach_refuses_wrong_graph(self):
+        net = make_network("MS", l=2, n=2)
+        other = make_network("RS", l=2, n=2)
+        handle = tablestore.create_segment(net)
+        try:
+            with pytest.raises(tablestore.TableStoreError):
+                tablestore.attach_segment(other, name=handle.name)
+        finally:
+            tablestore.unlink_segment(handle.name)
+
+    def test_corrupt_payload_fails_checksum(self):
+        from multiprocessing import shared_memory
+
+        net = make_network("MS", l=2, n=2)
+        handle = tablestore.create_segment(net)
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+            try:
+                # locate a real array byte via the manifest (the tail
+                # of the segment may be alignment/page padding)
+                import json
+
+                length = int.from_bytes(
+                    bytes(shm.buf[:tablestore._HEADER]), "little"
+                )
+                manifest = json.loads(
+                    bytes(
+                        shm.buf[tablestore._HEADER:
+                                tablestore._HEADER + length]
+                    )
+                )
+                offset = manifest["arrays"]["distances"]["offset"]
+                shm.buf[offset + 1] ^= 0xFF
+            finally:
+                shm.close()
+            other = make_network("MS", l=2, n=2)
+            with pytest.raises(tablestore.TableStoreError):
+                tablestore.attach_segment(other)
+        finally:
+            tablestore.unlink_segment(handle.name)
+
+    def test_unpublished_segment_reads_as_missing(self):
+        """Header == 0 is the torn-write guard: a segment whose fill
+        has not finished (publish writes the header *last*) must look
+        absent, not corrupt."""
+        from multiprocessing import shared_memory
+
+        net = make_network("MS", l=2, n=2)
+        name = tablestore.segment_name(net)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=4096)
+        try:
+            shm.buf[:tablestore._HEADER] = bytes(tablestore._HEADER)
+            with pytest.raises(tablestore.TableStoreMissing):
+                tablestore.attach_segment(net)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_unlink_is_idempotent(self):
+        net = make_network("MS", l=2, n=2)
+        handle = tablestore.create_segment(net)
+        assert tablestore.unlink_segment(handle.name) is True
+        assert tablestore.unlink_segment(handle.name) is False
+
+
+class TestDirStore:
+    def test_round_trip_via_mmap(self, tmp_path):
+        net = make_network("MS", l=2, n=2)
+        reference = CompiledGraph(net)
+        tablestore.create_dir_store(net, tmp_path)
+        attached = tablestore.attach_dir_store(
+            make_network("MS", l=2, n=2), tmp_path
+        )
+        for name in tablestore.TABLE_ARRAYS:
+            view = attached.arrays[name]
+            assert isinstance(view, np.memmap)
+            assert np.array_equal(view, getattr(reference, name)), name
+            assert not view.flags.writeable
+
+    def test_missing_and_corrupt(self, tmp_path):
+        net = make_network("MS", l=2, n=2)
+        with pytest.raises(tablestore.TableStoreMissing):
+            tablestore.attach_dir_store(net, tmp_path)
+        tablestore.create_dir_store(net, tmp_path)
+        manifest = tablestore.store_dir(net, tmp_path) / "manifest.json"
+        manifest.write_text("{not json")
+        with pytest.raises(tablestore.TableStoreError):
+            tablestore.attach_dir_store(net, tmp_path)
+
+    def test_attach_lifecycle_replaces_corrupt_store(self, tmp_path):
+        net = make_network("MS", l=2, n=2)
+        tablestore.create_dir_store(net, tmp_path)
+        store = tablestore.store_dir(net, tmp_path)
+        (store / "manifest.json").write_text("{not json")
+        compiled, mode = attach_compiled_tables(
+            make_network("MS", l=2, n=2), cache_dir=tmp_path
+        )
+        assert mode == "create"
+        assert compiled.attached
+        _, mode2 = attach_compiled_tables(
+            make_network("MS", l=2, n=2), cache_dir=tmp_path
+        )
+        assert mode2 == "attach"
+
+
+# ----------------------------------------------------------------------
+# npz format v2 + v1 compatibility
+# ----------------------------------------------------------------------
+
+
+class TestNpzFormats:
+    def test_v2_round_trips_move_tables(self, tmp_path):
+        net = make_network("MS", l=2, n=2)
+        reference = CompiledGraph(net)
+        path = tmp_path / "tables.npz"
+        save_compiled_tables(net, path)
+        with np.load(path) as data:
+            assert int(data["format"]) == 2
+            assert "moves" in data and "inverse_moves" in data
+        fresh = make_network("MS", l=2, n=2)
+        compiled = load_compiled_tables(fresh, path)
+        # the loaded move tables are installed, not recompiled: they
+        # must already be cached before any access forces a build
+        assert compiled._moves is not None
+        assert compiled._inverse_moves is not None
+        assert np.array_equal(compiled.moves, reference.moves)
+        assert np.array_equal(
+            compiled.inverse_moves, reference.inverse_moves
+        )
+
+    def test_v1_archives_still_load(self, tmp_path):
+        """A pre-refactor archive (format 1, no move tables) loads;
+        its move tables fall back to the lazy recompile."""
+        net = make_network("MS", l=2, n=2)
+        compiled = CompiledGraph(net)
+        arrays = compiled.to_arrays()
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            format=np.int64(1),
+            k=np.int64(net.k),
+            gen_names=np.array(list(compiled.gen_names)),
+            gen_perms=np.array(
+                [g.perm.symbols for g in net.generators], dtype=np.int16
+            ),
+            **arrays,
+        )
+        fresh = make_network("MS", l=2, n=2)
+        loaded = load_compiled_tables(fresh, path)
+        assert loaded._moves is None  # lazy, as before v2
+        assert np.array_equal(loaded.moves, compiled.moves)
+
+    def test_unknown_format_is_refused(self, tmp_path):
+        net = make_network("MS", l=2, n=2)
+        path = tmp_path / "future.npz"
+        save_compiled_tables(net, path)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["format"] = np.int64(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="unsupported table format"):
+            load_compiled_tables(make_network("MS", l=2, n=2), path)
+
+
+# ----------------------------------------------------------------------
+# Cold-cache stampede
+# ----------------------------------------------------------------------
+
+
+def _race_cache(cache_dir, barrier, out):
+    net = make_network("IS", k=4)
+    barrier.wait()
+    try:
+        out.put(use_table_cache(net, cache_dir))
+    except Exception as exc:  # pragma: no cover - failure detail
+        out.put(f"error: {type(exc).__name__}: {exc}")
+
+
+class TestStampede:
+    def test_cold_miss_compiles_once(self, tmp_path):
+        """Four processes racing a cold cache: exactly one computes
+        and saves, the other three block on the host lock and load the
+        file it published (pre-lock, all four said \"saved\")."""
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(4)
+        out = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_race_cache, args=(str(tmp_path), barrier, out)
+            )
+            for _ in range(4)
+        ]
+        for w in workers:
+            w.start()
+        statuses = sorted(out.get(timeout=60) for _ in workers)
+        for w in workers:
+            w.join(timeout=60)
+        assert statuses == ["loaded", "loaded", "loaded", "saved"], statuses
+
+
+# ----------------------------------------------------------------------
+# Serving equivalence: attached vs private, all ten families
+# ----------------------------------------------------------------------
+
+
+def _probe_requests(net, spec):
+    compiled = net.compiled()
+    labels = compiled.labels
+    rng = np.random.default_rng(7)
+    ids = rng.integers(0, net.num_nodes, size=8)
+    nodes = [
+        "".join(str(int(s)) for s in labels[i]) for i in ids
+    ]
+    pairs = list(zip(nodes[:4], nodes[4:]))
+    return [
+        {"op": "distance", "network": spec, "pairs": pairs},
+        {"op": "route", "network": spec, "pairs": pairs[:2]},
+        {"op": "route", "network": spec, "target": nodes[0],
+         "sources": nodes[1:4]},
+        {"op": "neighbors", "network": spec, "nodes": nodes[:3]},
+        {"op": "embedding", "network": spec, "guest": "star",
+         "nodes": nodes[:2]},
+        {"op": "properties", "network": spec},
+    ]
+
+
+class TestServingEquivalence:
+    @pytest.mark.parametrize(
+        "family,kwargs", ALL_FAMILIES, ids=[f for f, _ in ALL_FAMILIES]
+    )
+    def test_attached_engine_is_byte_identical(self, family, kwargs):
+        spec = _spec(family, kwargs)
+        requests = _probe_requests(make_network(family, **kwargs), spec)
+
+        private = QueryEngine()
+        expected = [private.execute(dict(r)) for r in requests]
+
+        shared = QueryEngine(shared_tables=True)
+        try:
+            got = [shared.execute(dict(r)) for r in requests]
+            net = shared.network(spec)
+            assert net.compiled().attached
+            nbytes = net.compiled().table_nbytes()
+            assert nbytes["shared"] > 0 and nbytes["private"] == 0
+        finally:
+            release_compiled_tables()
+        assert got == expected
+
+    def test_attached_engine_via_dir_store(self, tmp_path):
+        spec = _spec("MS", {"l": 2, "n": 2})
+        requests = _probe_requests(make_network("MS", l=2, n=2), spec)
+        private = QueryEngine()
+        expected = [private.execute(dict(r)) for r in requests]
+        shared = QueryEngine(table_cache=str(tmp_path), shared_tables=True)
+        got = [shared.execute(dict(r)) for r in requests]
+        assert got == expected
+        assert shared.network(spec).compiled().attached
+        # the on-disk store is reusable by a second engine, no shm used
+        again = QueryEngine(table_cache=str(tmp_path), shared_tables=True)
+        assert [again.execute(dict(r)) for r in requests] == expected
+
+    def test_attach_counter_and_table_bytes(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
+        try:
+            spec = _spec("MS", {"l": 2, "n": 2})
+            creator = QueryEngine(shared_tables=True)
+            creator.execute({"op": "properties", "network": spec})
+            attacher = QueryEngine(shared_tables=True)
+            attacher.execute({"op": "properties", "network": spec})
+            snapshot = registry.snapshot()
+            modes = {
+                row["labels"].get("mode"): row["value"]
+                for row in snapshot["counters"]["serve.table_attach"]
+            }
+            assert modes == {"create": 1, "attach": 1}
+            stats = attacher.cache_stats()
+            assert stats["table_bytes"]["shared"] > 0
+            assert stats["table_bytes"]["private"] == 0
+        finally:
+            set_registry(MetricsRegistry())
+            release_compiled_tables()
+
+
+# ----------------------------------------------------------------------
+# Fallback
+# ----------------------------------------------------------------------
+
+
+class TestFallback:
+    def test_store_failure_degrades_to_private_compile(self, monkeypatch):
+        net = make_network("MS", l=2, n=2)
+
+        def boom(*_a, **_k):
+            raise tablestore.TableStoreError("no shared memory here")
+
+        monkeypatch.setattr(tablestore, "attach_segment", boom)
+        monkeypatch.setattr(tablestore, "create_segment", boom)
+        compiled, mode = attach_compiled_tables(net)
+        assert mode == "fallback"
+        assert not compiled.attached
+        assert compiled.distance(net.identity, net.identity) == 0
+
+
+# ----------------------------------------------------------------------
+# Crash hygiene: killed attachers, crashed workers, hard pool stops
+# ----------------------------------------------------------------------
+
+
+def _attach_and_hang(ready):
+    net = make_network("MS", l=2, n=2)
+    attach_compiled_tables(net)
+    ready.set()
+    time.sleep(60)  # killed long before this returns
+
+
+class TestCrashHygiene:
+    def test_killed_attacher_leaves_owner_segment_intact(self):
+        """SIGKILL an attached reader mid-flight: the creator's segment
+        survives (readers never own the unlink) and release still
+        works."""
+        net = make_network("MS", l=2, n=2)
+        handle = tablestore.create_segment(net)
+        try:
+            ctx = multiprocessing.get_context()
+            ready = ctx.Event()
+            proc = ctx.Process(target=_attach_and_hang, args=(ready,))
+            proc.start()
+            assert ready.wait(timeout=30)
+            os.kill(proc.pid, 9)
+            proc.join(timeout=30)
+            assert handle.name in tablestore.list_host_segments()
+            # still attachable after the reader died mid-use
+            attached = tablestore.attach_segment(
+                make_network("MS", l=2, n=2)
+            )
+            assert np.array_equal(
+                attached.arrays["distances"],
+                CompiledGraph(net).distances,
+            )
+        finally:
+            tablestore.unlink_segment(handle.name)
+        assert handle.name not in tablestore.list_host_segments()
+
+    def test_worker_crash_does_not_leak_segments(self):
+        """A cold worker creates the segment, ships its name up, then
+        dies hard; the pool parent still owns — and performs — the
+        unlink at close."""
+        spec = _spec("MS", {"l": 2, "n": 2})
+        pool = ShardPool(num_shards=2, shared_tables=True)
+        with pool:
+            responses = pool.execute_many([
+                {"op": "properties", "network": spec},
+                {"op": "_crash", "network": spec, "delay": 0.1},
+            ])
+            assert responses[0]["ok"]
+            assert pool._owned_segments, \
+                "worker-created segment never shipped to the parent"
+            pool.drain()
+        assert pool.stats()["closed"]
+        assert not tablestore.list_host_segments()
+
+    def test_hard_pool_stop_unlinks_parent_owned_segments(self):
+        """Terminate workers without a graceful STOP: close() still
+        releases every parent-owned segment."""
+        spec = _spec("MS", {"l": 2, "n": 2})
+        pool = ShardPool(num_shards=2, shared_tables=True)
+        modes = pool.prepare_shared_tables([spec])
+        assert list(modes.values()) == ["create"]
+        pool.start()
+        pool.execute_many([{"op": "properties", "network": spec}])
+        for worker in pool._workers:
+            worker.terminate()  # hard stop, no STOP sentinel
+        pool.close()
+        assert not tablestore.list_host_segments()
+
+    def test_prewarmed_pool_workers_attach_not_create(self, tmp_path):
+        """After prepare_shared_tables, worker warm-up is pure attach:
+        no new segments appear beyond the parent's one."""
+        spec = _spec("MS", {"l": 2, "n": 2})
+        pool = ShardPool(num_shards=4, shared_tables=True)
+        pool.prepare_shared_tables([spec])
+        assert len(tablestore.list_host_segments()) == 1
+        with pool:
+            out = pool.execute_many(
+                [{"op": "properties", "network": spec}] * 4
+            )
+            assert all(r["ok"] for r in out)
+            assert len(tablestore.list_host_segments()) == 1
+        assert not tablestore.list_host_segments()
