@@ -373,7 +373,7 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from .serve import QueryEngine, QueryServer, ShardPool
+    from .serve import QueryEngine, QueryServer, ShardPool, wire
 
     _serving_obs_defaults(args)
     if args.shards > 0:
@@ -426,6 +426,8 @@ def cmd_serve(args) -> int:
         batch_window=args.batch_window,
         max_pending=args.max_pending,
         request_timeout=args.request_timeout,
+        adaptive=not args.fixed_window,
+        target_batch=args.target_batch,
     )
 
     async def _serve() -> None:
@@ -434,8 +436,10 @@ def cmd_serve(args) -> int:
         stop_requested = asyncio.Event()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, stop_requested.set)
+        loop_kind = "uvloop" if wire.UVLOOP_AVAILABLE else "asyncio"
         print(f"serving on {server.host}:{server.port} "
-              f"(backend: {type(backend).__name__})", file=sys.stderr)
+              f"(backend: {type(backend).__name__}, "
+              f"loop: {loop_kind})", file=sys.stderr)
         await stop_requested.wait()
         print("shutdown requested; draining in-flight batches...",
               file=sys.stderr)
@@ -446,7 +450,7 @@ def cmd_serve(args) -> int:
                   "flight", file=sys.stderr)
 
     try:
-        asyncio.run(_serve())
+        wire.run(_serve())
     except KeyboardInterrupt:
         pass  # signal handler beat us to it on some platforms
     finally:
@@ -541,6 +545,7 @@ def cmd_loadgen(args) -> int:
             concurrency=args.concurrency, timeout=args.timeout,
             replay_speed=args.replay_speed,
             trace_sample=args.trace_sample, trace_seed=args.seed,
+            protocol=args.protocol, pipeline=args.pipeline,
         )
 
     if args.cluster:
@@ -818,6 +823,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-shard dispatch queue bound (backpressure)")
     p.add_argument("--batch-window", type=float, default=0.002,
                    help="micro-batching window in seconds")
+    p.add_argument("--fixed-window", action="store_true",
+                   help="always sleep the full --batch-window instead "
+                        "of adapting it to the arrival rate")
+    p.add_argument("--target-batch", type=int, default=64,
+                   help="batch size the adaptive window aims to "
+                        "accumulate before cutting")
     p.add_argument("--max-pending", type=int, default=1024,
                    help="admission-control bound on parked requests")
     p.add_argument("--request-timeout", type=float, default=5.0,
@@ -882,6 +893,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--concurrency", type=int, default=4,
                    help="concurrent closed-loop connections")
+    p.add_argument("--protocol", choices=("json", "binary"),
+                   default="json",
+                   help="wire encoding: newline JSON or length-"
+                        "prefixed binary frames")
+    p.add_argument("--pipeline", type=int, default=1,
+                   help="requests kept outstanding per connection "
+                        "(1 = closed-loop send/await)")
     p.add_argument("--timeout", type=float, default=10.0,
                    help="per-response client timeout in seconds")
     p.add_argument("--replay", metavar="FILE",

@@ -50,6 +50,7 @@ from ..obs import (
     record_event,
     start_span,
 )
+from ..serve import wire
 from .ring import HashRing
 
 DEFAULT_PROBE_INTERVAL = 0.25
@@ -174,7 +175,8 @@ class ClusterRouter:
 
     async def start(self) -> "ClusterRouter":
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
+            self._handle_client, self.host, self.port,
+            limit=wire.WIRE_LIMIT,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._probers = [
@@ -206,7 +208,7 @@ class ClusterRouter:
 
     async def _connect(self, backend: _Backend) -> None:
         reader, writer = await asyncio.open_connection(
-            backend.host, backend.port
+            backend.host, backend.port, limit=wire.WIRE_LIMIT
         )
         backend.reader = reader
         backend.writer = writer
@@ -220,13 +222,31 @@ class ClusterRouter:
         reader = backend.reader
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    message = await wire.read_message(reader)
+                except (wire.WireError, asyncio.IncompleteReadError):
+                    break  # unsyncable / truncated frame: sever for real
+                if message is None:
                     break
-                if not line.strip():
+                if message is wire.OVERSIZED:
+                    # One response overran even the 16 MiB wire limit
+                    # (e.g. a pathological metrics fan-in).  The
+                    # replica is *alive* — read_message consumed the
+                    # line and the stream stays framed — so skip it and
+                    # let the waiting call time out.  Severing here
+                    # would fail every in-flight call with BackendDied
+                    # and trigger spurious failover.
+                    continue
+                if isinstance(message, wire.Frame):
+                    future = backend.pending.pop(
+                        message.request_id if message.has_id else None,
+                        None,
+                    )
+                    if future is not None and not future.done():
+                        future.set_result(message)
                     continue
                 try:
-                    response = json.loads(line)
+                    response = json.loads(message)
                 except ValueError:
                     continue  # garbage from a dying replica
                 future = backend.pending.pop(response.get("id"), None)
@@ -336,6 +356,34 @@ class ClusterRouter:
         finally:
             backend.pending.pop(call_id, None)
 
+    async def _call_frame(
+        self,
+        backend: _Backend,
+        frame: "wire.Frame",
+        timeout: float,
+    ):
+        """One multiplexed binary exchange: the raw frame is forwarded
+        with only its fixed-offset id re-stamped (no JSON or payload
+        re-encode — the proxy fast path), and the response resolves by
+        the echoed internal id like any other call."""
+        if backend.writer is None:
+            raise BackendDied(f"{backend.name}: not connected")
+        call_id = self._next_call_id
+        self._next_call_id += 1
+        future = asyncio.get_running_loop().create_future()
+        backend.pending[call_id] = future
+        try:
+            backend.writer.write(frame.with_id(call_id))
+            await backend.writer.drain()
+        except (ConnectionResetError, OSError) as exc:
+            backend.pending.pop(call_id, None)
+            self._sever(backend, f"write failed: {exc}")
+            raise BackendDied(f"{backend.name}: write failed") from exc
+        try:
+            return await asyncio.wait_for(future, timeout=timeout)
+        finally:
+            backend.pending.pop(call_id, None)
+
     # -- placement ------------------------------------------------------
 
     @staticmethod
@@ -413,18 +461,44 @@ class ClusterRouter:
         registry = get_registry()
         while not self._closing:
             try:
-                line = await reader.readline()
-            except (ConnectionResetError, asyncio.IncompleteReadError):
+                message = await wire.read_message(reader)
+            except wire.WireError:
+                # Unrecoverable binary framing: answer once and close
+                # (the stream cannot be resynchronised).
+                stats.received += 1
+                stats.rejected += 1
+                if registry.enabled:
+                    registry.counter("cluster.router.requests").inc(1)
+                await self._send(writer, {
+                    "ok": False, "error": "malformed frame",
+                })
                 break
-            if not line:
+            except (ConnectionResetError, OSError,
+                    asyncio.IncompleteReadError):
                 break
-            if not line.strip():
+            if message is None:
+                break
+            if message is wire.OVERSIZED:
+                # Over-limit JSON line, consumed and discarded — the
+                # connection survives, accounting stays closed.
+                stats.received += 1
+                stats.rejected += 1
+                if registry.enabled:
+                    registry.counter("cluster.router.requests").inc(1)
+                await self._send(writer, {
+                    "ok": False,
+                    "error": "malformed request: line over the "
+                             f"{wire.WIRE_LIMIT}-byte wire limit",
+                })
                 continue
             stats.received += 1
             if registry.enabled:
                 registry.counter("cluster.router.requests").inc(1)
+            if isinstance(message, wire.Frame):
+                await self._handle_frame(message, writer)
+                continue
             try:
-                request = json.loads(line)
+                request = json.loads(message)
                 if not isinstance(request, dict):
                     raise ValueError("request must be a JSON object")
             except ValueError as exc:
@@ -468,6 +542,149 @@ class ClusterRouter:
                     (time.monotonic() - start) * 1000.0
                 )
             await self._send(writer, response)
+
+    async def _handle_frame(
+        self, frame: "wire.Frame", writer: asyncio.StreamWriter
+    ) -> None:
+        """One binary client frame: admin ops answered inline, query
+        frames passed through to a replica raw (id re-stamp only)."""
+        stats = self.stats_counters
+        try:
+            header = frame.header()
+        except wire.WireError as exc:
+            stats.rejected += 1
+            await self._send_bytes(writer, self._frame_error(
+                frame, {}, f"malformed request: {exc}"
+            ))
+            return
+        op = header.get("op") or wire.OP_NAMES.get(frame.opcode)
+        if op == "stats":
+            stats.completed += 1
+            response = {"ok": True, "op": "stats", "result": self.stats()}
+            if frame.has_id:
+                response["id"] = frame.request_id
+            await self._send_bytes(writer, wire.encode_response(response))
+            return
+        if op == "metrics":
+            stats.completed += 1
+            response = {
+                "ok": True, "op": "metrics",
+                "result": await self._metrics(),
+            }
+            if frame.has_id:
+                response["id"] = frame.request_id
+            await self._send_bytes(writer, wire.encode_response(response))
+            return
+        if self._inflight >= self.max_inflight:
+            stats.rejected += 1
+            await self._send_bytes(writer, self._frame_error(
+                frame, header, "overloaded"
+            ))
+            return
+        self._inflight += 1
+        start = time.monotonic()
+        try:
+            payload = await self._route_frame(frame, header)
+        finally:
+            self._inflight -= 1
+            self._latencies.observe((time.monotonic() - start) * 1000.0)
+        await self._send_bytes(writer, payload)
+
+    async def _route_frame(
+        self, frame: "wire.Frame", header: Dict[str, object]
+    ) -> bytes:
+        """Binary twin of :meth:`_route_inner`: same placement, same
+        exactly-once retry, but the frame is forwarded raw and the
+        response frame comes back raw (client id restored at a fixed
+        offset)."""
+        stats = self.stats_counters
+        registry = get_registry()
+        key = self.family_key(header)
+        first, diverted = self._pick(key)
+        if first is None:
+            stats.failed += 1
+            return self._frame_error(frame, header,
+                                     "no replicas available")
+        if diverted:
+            stats.failovers += 1
+            if registry.enabled:
+                registry.counter("cluster.router.failovers").inc(1)
+        try:
+            response = await self._call_frame(
+                first, frame, timeout=self.request_timeout
+            )
+        except (BackendDied, asyncio.TimeoutError):
+            stats.retries += 1
+            record_event("router.retry", replica=first.name,
+                         op=str(header.get("op")))
+            if registry.enabled:
+                registry.counter("cluster.router.retries").inc(1)
+            second, _ = self._pick(key, exclude=(first.name,))
+            if second is None:
+                stats.failed += 1
+                return self._frame_error(
+                    frame, header,
+                    f"replica {first.name} died; no survivor",
+                )
+            stats.failovers += 1
+            if registry.enabled:
+                registry.counter("cluster.router.failovers").inc(1)
+            try:
+                response = await self._call_frame(
+                    second, frame, timeout=self.request_timeout
+                )
+            except (BackendDied, asyncio.TimeoutError):
+                stats.failed += 1
+                return self._frame_error(
+                    frame, header,
+                    f"replicas {first.name} and {second.name} both "
+                    "failed",
+                )
+        stats.completed += 1
+        return self._restore_frame_id(frame, response)
+
+    @staticmethod
+    def _restore_frame_id(frame: "wire.Frame", response) -> bytes:
+        """Swap the internal call id back for the client's own on a
+        raw response frame (or re-encode a JSON response the replica
+        answered with, defensively)."""
+        if not isinstance(response, wire.Frame):
+            response = dict(response)
+            if frame.has_id:
+                response["id"] = frame.request_id
+            else:
+                response.pop("id", None)
+            return wire.encode_response(response)
+        if frame.has_id:
+            return response.with_id(frame.request_id)
+        # The client sent no id: strip the internal one (slow path —
+        # re-encode through the dict form).
+        decoded = wire.decode_response(response)
+        decoded.pop("id", None)
+        return wire.encode_response(decoded)
+
+    @staticmethod
+    def _frame_error(
+        frame: "wire.Frame", header: Dict[str, object], message: str
+    ) -> bytes:
+        response = {
+            "ok": False,
+            "op": header.get("op", wire.OP_NAMES.get(frame.opcode)),
+            "error": message,
+        }
+        if frame.has_id:
+            response["id"] = frame.request_id
+        return wire.encode_response(response)
+
+    @staticmethod
+    async def _send_bytes(
+        writer: asyncio.StreamWriter, payload: bytes
+    ) -> None:
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; accounting already counted it
 
     async def _route(
         self, request: Dict[str, object]
@@ -651,7 +868,7 @@ class RouterThread:
         return self.router.port
 
     def start(self) -> "RouterThread":
-        self._loop = asyncio.new_event_loop()
+        self._loop = wire.new_event_loop()
         self._thread = threading.Thread(
             target=self._run, name="repro-cluster-router", daemon=True
         )

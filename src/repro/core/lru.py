@@ -93,8 +93,11 @@ class LRUCache:
         self._publish_size()
 
     def _publish_size(self) -> None:
-        if self.metric is not None:
-            get_registry().gauge(SIZE_METRIC).set(
+        if self.metric is None:
+            return
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge(SIZE_METRIC).set(
                 len(self._entries), **self.labels
             )
 

@@ -434,6 +434,8 @@ class ServeRow:
     p50_ms: Optional[float]
     p99_ms: Optional[float]
     traced: int = 0
+    protocol: str = "json"
+    pipeline: int = 1
 
     @property
     def closed(self) -> bool:
@@ -454,6 +456,8 @@ def serve_sweep(
     table_cache: Optional[str] = None,
     shared_tables: bool = False,
     trace_sample: Optional[float] = None,
+    protocol: str = "json",
+    pipeline: int = 1,
 ) -> Iterator[ServeRow]:
     """Serve one network instance through a live in-process server and
     drive each workload shape through the loadgen, row per workload.
@@ -462,6 +466,9 @@ def serve_sweep(
     is as much a correctness probe of the serving path as a throughput
     measurement.  ``shared_tables`` runs the engine attach-first on a
     host-shared table store (:func:`repro.io.attach_compiled_tables`).
+    ``protocol``/``pipeline`` select the loadgen's wire encoding and
+    per-connection pipelining depth (see
+    :func:`repro.serve.workload.run_loadgen`).
     """
     from ..io import network_spec
     from ..serve import (
@@ -490,6 +497,7 @@ def serve_sweep(
                     server.host, server.port, requests,
                     concurrency=concurrency,
                     trace_sample=trace_sample, trace_seed=seed,
+                    protocol=protocol, pipeline=pipeline,
                 )
                 sp.set(qps=result.qps, ok=result.ok)
             yield ServeRow(
@@ -505,6 +513,8 @@ def serve_sweep(
                 p50_ms=result.p50_ms,
                 p99_ms=result.p99_ms,
                 traced=result.traced,
+                protocol=protocol,
+                pipeline=pipeline,
             )
 
 

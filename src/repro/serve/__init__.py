@@ -9,15 +9,20 @@ into an online query service:
   :class:`~repro.core.compiled.CompiledGraph` tables;
 * :mod:`~repro.serve.shard` — :class:`ShardPool`, a crash-tolerant
   multiprocessing back end pinning graph families to worker shards;
-* :mod:`~repro.serve.server` — :class:`QueryServer`, an asyncio
-  JSON-over-TCP front end with micro-batching, admission control, and
-  per-request timeouts;
+* :mod:`~repro.serve.wire` — the two wire protocols (newline JSON and
+  length-prefixed binary frames with numpy column payloads), stream
+  size discipline, and oversized-line recovery;
+* :mod:`~repro.serve.server` — :class:`QueryServer`, an asyncio TCP
+  front end speaking both protocols on one port, with adaptive
+  micro-batching, admission control, and per-request timeouts;
 * :mod:`~repro.serve.workload` — deterministic seeded workload
-  generators and the closed-accounting load generator.
+  generators and the closed-accounting load generator (JSON or binary,
+  closed-loop or pipelined).
 
 See ``docs/serving.md`` for the wire protocol and operational story.
 """
 
+from . import wire
 from .engine import (
     QueryEngine,
     QueryError,
@@ -29,8 +34,9 @@ from .engine import (
     relative_ranks,
     reverse_table,
     route_payload,
+    validate_symbols,
 )
-from .server import QueryServer, ServerThread
+from .server import AdaptiveWindow, QueryServer, ServerThread
 from .shard import ShardOverload, ShardPool
 from .workload import (
     LoadGenResult,
@@ -49,6 +55,7 @@ from .workload import (
 )
 
 __all__ = [
+    "AdaptiveWindow",
     "QueryEngine",
     "QueryError",
     "QueryServer",
@@ -76,4 +83,6 @@ __all__ = [
     "stamp_arrivals",
     "transpose_pairs",
     "uniform_pairs",
+    "validate_symbols",
+    "wire",
 ]

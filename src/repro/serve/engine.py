@@ -41,11 +41,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.compiled import CompiledGraph, rank_array
-from ..core.lru import EVICTION_METRIC, LRUCache
+from ..core.lru import EVICTION_METRIC, SIZE_METRIC, LRUCache
 from ..core.permutations import Permutation
 from ..core.super_cayley import SuperCayleyNetwork
 from ..networks import make_network
-from ..obs import extract, get_registry, get_tracer, start_span
+from ..obs import TRACE_FIELD, extract, get_registry, get_tracer, start_span
 from ..routing import star_distance_between
 
 NodeSpec = Union[str, Sequence[int]]
@@ -54,6 +54,19 @@ NodeSpec = Union[str, Sequence[int]]
 DEFAULT_MAX_GRAPHS = 8
 DEFAULT_MAX_ROUTE_TABLES = 64
 DEFAULT_MAX_EMBEDDINGS = 8
+#: hot-query result cache: whole responses keyed on a native tuple of
+#: ``(epoch, op, network, frozen request fields)``.  Hotspot/transpose
+#: workloads repeat identical batches; a hit skips decode + kernels
+#: entirely.
+DEFAULT_MAX_HOT = 256
+#: batches larger than this bypass the hot cache: freezing a 20k-pair
+#: request costs more than the kernels save on a repeat, and the cached
+#: responses would crowd small truly-hot entries out of the LRU.
+MAX_HOT_ITEMS = 2048
+
+#: hot-cache event counter (docs/observability.md):
+#: ``serve.hot_cache{event=hit|miss|store|invalidate}``.
+HOT_CACHE_METRIC = "serve.hot_cache"
 
 
 class QueryError(ValueError):
@@ -110,20 +123,78 @@ def check_pairs(
 
 
 def node_str(node: Union[Permutation, Sequence[int]]) -> str:
-    """The protocol's canonical node encoding (digit string; engine
-    instances have ``k <= 9`` so every symbol is one digit)."""
+    """The protocol's canonical node encoding: a digit string for
+    ``k <= 9`` (every symbol one digit), the comma form beyond that —
+    concatenated multi-digit symbols would be ambiguous (``"10"`` is
+    one symbol or two?), so ``k >= 10`` labels round-trip through
+    :func:`parse_node`'s comma path instead."""
     symbols = node.symbols if isinstance(node, Permutation) else node
+    if len(symbols) > 9:
+        return ",".join(str(int(s)) for s in symbols)
     return "".join(str(int(s)) for s in symbols)
 
 
+#: identity memo for :func:`spec_key`: the wire decoder hands every
+#: request of a pipelined run the same header (and so the same
+#: network-spec dict object), making per-request canonicalisation pure
+#: waste.  Entries hold a strong reference to the spec dict, so an
+#: ``id()`` can never be recycled while its entry is alive.
+_SPEC_KEY_MEMO: Dict[int, Tuple[Dict[str, object], Tuple]] = {}
+_SPEC_KEY_MEMO_MAX = 256
+
+
 def spec_key(spec: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
-    """Canonical hashable form of a network spec dict."""
-    return tuple(sorted((k, str(v)) for k, v in spec.items()))
+    """Canonical hashable form of a network spec dict.  Treats specs as
+    immutable wire values (they are everywhere in this package): a dict
+    mutated *in place* after a lookup would keep serving its old key."""
+    entry = _SPEC_KEY_MEMO.get(id(spec))
+    if entry is not None and entry[0] is spec:
+        return entry[1]
+    key = tuple(sorted((k, str(v)) for k, v in spec.items()))
+    if len(_SPEC_KEY_MEMO) >= _SPEC_KEY_MEMO_MAX:
+        _SPEC_KEY_MEMO.clear()
+    _SPEC_KEY_MEMO[id(spec)] = (spec, key)
+    return key
+
+
+def _freeze(value: object) -> object:
+    """A request-body value as a hashable equivalent (hot-cache keys):
+    lists/tuples become tuples, arrays their raw bytes, dicts sorted
+    item tuples.  Anything else passes through for the caller's
+    ``hash()`` check to accept or reject."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (value.tobytes(), value.dtype.str, value.shape)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
 
 
 # ----------------------------------------------------------------------
 # Batched array kernels
 # ----------------------------------------------------------------------
+
+
+def validate_symbols(symbols: np.ndarray, k: int) -> None:
+    """Vectorised permutation check for an ``(m, k)`` symbol matrix:
+    every entry in ``1..k`` (one range pass) and every row a bijection
+    (one scatter pass).  Raises :class:`QueryError` naming the first
+    bad row — the shared guard behind :func:`parse_symbols`'s ASCII
+    fast path and the binary protocol's ``frombuffer``-decoded columns
+    (which skip string parsing entirely and must not reach the array
+    kernels unvalidated)."""
+    ok = ((symbols >= 1) & (symbols <= k)).all(axis=1)
+    if bool(ok.all()):
+        # each row must hit every position 1..k exactly once
+        seen = np.zeros((symbols.shape[0], k), dtype=symbols.dtype)
+        np.put_along_axis(seen, symbols - 1, 1, axis=1)
+        ok = seen.all(axis=1)
+    if not bool(ok.all()):
+        bad = symbols[int(np.argmin(ok))].tolist()
+        raise QueryError(
+            f"bad node {bad!r}: not a permutation of 1..{k}"
+        )
 
 
 def parse_symbols(nodes: Sequence[NodeSpec], k: int) -> np.ndarray:
@@ -137,9 +208,16 @@ def parse_symbols(nodes: Sequence[NodeSpec], k: int) -> np.ndarray:
     20k-pair batch an array operation instead of 40k object
     constructions.  Comma/list forms fall back to :func:`parse_node`
     per entry.
+
+    The fast path is gated on ``k <= 9``: beyond nine symbols the
+    digit-concatenation encoding is ambiguous (symbol ``10`` is two
+    characters), a ``k``-char string can never be a valid label, and
+    single-digit decoding would mis-read it — so ``k >= 10`` batches
+    always take the :func:`parse_node` path, which rejects ambiguous
+    digit strings with a precise error and accepts comma/list forms.
     """
     nodes = list(nodes)
-    if nodes and all(
+    if nodes and k <= 9 and all(
         isinstance(v, str) and len(v) == k and "," not in v for v in nodes
     ):
         try:
@@ -150,16 +228,12 @@ def parse_symbols(nodes: Sequence[NodeSpec], k: int) -> np.ndarray:
             buf = None
         if buf is not None:
             symbols = (buf.reshape(len(nodes), k) - 48).astype(np.int64)
-            ok = ((symbols >= 1) & (symbols <= k)).all(axis=1)
-            if bool(ok.all()):
-                # each row must hit every position 1..k exactly once
-                seen = np.zeros_like(symbols)
-                np.put_along_axis(seen, symbols - 1, 1, axis=1)
-                ok = seen.all(axis=1)
-            if not bool(ok.all()):
-                bad = nodes[int(np.argmin(ok))]
-                parse_node(bad, k)  # raises the precise QueryError
-                raise QueryError(f"bad node {bad!r}")
+            try:
+                validate_symbols(symbols, k)
+            except QueryError:
+                for v in nodes:
+                    parse_node(v, k)  # raises the precise QueryError
+                raise  # pragma: no cover - scalar path must also reject
             return symbols
     out = np.empty((len(nodes), k), dtype=np.int64)
     for i, v in enumerate(nodes):
@@ -338,6 +412,13 @@ class QueryEngine:
     max_graphs / max_route_tables / max_embeddings:
         LRU capacities for the three caches.  Evictions increment
         ``serve.table_evictions`` with a ``cache`` label.
+    max_hot:
+        Capacity of the hot-query result cache (``0`` disables it).
+        Whole responses are cached keyed on ``(epoch, op, network,
+        frozen request fields)``; :meth:`bump_epoch` invalidates every entry at
+        once — call it whenever the answers could change (a fault-mask
+        update, a table swap).  Events count on
+        ``serve.hot_cache{event=hit|miss|store|invalidate}``.
     """
 
     def __init__(
@@ -348,6 +429,7 @@ class QueryEngine:
         max_graphs: int = DEFAULT_MAX_GRAPHS,
         max_route_tables: int = DEFAULT_MAX_ROUTE_TABLES,
         max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+        max_hot: int = DEFAULT_MAX_HOT,
     ):
         self.table_cache = table_cache
         self.shared_tables = shared_tables
@@ -362,6 +444,19 @@ class QueryEngine:
         self._embeddings = LRUCache(
             max_embeddings, metric=EVICTION_METRIC, cache="serve-embeddings"
         )
+        # metric=None: at pipelined rates a full hot cache evicts on
+        # every put, and per-put gauge/eviction publishes would cost
+        # more than the store — occupancy and eviction deltas publish
+        # batched via _publish_hot_metrics instead.
+        self._hot: Optional[LRUCache] = (
+            LRUCache(max_hot) if max_hot > 0 else None
+        )
+        #: result-validity epoch: part of every hot-cache key, so a
+        #: bump orphans all cached answers (they age out of the LRU).
+        self.epoch = 0
+        self.hot_hits = 0
+        self.hot_misses = 0
+        self._hot_evictions_flushed = 0
 
     # -- cache plumbing -------------------------------------------------
 
@@ -445,12 +540,167 @@ class QueryEngine:
             "graphs": len(self._graphs),
             "route_tables": len(self._route_tables),
             "embeddings": len(self._embeddings),
+            "hot": 0 if self._hot is None else len(self._hot),
+            "hot_hits": self.hot_hits,
+            "hot_misses": self.hot_misses,
+            "epoch": self.epoch,
             "evictions": (
                 self._graphs.evictions + self._route_tables.evictions
                 + self._embeddings.evictions
+                + (0 if self._hot is None else self._hot.evictions)
             ),
             "table_bytes": self.table_bytes(),
         }
+
+    # -- hot-query result cache -----------------------------------------
+
+    #: read-only ops whose whole responses are safe to cache.
+    _CACHEABLE_OPS = frozenset(
+        ("distance", "route", "neighbors", "embedding", "properties")
+    )
+
+    def bump_epoch(self, reason: str = "") -> int:
+        """Invalidate every hot-cache entry at once by advancing the
+        result-validity epoch (part of each key, so stale answers can
+        never hit again; the entries age out of the LRU).  Call this
+        whenever cached answers could go stale — a fault-mask change, a
+        table swap, a topology edit."""
+        self.epoch += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(HOT_CACHE_METRIC).inc(
+                1, event="invalidate", reason=reason or "bump"
+            )
+        return self.epoch
+
+    def _hot_key(self, request: Dict[str, object]) -> Optional[Tuple]:
+        """The hot-cache key for a request, or ``None`` when the
+        request is not cacheable: ``(epoch, op, spec, *frozen body)``
+        over everything answer-relevant (never the id or the trace
+        context).  The body is frozen to native tuples/bytes rather
+        than hashed — dict lookup then compares keys exactly (no
+        digest collisions), and freezing a small batch is several
+        times cheaper than serialising it for a hash."""
+        if self._hot is None or not isinstance(request, dict):
+            return None
+        op = request.get("op")
+        if op not in self._CACHEABLE_OPS:
+            return None
+        network = request.get("network")
+        if not isinstance(network, dict) or "family" not in network:
+            return None
+        for field in ("pairs", "nodes", "sources"):
+            value = request.get(field)
+            if hasattr(value, "__len__") and len(value) > MAX_HOT_ITEMS:
+                return None
+        symbols = request.get("symbols")
+        if symbols is not None and len(symbols[0]) > MAX_HOT_ITEMS:
+            return None
+        try:
+            parts: List[object] = [self.epoch, str(op), spec_key(network)]
+            for field in sorted(request):
+                if field in ("id", "op", "network", TRACE_FIELD):
+                    continue
+                value = request[field]
+                if field == "symbols":
+                    s, t = value
+                    parts.append((
+                        "symbols",
+                        np.ascontiguousarray(s).tobytes(),
+                        np.ascontiguousarray(t).tobytes(),
+                    ))
+                else:
+                    parts.append((field, _freeze(value)))
+            key = tuple(parts)
+            hash(key)  # verify hashability here, not inside the LRU
+        except (TypeError, ValueError, AttributeError):
+            return None  # unhashable shapes fall through to execution
+        return key
+
+    def _hot_get_quiet(
+        self, key: Optional[Tuple], request: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """:meth:`_hot_get` minus the registry events (the batched path
+        counts locally and flushes once per call) — hit/miss attributes
+        still update per lookup."""
+        if key is None or self._hot is None:
+            return None
+        cached = self._hot.get(key)
+        if cached is None:
+            self.hot_misses += 1
+            return None
+        self.hot_hits += 1
+        response = dict(cached)
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _hot_get(
+        self, key: Optional[Tuple], request: Dict[str, object]
+    ) -> Optional[Dict[str, object]]:
+        """The cached response re-stamped with this request's id, or
+        ``None`` on a miss (counted)."""
+        if key is None or self._hot is None:
+            return None
+        before = self.hot_hits
+        response = self._hot_get_quiet(key, request)
+        registry = get_registry()
+        if registry.enabled:
+            if response is None:
+                registry.counter(HOT_CACHE_METRIC).inc(1, event="miss")
+            elif self.hot_hits > before:
+                registry.counter(HOT_CACHE_METRIC).inc(1, event="hit")
+                # keep cache-occupancy gauges fresh even when every
+                # request short-circuits here, never reaching
+                # _execute_inner
+                self._set_cache_gauges(registry)
+        return response
+
+    def _hot_put_quiet(
+        self, key: Optional[Tuple], response: Dict[str, object]
+    ) -> bool:
+        """Store without the registry event; ``True`` when stored."""
+        if key is None or self._hot is None or not response.get("ok"):
+            return False
+        self._hot.put(
+            key, {k: v for k, v in response.items() if k != "id"}
+        )
+        return True
+
+    def _hot_put(
+        self, key: Optional[Tuple], response: Dict[str, object]
+    ) -> None:
+        """Cache a successful response (errors are never cached — they
+        may be transient) without its id."""
+        if self._hot_put_quiet(key, response):
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter(HOT_CACHE_METRIC).inc(1, event="store")
+                self._publish_hot_metrics(registry)
+
+    def _publish_hot_metrics(self, registry) -> None:
+        """Batched registry view of the hot cache: the occupancy gauge
+        plus any eviction delta since the last flush (the LRU itself
+        publishes nothing — see ``__init__``)."""
+        if self._hot is None:
+            return
+        registry.gauge(SIZE_METRIC).set(len(self._hot), cache="serve-hot")
+        delta = self._hot.evictions - self._hot_evictions_flushed
+        if delta:
+            self._hot_evictions_flushed = self._hot.evictions
+            registry.counter(EVICTION_METRIC).inc(delta, cache="serve-hot")
+
+    def _set_cache_gauges(self, registry) -> None:
+        """Current cache occupancy as ``serve.cache_entries`` /
+        ``serve.table_bytes`` gauge rows (the shard pool's parent reads
+        these off shipped worker snapshots)."""
+        gauge = registry.gauge("serve.cache_entries")
+        gauge.set(len(self._graphs), cache="graphs")
+        gauge.set(len(self._route_tables), cache="route-tables")
+        gauge.set(len(self._embeddings), cache="embeddings")
+        table_gauge = registry.gauge("serve.table_bytes")
+        for kind, nbytes in self.table_bytes().items():
+            table_gauge.set(nbytes, kind=kind)
 
     # -- protocol entry points ------------------------------------------
 
@@ -460,7 +710,23 @@ class QueryEngine:
 
         Sampled requests (a ``trace`` context on the wire) emit an
         ``engine.execute`` remote span — the innermost hop of the
-        distributed trace; unsampled requests pay one dict lookup."""
+        distributed trace; unsampled requests pay one dict lookup.
+
+        Cacheable requests consult the hot-query result cache first: a
+        hit answers without touching the kernels (or the span — the
+        cache sits in front of the engine hop)."""
+        hot_key = self._hot_key(request)
+        cached = self._hot_get(hot_key, request)
+        if cached is not None:
+            return cached
+        response = self._execute_traced(request)
+        self._hot_put(hot_key, response)
+        return response
+
+    def _execute_traced(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """:meth:`execute` minus the hot cache (span + dispatch)."""
         ctx = extract(request)
         if ctx is None:
             return self._execute_inner(request)
@@ -479,13 +745,7 @@ class QueryEngine:
         registry = get_registry()
         if registry.enabled:
             registry.counter("serve.queries").inc(1, op=str(op))
-            gauge = registry.gauge("serve.cache_entries")
-            gauge.set(len(self._graphs), cache="graphs")
-            gauge.set(len(self._route_tables), cache="route-tables")
-            gauge.set(len(self._embeddings), cache="embeddings")
-            table_gauge = registry.gauge("serve.table_bytes")
-            for kind, nbytes in self.table_bytes().items():
-                table_gauge.set(nbytes, kind=kind)
+            self._set_cache_gauges(registry)
         if handler is None:
             return self._fail(request, f"unknown op {op!r}")
         with get_tracer().span("serve.execute", op=str(op)):
@@ -519,9 +779,26 @@ class QueryEngine:
         Responses come back in request order.
         """
         responses: List[Optional[Dict[str, object]]] = [None] * len(requests)
+        hot_keys: List[Optional[Tuple]] = [None] * len(requests)
         groups: Dict[Tuple, List[int]] = {}
+        # hot-cache registry events are counted locally and flushed
+        # once per batch — at thousands of requests a batch the
+        # per-event label lookups otherwise rival the kernels.
+        hits = misses = stores = 0
         for i, request in enumerate(requests):
-            if request.get("op") == "distance" and "pairs" in request:
+            if request.get("op") == "distance" \
+                    and ("pairs" in request or "symbols" in request):
+                # hot-cache hits are answered here and never grouped;
+                # misses remember their key so the coalesced answer
+                # can be stored on the way out.
+                hot_keys[i] = self._hot_key(request)
+                cached = self._hot_get_quiet(hot_keys[i], request)
+                if cached is not None:
+                    responses[i] = cached
+                    hits += 1
+                    continue
+                if hot_keys[i] is not None:
+                    misses += 1
                 try:
                     key = spec_key(request.get("network") or {})
                 except TypeError:
@@ -537,9 +814,27 @@ class QueryEngine:
                 continue
             for i, response in zip(indices, merged):
                 responses[i] = response
+                stores += self._hot_put_quiet(hot_keys[i], response)
         for i, request in enumerate(requests):
             if responses[i] is None:
-                responses[i] = self.execute(request)
+                if hot_keys[i] is not None:
+                    # cache already consulted above; just run + store
+                    response = self._execute_traced(request)
+                    stores += self._hot_put_quiet(hot_keys[i], response)
+                    responses[i] = response
+                else:
+                    responses[i] = self.execute(request)
+        registry = get_registry()
+        if registry.enabled and (hits or misses or stores):
+            counter = registry.counter(HOT_CACHE_METRIC)
+            if hits:
+                counter.inc(hits, event="hit")
+                self._set_cache_gauges(registry)
+            if misses:
+                counter.inc(misses, event="miss")
+            if stores:
+                counter.inc(stores, event="store")
+            self._publish_hot_metrics(registry)
         return responses
 
     def _coalesced_distance(
@@ -564,12 +859,25 @@ class QueryEngine:
         try:
             net = self.network(requests[0].get("network"))
             sizes: List[int] = []
-            all_pairs: List[Tuple[NodeSpec, NodeSpec]] = []
+            s_blocks: List[np.ndarray] = []
+            t_blocks: List[np.ndarray] = []
             for request in requests:
-                pairs = request["pairs"]
-                sizes.append(len(pairs))
-                all_pairs.extend(pairs)
-            distances = self._distance_batch(net, all_pairs)
+                s, t = self._request_symbols(net, request,
+                                             validate=False)
+                sizes.append(s.shape[0])
+                s_blocks.append(s)
+                t_blocks.append(t)
+            stacked_s = np.vstack(s_blocks)
+            stacked_t = np.vstack(t_blocks)
+            # one permutation check for the whole merge (binary-path
+            # members skipped theirs above); a bad row poisons the
+            # merge and the per-request fallback re-raises precisely
+            validate_symbols(
+                np.concatenate((stacked_s, stacked_t)), net.k
+            )
+            distances = self._distances_from_symbols(
+                net, stacked_s, stacked_t
+            )
         except (QueryError, KeyError, TypeError, ValueError):
             return None
         for span in spans:
@@ -610,6 +918,68 @@ class QueryEngine:
     ) -> np.ndarray:
         return parse_ids(nodes, net.k)
 
+    @staticmethod
+    def _check_symbols(
+        net: SuperCayleyNetwork, symbols: object, validate: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate a binary-protocol ``symbols`` value — two ``(m,
+        k)`` matrices (sources, targets) — into int64 arrays safe for
+        the kernels.  Decoded wire bytes are untrusted: every row gets
+        the same permutation check string parsing performs.
+
+        ``validate=False`` skips the per-matrix permutation check (but
+        never the shape checks) for callers that validate a whole
+        coalesced stack in one pass instead.
+        """
+        try:
+            s, t = symbols
+            s = np.asarray(s, dtype=np.int64)
+            t = np.asarray(t, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"bad \"symbols\": {exc}") from exc
+        if s.ndim != 2 or s.shape != t.shape or s.shape[1] != net.k:
+            raise QueryError(
+                f"\"symbols\" must be two (m, {net.k}) matrices, got "
+                f"shapes {s.shape} and {t.shape}"
+            )
+        if validate:
+            # one fused pass over both matrices — numpy per-call
+            # overhead dwarfs the extra concatenate at batch sizes
+            validate_symbols(np.concatenate((s, t)), net.k)
+        return s, t
+
+    def _request_symbols(
+        self,
+        net: SuperCayleyNetwork,
+        request: Dict[str, object],
+        validate: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The request's pair batch as two symbol matrices, whichever
+        wire form it arrived in (binary ``symbols`` columns or JSON
+        ``pairs``).  ``validate=False`` defers the permutation check to
+        the caller (string-parsed pairs are always validated as part of
+        parsing)."""
+        if "symbols" in request:
+            return self._check_symbols(
+                net, request["symbols"], validate=validate
+            )
+        pairs = check_pairs(request["pairs"])
+        s = parse_symbols([p[0] for p in pairs], net.k)
+        t = parse_symbols([p[1] for p in pairs], net.k)
+        return s, t
+
+    @staticmethod
+    def _distances_from_symbols(
+        net: SuperCayleyNetwork, s: np.ndarray, t: np.ndarray
+    ) -> List[int]:
+        if s.shape[0] == 0:
+            return []
+        compiled = net.compiled()
+        # straight from wire symbols to relative ranks — no node-ID
+        # ranking round-trip for the hottest op
+        rel = relative_ranks_of_symbols(s, t)
+        return compiled.distances[rel].tolist()
+
     def _distance_batch(
         self,
         net: SuperCayleyNetwork,
@@ -618,19 +988,21 @@ class QueryEngine:
         pairs = check_pairs(pairs)
         if not pairs:
             return []
-        compiled = net.compiled()
-        # straight from wire symbols to relative ranks — no node-ID
-        # ranking round-trip for the hottest op
         s = parse_symbols([p[0] for p in pairs], net.k)
         t = parse_symbols([p[1] for p in pairs], net.k)
-        rel = relative_ranks_of_symbols(s, t)
-        return compiled.distances[rel].tolist()
+        return self._distances_from_symbols(net, s, t)
 
     def _op_distance(self, request: Dict[str, object]) -> Dict[str, object]:
         net = self.network(request.get("network"))
+        if "symbols" in request:
+            s, t = self._check_symbols(net, request["symbols"])
+            return {
+                "network": net.name,
+                "distances": self._distances_from_symbols(net, s, t),
+            }
         pairs = request.get("pairs")
         if pairs is None:
-            raise QueryError("distance needs \"pairs\"")
+            raise QueryError("distance needs \"pairs\" or \"symbols\"")
         return {
             "network": net.name,
             "distances": self._distance_batch(net, pairs),
@@ -653,7 +1025,11 @@ class QueryEngine:
         algorithm = request.get("algorithm", "table")
         if algorithm not in ("table", "algorithmic"):
             raise QueryError(f"unknown route algorithm {algorithm!r}")
-        if "target" in request and "sources" in request:
+        if "symbols" in request:
+            s, t = self._check_symbols(net, request["symbols"])
+            pairs = list(zip(s.tolist(), t.tolist()))
+            hotspot = False
+        elif "target" in request and "sources" in request:
             pairs = [
                 (source, request["target"]) for source in request["sources"]
             ]

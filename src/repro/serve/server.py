@@ -1,14 +1,20 @@
-"""Asyncio JSON-over-TCP front end with micro-batching.
+"""Asyncio TCP front end with micro-batching, two protocols per port.
 
-:class:`QueryServer` speaks newline-delimited JSON: each line in is one
-engine request (see :mod:`repro.serve.engine`), each line out is the
-matching response (clients correlate by the echoed ``id``).  Requests
-are not answered one at a time — arrivals are parked for a short
-*batching window* and then handed to the back end as one
-``execute_many`` call, which coalesces same-network distance queries
-into single vectorised passes.  Under concurrency the window converts
-``n`` socket round-trips into one array operation; when traffic is
-sparse the window is the only added latency.
+:class:`QueryServer` speaks both wire protocols on one port, told apart
+by the first byte of each message (see :mod:`repro.serve.wire`):
+newline-delimited JSON (each line one engine request, responses
+correlated by the echoed ``id``) and the length-prefixed binary frame
+protocol (struct header + numpy column payloads for the hot ops).
+Either way, requests are not answered one at a time — arrivals are
+parked for a short *batching window* and then handed to the back end as
+one ``execute_many`` call, which coalesces same-network distance
+queries into single vectorised passes.  Under concurrency the window
+converts ``n`` socket round-trips into one array operation; when
+traffic is sparse the window is the only added latency — and the
+window itself *adapts*: :class:`AdaptiveWindow` scales it down from the
+configured cap as the observed arrival rate rises, so bursts cut
+batches as soon as a target batch size has accumulated instead of
+always paying the full window.
 
 Two protections keep the server well-behaved under overload:
 
@@ -57,10 +63,58 @@ from ..obs import (
     record_event,
     start_span,
 )
+from . import wire
 
 DEFAULT_BATCH_WINDOW = 0.002
 DEFAULT_MAX_PENDING = 1024
 DEFAULT_REQUEST_TIMEOUT = 5.0
+DEFAULT_TARGET_BATCH = 64
+
+
+class AdaptiveWindow:
+    """Arrival-rate-adaptive micro-batch window.
+
+    The fixed ``batch_window`` sleep is the worst of both worlds: under
+    a burst the batch has long since reached a useful size and the
+    sleep is pure added latency; under a trickle it is the only source
+    of batching and should stay at the cap.  This tracker keeps an EWMA
+    of the arrival rate (from inter-arrival gaps fed to
+    :meth:`observe`) and answers ``min(cap, target_batch / rate)`` —
+    the time a *target*-sized batch takes to accumulate at the current
+    rate, never more than the configured cap, never less than a small
+    floor (one event-loop tick's worth of real sleep).
+    """
+
+    def __init__(
+        self,
+        cap: float = DEFAULT_BATCH_WINDOW,
+        target_batch: int = DEFAULT_TARGET_BATCH,
+        floor: float = 1e-4,
+        alpha: float = 0.2,
+    ):
+        self.cap = cap
+        self.target_batch = max(target_batch, 1)
+        self.floor = min(floor, cap)
+        self.alpha = alpha
+        self.rate = 0.0  # EWMA arrivals per second
+        self._last: Optional[float] = None
+
+    def observe(self, now: float) -> None:
+        """Feed one arrival timestamp (``time.monotonic()``)."""
+        if self._last is not None:
+            gap = max(now - self._last, 1e-6)
+            instant = 1.0 / gap
+            self.rate = instant if self.rate == 0.0 else (
+                self.alpha * instant + (1.0 - self.alpha) * self.rate
+            )
+        self._last = now
+
+    def window(self) -> float:
+        """The batch window to sleep right now, in seconds."""
+        if self.rate <= 0.0:
+            return self.cap
+        return min(self.cap, max(self.floor,
+                                 self.target_batch / self.rate))
 
 
 @dataclass
@@ -72,6 +126,7 @@ class _Pending:
     arrived: float
     deadline: float
     span: Optional[RemoteSpan] = None
+    proto: str = "json"  # which protocol the response must use
 
 
 @dataclass
@@ -116,6 +171,8 @@ class QueryServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         name: Optional[str] = None,
+        adaptive: bool = True,
+        target_batch: int = DEFAULT_TARGET_BATCH,
     ):
         self.backend = backend
         self.host = host
@@ -124,8 +181,16 @@ class QueryServer:
         self.max_pending = max_pending
         self.request_timeout = request_timeout
         self.name = name  # replica label on spans/flight events
+        self.adaptive = adaptive
+        self.window = AdaptiveWindow(
+            cap=batch_window, target_batch=target_batch
+        )
+        self._window_now = batch_window  # last window the batcher slept
         self.stats_counters = ServerStats()
         self._pending: List[_Pending] = []
+        # deferred serve.requests / serve.proto increments, flushed per
+        # batch cut and before any admin metrics read
+        self._rx_pending: Dict[str, int] = {"json": 0, "binary": 0}
         self._latencies = LogHistogram()
         self._wake: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -140,7 +205,8 @@ class QueryServer:
     async def start(self) -> "QueryServer":
         self._wake = asyncio.Event()
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
+            self._handle_client, self.host, self.port,
+            limit=wire.WIRE_LIMIT,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.stats_counters.started = time.monotonic()
@@ -185,12 +251,15 @@ class QueryServer:
             self._wake.set()
         if self._batcher is not None:
             await self._batcher
+        registry = get_registry()
+        if registry.enabled:
+            self._flush_rx_metrics(registry)
         for item in self._pending:
             self.stats_counters.timeouts += 1
             self._close_span(item, ok=False, error="server shutting down")
             await self._send(item.writer, self._error_response(
                 item.request, "server shutting down"
-            ))
+            ), item.proto)
         self._pending.clear()
         # FIN every client so peers (the cluster router's persistent
         # connections especially) see the shutdown immediately instead
@@ -262,33 +331,79 @@ class QueryServer:
     ) -> None:
         while not self._closing:
             try:
-                line = await reader.readline()
-            except (ConnectionResetError, asyncio.IncompleteReadError):
-                break
-            if not line:
-                break
-            if not line.strip():
-                continue
-            stats.received += 1
-            if registry.enabled:
-                registry.counter("serve.requests").inc(1)
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-            except ValueError as exc:
+                message = await wire.read_message(reader)
+            except wire.WireError:
+                # Unrecoverable binary framing (corrupt header, frame
+                # over the ceiling): the stream cannot be resynchronised
+                # past an unread payload, so answer once and close.
+                stats.received += 1
                 stats.malformed += 1
+                if registry.enabled:
+                    registry.counter("serve.requests").inc(1)
                 await self._send(writer, {
-                    "ok": False, "error": f"malformed request: {exc}",
+                    "ok": False, "error": "malformed frame",
+                })
+                break
+            except (ConnectionResetError, OSError,
+                    asyncio.IncompleteReadError):
+                break
+            if message is None:
+                break
+            if message is wire.OVERSIZED:
+                # An over-limit JSON line was consumed and discarded by
+                # read_message — the connection survives; count the
+                # request as malformed so accounting stays closed.
+                stats.received += 1
+                stats.malformed += 1
+                if registry.enabled:
+                    registry.counter("serve.requests").inc(1)
+                await self._send(writer, {
+                    "ok": False,
+                    "error": "malformed request: line over the "
+                             f"{wire.WIRE_LIMIT}-byte wire limit",
                 })
                 continue
+            proto = "binary" if isinstance(message, wire.Frame) \
+                else "json"
+            stats.received += 1
+            # serve.requests / serve.proto are deferred to the next
+            # batch cut (or admin read): one labelled inc per request
+            # costs as much as decoding the request at pipelined rates.
+            self._rx_pending[proto] += 1
+            if proto == "binary":
+                try:
+                    request = wire.decode_request(message)
+                except wire.WireError as exc:
+                    stats.malformed += 1
+                    response = {
+                        "ok": False,
+                        "error": f"malformed request: {exc}",
+                    }
+                    if message.has_id:
+                        response["id"] = message.request_id
+                    await self._send(writer, response, proto)
+                    continue
+            else:
+                try:
+                    request = json.loads(message)
+                    if not isinstance(request, dict):
+                        raise ValueError(
+                            "request must be a JSON object"
+                        )
+                except ValueError as exc:
+                    stats.malformed += 1
+                    await self._send(writer, {
+                        "ok": False,
+                        "error": f"malformed request: {exc}",
+                    })
+                    continue
             if request.get("op") == "stats":
                 # Answered inline so it works even with a wedged backend.
                 stats.completed += 1
                 await self._send(writer, {
                     "ok": True, "op": "stats", "result": self.stats(),
                     **({"id": request["id"]} if "id" in request else {}),
-                })
+                }, proto)
                 continue
             if request.get("op") == "metrics":
                 # Also inline: the live metric snapshot (own process +
@@ -299,7 +414,7 @@ class QueryServer:
                     "ok": True, "op": "metrics",
                     "result": self.metrics_snapshot(),
                     **({"id": request["id"]} if "id" in request else {}),
-                })
+                }, proto)
                 continue
             if self._draining:
                 stats.rejected += 1
@@ -307,7 +422,7 @@ class QueryServer:
                     registry.counter("serve.rejected").inc(1)
                 await self._send(writer, self._error_response(
                     request, "draining"
-                ))
+                ), proto)
                 continue
             if len(self._pending) >= self.max_pending:
                 stats.rejected += 1
@@ -315,7 +430,7 @@ class QueryServer:
                     registry.counter("serve.rejected").inc(1)
                 await self._send(writer, self._error_response(
                     request, "overloaded"
-                ))
+                ), proto)
                 continue
             # Admission granted: a sampled request opens its
             # server.request span here (covering queueing + batching +
@@ -329,14 +444,13 @@ class QueryServer:
                 span.__enter__()
                 request = inject(request, span.context())
             now = time.monotonic()
+            if self.adaptive:
+                self.window.observe(now)
             self._pending.append(_Pending(
                 request=request, writer=writer, arrived=now,
                 deadline=now + self.request_timeout, span=span,
+                proto=proto,
             ))
-            if registry.enabled:
-                registry.gauge("serve.queue_depth").set(
-                    len(self._pending)
-                )
             self._wake.set()
 
     @staticmethod
@@ -364,13 +478,35 @@ class QueryServer:
 
     @staticmethod
     async def _send(
-        writer: asyncio.StreamWriter, response: Dict[str, object]
+        writer: asyncio.StreamWriter,
+        response: Dict[str, object],
+        proto: str = "json",
     ) -> None:
+        QueryServer._write(writer, response, proto)
+        await QueryServer._drain(writer)
+
+    @staticmethod
+    def _write(
+        writer: asyncio.StreamWriter,
+        response: Dict[str, object],
+        proto: str = "json",
+    ) -> None:
+        """Queue a response on the transport without draining — the
+        batch loop drains each touched writer once per batch."""
         try:
-            writer.write(json.dumps(response).encode() + b"\n")
-            await writer.drain()
+            if proto == "binary":
+                writer.write(wire.encode_response(response))
+            else:
+                writer.write(json.dumps(response).encode() + b"\n")
         except (ConnectionResetError, OSError):
             pass  # client went away; accounting already counted it
+
+    @staticmethod
+    async def _drain(writer: asyncio.StreamWriter) -> None:
+        try:
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass
 
     # -- the batching window --------------------------------------------
 
@@ -383,8 +519,24 @@ class QueryServer:
             if self._closing:
                 break
             # The micro-batching window: let concurrent arrivals pile
-            # into this batch before cutting it.
-            await asyncio.sleep(self.batch_window)
+            # into this batch before cutting it.  Adaptive mode shrinks
+            # the sleep from the configured cap as the arrival rate
+            # rises — a burst cuts its batch as soon as ~target_batch
+            # requests have had time to land.
+            self._window_now = self.window.window() if self.adaptive \
+                else self.batch_window
+            if registry.enabled:
+                registry.gauge("serve.batch_window_ms").set(
+                    self._window_now * 1000.0
+                )
+            await asyncio.sleep(self._window_now)
+            if registry.enabled:
+                # queue depth sampled once per window (at its fullest,
+                # just before the cut) instead of per arrival
+                registry.gauge("serve.queue_depth").set(
+                    len(self._pending)
+                )
+                self._flush_rx_metrics(registry)
             batch, self._pending = self._pending, []
             if not batch:
                 continue
@@ -398,7 +550,7 @@ class QueryServer:
                     self._close_span(item, ok=False, error="timeout")
                     await self._send(item.writer, self._error_response(
                         item.request, "timeout"
-                    ))
+                    ), item.proto)
                 else:
                     live.append(item)
             if not live:
@@ -443,6 +595,9 @@ class QueryServer:
                     for item in live[len(responses):]
                 ]
             done = time.monotonic()
+            touched: Dict[int, asyncio.StreamWriter] = {}
+            latency_metric = registry.histogram("serve.latency_ms") \
+                if registry.enabled else None
             for item, response in zip(live, responses):
                 if response is None:
                     response = self._error_response(
@@ -451,13 +606,25 @@ class QueryServer:
                 latency_ms = (done - item.arrived) * 1000.0
                 self._latencies.observe(latency_ms)
                 self.stats_counters.completed += 1
-                if registry.enabled:
-                    registry.histogram("serve.latency_ms").observe(
-                        latency_ms
-                    )
+                if latency_metric is not None:
+                    latency_metric.observe(latency_ms)
                 self._close_span(item, ok=bool(response.get("ok")))
-                await self._send(item.writer, response)
+                # queue without draining: one drain per connection per
+                # batch instead of one await per response
+                self._write(item.writer, response, item.proto)
+                touched[id(item.writer)] = item.writer
+            for writer in touched.values():
+                await self._drain(writer)
             self._in_batch = 0
+
+    def _flush_rx_metrics(self, registry) -> None:
+        """Publish the deferred per-request admission counters."""
+        for kind in ("json", "binary"):
+            n = self._rx_pending[kind]
+            if n:
+                self._rx_pending[kind] = 0
+                registry.counter("serve.requests").inc(n)
+                registry.counter("serve.proto").inc(n, kind=kind)
 
     # -- introspection --------------------------------------------------
 
@@ -479,6 +646,8 @@ class QueryServer:
             "qps": stats.completed / elapsed,
             "p50_ms": self._latencies.percentile(50.0),
             "p99_ms": self._latencies.percentile(99.0),
+            "adaptive": self.adaptive,
+            "batch_window_ms": self._window_now * 1000.0,
         }
         cache = getattr(self.backend, "cache_stats", None)
         if callable(cache):
@@ -492,7 +661,12 @@ class QueryServer:
         :class:`~repro.serve.shard.ShardPool`).  The in-process engine
         backend has no extra processes, so its snapshot is just the
         registry's."""
-        snapshots = [get_registry().snapshot()]
+        registry = get_registry()
+        if registry.enabled:
+            # deferred admission counters land before the read, so the
+            # snapshot is exact even between batch cuts
+            self._flush_rx_metrics(registry)
+        snapshots = [registry.snapshot()]
         backend_snap = getattr(self.backend, "metrics_snapshot", None)
         if callable(backend_snap):
             snapshots.append(backend_snap())
@@ -524,7 +698,7 @@ class ServerThread:
         return self.server.host
 
     def __enter__(self) -> "ServerThread":
-        self._loop = asyncio.new_event_loop()
+        self._loop = wire.new_event_loop()
         self._thread = threading.Thread(
             target=self._run, name="repro-serve", daemon=True
         )

@@ -16,7 +16,12 @@ as *seeded, reproducible* request streams:
 :func:`run_loadgen` drives a live :class:`~repro.serve.server.QueryServer`
 over TCP with a closed-loop client per connection and reports latency
 quantiles plus *closed accounting*: every request sent is counted back
-exactly once as ok, error, or timeout.
+exactly once as ok, error, or timeout.  ``protocol="binary"`` switches
+the clients to the length-prefixed binary frames of
+:mod:`repro.serve.wire`, and ``pipeline=N`` keeps ``N`` requests
+outstanding per connection (correlated by id) instead of one
+send-await-repeat round trip at a time — together they are the 10-100x
+throughput lever over single-request newline JSON.
 """
 
 from __future__ import annotations
@@ -39,9 +44,65 @@ from ..obs import (
     new_trace_id,
     start_span,
 )
+from . import wire
 from .engine import node_str
 
 Pair = Tuple[str, str]
+
+
+def _encode(request: Dict[str, object], protocol: str) -> bytes:
+    """One request as wire bytes for either protocol."""
+    if protocol == "binary":
+        return wire.encode_request(request)
+    return json.dumps(request).encode() + b"\n"
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, object]]:
+    """One response of either protocol as the plain dict the JSON
+    protocol would deliver; ``None`` on EOF."""
+    try:
+        message = await wire.read_message(reader)
+    except asyncio.IncompleteReadError:
+        return None  # EOF mid-frame: the connection died
+    if message is None:
+        return None
+    if message is wire.OVERSIZED:
+        return {"ok": False, "error": "response over the wire limit"}
+    if isinstance(message, wire.Frame):
+        return wire.decode_response(message)
+    return json.loads(message)
+
+
+async def _read_accounting(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[object, bool, Optional[str]]]:
+    """One response reduced to ``(id, ok, error)`` accounting.
+
+    The pipelined driver only needs the echoed id and the verdict, and
+    a binary response frame carries both in its fixed header
+    (``request_id`` + ``FLAG_OK``) — so the hot path skips the JSON
+    header parse entirely and only failures (or JSON-protocol
+    responses) decode in full.  ``None`` on EOF."""
+    try:
+        message = await wire.read_message(reader)
+    except asyncio.IncompleteReadError:
+        return None  # EOF mid-frame: the connection died
+    if message is None:
+        return None
+    if message is wire.OVERSIZED:
+        return None, False, "response over the wire limit"
+    if isinstance(message, wire.Frame):
+        if message.flags & wire.FLAG_OK and message.has_id:
+            return message.request_id, True, None
+        payload = wire.decode_response(message)
+    else:
+        payload = json.loads(message)
+    if payload.get("ok"):
+        return payload.get("id"), True, None
+    return (payload.get("id"), False,
+            str(payload.get("error", "unknown error")))
 
 
 def percentile(values: Sequence[float], q: float) -> Optional[float]:
@@ -276,6 +337,7 @@ async def _drive_connection(
     result: LoadGenResult,
     epoch: Optional[float] = None,
     replay_speed: Optional[float] = None,
+    protocol: str = "json",
 ) -> None:
     """One closed-loop client: send, await the matching response,
     repeat.  Responses correlate by the echoed ``id``, never by FIFO
@@ -288,7 +350,9 @@ async def _drive_connection(
     (see :func:`stamp_arrivals`) are *paced*: each send waits until its
     recorded arrival time divided by ``replay_speed`` — open-loop trace
     replay instead of as-fast-as-possible closed-loop."""
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=wire.WIRE_LIMIT
+    )
     stale: set = set()  # ids we already counted as timeouts
     try:
         for request in requests:
@@ -314,7 +378,7 @@ async def _drive_connection(
                 span.__enter__()
                 request = inject(request, span.context())
                 result.traced += 1
-            writer.write(json.dumps(request).encode() + b"\n")
+            writer.write(_encode(request, protocol))
             await writer.drain()
             rid = request.get("id")
             start = time.monotonic()
@@ -330,19 +394,18 @@ async def _drive_connection(
                             stale.add(rid)
                         break
                     try:
-                        line = await asyncio.wait_for(
-                            reader.readline(), timeout=remaining
+                        payload = await asyncio.wait_for(
+                            _read_response(reader), timeout=remaining
                         )
                     except asyncio.TimeoutError:
                         result.timeouts += 1
                         if rid is not None:
                             stale.add(rid)
                         break
-                    if not line:
+                    if payload is None:
                         result.errors += 1
                         result.error_messages.append("connection closed")
                         break
-                    payload = json.loads(line)
                     got = payload.get("id")
                     if got is not None and got in stale:
                         stale.discard(got)  # late answer to a timed-out
@@ -366,6 +429,98 @@ async def _drive_connection(
                 result.error_messages.append(
                     str(response.get("error", "unknown error"))
                 )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def _collect_window(
+    reader: asyncio.StreamReader,
+    waiting: set,
+    starts: Dict[object, float],
+    stale: set,
+    result: LoadGenResult,
+) -> bool:
+    """Drain responses until every id in ``waiting`` is answered;
+    ``False`` when the connection closes first.  Runs under one outer
+    ``wait_for`` per window — a timeout cancels the whole remainder and
+    the caller books every still-waiting id, exactly like the old
+    per-response deadline did."""
+    while waiting:
+        answer = await _read_accounting(reader)
+        if answer is None:
+            return False
+        got, ok, error = answer
+        if got in stale:
+            stale.discard(got)  # late answer to a timed-out id
+            continue
+        if got not in waiting:
+            continue  # not ours (defensive); keep reading
+        waiting.discard(got)
+        if ok:
+            result.ok += 1
+            result.latency_hist.observe(
+                (time.monotonic() - starts[got]) * 1000.0
+            )
+        else:
+            result.errors += 1
+            result.error_messages.append(error)
+    return True
+
+
+async def _drive_pipelined(
+    host: str,
+    port: int,
+    encoded: Sequence[Tuple[object, bytes]],
+    timeout: float,
+    result: LoadGenResult,
+    window: int,
+) -> None:
+    """One pipelined client: keep up to ``window`` requests in flight
+    on the connection and correlate responses by id.
+
+    The closed-loop driver pays one full round trip per request; this
+    one amortises the round trip over ``window`` requests (send the
+    whole window as one write, then collect the window's responses —
+    late answers to timed-out ids are discarded by the same stale-id
+    bookkeeping).  ``encoded`` is ``(id, wire bytes)`` per request,
+    pre-encoded by the caller before the throughput clock starts, so
+    the driver's per-request work is one buffer append plus the
+    accounting read.  Every request carries an id (stamped by the
+    caller), so correlation never falls back to FIFO order.
+    """
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=wire.WIRE_LIMIT
+    )
+    stale: set = set()
+    try:
+        idx = 0
+        while idx < len(encoded):
+            chunk = encoded[idx:idx + window]
+            idx += len(chunk)
+            writer.write(b"".join(blob for _, blob in chunk))
+            now = time.monotonic()
+            starts: Dict[object, float] = {rid: now for rid, _ in chunk}
+            result.sent += len(chunk)
+            await writer.drain()
+            waiting = set(starts)
+            try:
+                alive = await asyncio.wait_for(
+                    _collect_window(reader, waiting, starts, stale,
+                                    result),
+                    timeout=timeout,
+                )
+            except asyncio.TimeoutError:
+                result.timeouts += len(waiting)
+                stale.update(waiting)
+                continue
+            if not alive:
+                result.errors += len(waiting)
+                result.error_messages.append("connection closed")
+                return
     finally:
         writer.close()
         try:
@@ -441,6 +596,8 @@ async def _run_loadgen_async(
     concurrency: int,
     timeout: float,
     replay_speed: Optional[float] = None,
+    protocol: str = "json",
+    pipeline: int = 1,
 ) -> LoadGenResult:
     result = LoadGenResult()
     stamped = []
@@ -451,14 +608,32 @@ async def _run_loadgen_async(
     lanes: List[List[Dict[str, object]]] = [
         stamped[i::concurrency] for i in range(concurrency)
     ]
-    start = time.monotonic()
-    await asyncio.gather(*(
-        _drive_connection(
-            host, port, lane, timeout, result,
-            epoch=start, replay_speed=replay_speed,
-        )
-        for lane in lanes if lane
-    ))
+    if pipeline > 1:
+        # Encode every request before the clock starts: a load
+        # generator measures the server and the wire, not its own
+        # serialisation loop.
+        encoded_lanes = [
+            [(request.get("id"), _encode(request, protocol))
+             for request in lane]
+            for lane in lanes
+        ]
+        start = time.monotonic()
+        await asyncio.gather(*(
+            _drive_pipelined(
+                host, port, lane, timeout, result, window=pipeline,
+            )
+            for lane in encoded_lanes if lane
+        ))
+    else:
+        start = time.monotonic()
+        await asyncio.gather(*(
+            _drive_connection(
+                host, port, lane, timeout, result,
+                epoch=start, replay_speed=replay_speed,
+                protocol=protocol,
+            )
+            for lane in lanes if lane
+        ))
     result.elapsed = time.monotonic() - start
     return result
 
@@ -472,6 +647,8 @@ def run_loadgen(
     replay_speed: Optional[float] = None,
     trace_sample: Optional[float] = None,
     trace_seed: int = 0,
+    protocol: str = "json",
+    pipeline: int = 1,
 ) -> LoadGenResult:
     """Fire ``requests`` at a server over ``concurrency`` closed-loop
     connections; returns latency quantiles + closed accounting.
@@ -488,14 +665,25 @@ def run_loadgen(
     spans, and the finished spans land in this process's span buffer
     (``repro.obs.get_span_buffer()``) for a
     :class:`~repro.obs.collector.TraceCollector` to assemble.
+
+    ``protocol`` selects the wire encoding per client (``"json"`` or
+    ``"binary"``); ``pipeline=N`` (N > 1) switches every connection to
+    the pipelined driver with ``N`` requests outstanding.  Pipelined
+    runs ignore ``replay_speed`` pacing and client-side trace spans
+    (sampled requests still carry their context to the server).
     """
     if replay_speed is not None and replay_speed <= 0:
         raise ValueError(
             f"replay_speed must be positive, got {replay_speed}"
         )
+    if protocol not in ("json", "binary"):
+        raise ValueError(
+            f"protocol must be \"json\" or \"binary\", got {protocol!r}"
+        )
     if trace_sample:
         requests = sample_traces(requests, trace_sample, seed=trace_seed)
-    return asyncio.run(_run_loadgen_async(
+    return wire.run(_run_loadgen_async(
         host, port, requests, max(1, concurrency), timeout,
-        replay_speed=replay_speed,
+        replay_speed=replay_speed, protocol=protocol,
+        pipeline=max(1, pipeline),
     ))

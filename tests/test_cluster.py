@@ -30,7 +30,7 @@ from repro.cluster import (
     ClusterManager,
     HashRing,
 )
-from repro.serve import make_workload, run_loadgen
+from repro.serve import make_workload, run_loadgen, uniform_pairs, wire
 
 MS22 = {"family": "MS", "l": 2, "n": 2}
 
@@ -370,3 +370,121 @@ class TestClusterMetrics:
                 gauge = registry.gauge(UP_METRIC)
                 assert gauge.value(replica="replica-0") == 0
                 assert gauge.value(replica="replica-1") == 1
+
+
+# ----------------------------------------------------------------------
+# Wire protocols through the router
+# ----------------------------------------------------------------------
+
+
+class TestRouterWire:
+    def test_binary_loadgen_through_router(self):
+        """Binary frames pass through the router untouched (id patch,
+        no re-encode) with closed accounting on both sides."""
+        requests = make_workload("uniform", MS22, k=5, count=60,
+                                 seed=6, batch=4)
+        with _small_cluster() as cluster:
+            result = run_loadgen(
+                cluster.host, cluster.port, requests, concurrency=3,
+                protocol="binary",
+            )
+            stats = cluster.router.stats()
+        assert result.closed, result.to_dict()
+        assert result.ok == result.sent == len(requests)
+        assert stats["closed"], stats
+        assert stats["failovers"] == 0
+
+    def test_binary_matches_json_through_router(self):
+        """Same request, both protocols, one router: identical decoded
+        responses."""
+        import asyncio
+
+        request = {
+            "id": 4, "op": "distance", "network": MS22,
+            "pairs": list(uniform_pairs(5, 8, seed=9)),
+        }
+
+        async def _ask(host, port, protocol):
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=wire.WIRE_LIMIT
+            )
+            writer.write(
+                wire.encode_request(request) if protocol == "binary"
+                else json.dumps(request).encode() + b"\n"
+            )
+            await writer.drain()
+            message = await wire.read_message(reader)
+            writer.close()
+            return (
+                wire.decode_response(message)
+                if isinstance(message, wire.Frame)
+                else json.loads(message)
+            )
+
+        with _small_cluster(replicas=2) as cluster:
+            via_json = wire.run(_ask(cluster.host, cluster.port, "json"))
+            via_binary = wire.run(
+                _ask(cluster.host, cluster.port, "binary")
+            )
+        assert via_json["ok"], via_json
+        assert via_json == via_binary
+
+    def test_over_64k_batch_through_router(self):
+        """Regression for the 64 KiB ceiling on the router's two hops
+        (client->router, router->replica): a large batch is answered,
+        no failover, accounting closed."""
+        pairs = list(uniform_pairs(5, 4096, seed=3))
+        request = {"id": 1, "op": "distance", "network": MS22,
+                   "pairs": pairs}
+        assert len(json.dumps(request).encode()) > 64 * 1024
+        with _small_cluster(replicas=2) as cluster:
+            with socket.create_connection(
+                (cluster.host, cluster.port), timeout=30
+            ) as sock:
+                fh = sock.makefile("rw")
+                fh.write(json.dumps(request) + "\n")
+                fh.flush()
+                response = json.loads(fh.readline())
+            stats = cluster.router.stats()
+        assert response["ok"], response.get("error")
+        assert len(response["result"]["distances"]) == len(pairs)
+        assert stats["closed"], stats
+        assert stats["failovers"] == 0 and stats["failed"] == 0
+
+    def test_high_cardinality_metrics_fanin_no_failover(self):
+        """Regression: a metrics fan-in whose per-replica answer is far
+        over the old 64 KiB stream limit must not be misread as a dead
+        backend — no BackendDied, no failover, replicas stay up."""
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry(max_label_sets=20000)
+        with use_registry(registry):
+            # the in-process replicas share this registry, so every
+            # replica's ``metrics`` answer carries all 5000 series
+            bloat = registry.counter("test.cardinality")
+            for i in range(5000):
+                bloat.inc(1, key=f"k{i:05d}")
+            with _small_cluster(replicas=2) as cluster:
+                with socket.create_connection(
+                    (cluster.host, cluster.port), timeout=30
+                ) as sock:
+                    fh = sock.makefile("rw")
+                    fh.write(json.dumps({"id": 2, "op": "metrics"})
+                             + "\n")
+                    fh.flush()
+                    line = fh.readline()
+                    response = json.loads(line)
+                stats = cluster.router.stats()
+                replica_stats = stats["replicas"]
+        assert response["ok"], response.get("error")
+        assert len(line.encode()) > 64 * 1024
+        # every replica contributed to the merge — none dropped
+        merged = response["result"]
+        labels = {
+            tuple(sorted(row.get("labels", {}).items()))
+            for row in merged["counters"]["test.cardinality"]
+        }
+        assert any("replica-0" in str(label) for label in labels)
+        assert any("replica-1" in str(label) for label in labels)
+        assert stats["failovers"] == 0, stats
+        assert all(r["up"] for r in replica_stats.values()), replica_stats

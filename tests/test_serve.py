@@ -11,6 +11,7 @@ Three belts:
   accounting (``responses + timeouts == requests``), the CI gate.
 """
 
+import asyncio
 import json
 import time
 
@@ -20,6 +21,7 @@ from repro.core.lru import LRUCache
 from repro.core.permutations import Permutation
 from repro.networks import FAMILIES, make_network
 from repro.serve import (
+    AdaptiveWindow,
     LoadGenResult,
     QueryEngine,
     QueryError,
@@ -36,6 +38,7 @@ from repro.serve import (
     run_loadgen,
     save_trace,
     uniform_pairs,
+    wire,
 )
 
 #: every family at a small materialisable size, plus IS — the "all ten
@@ -924,3 +927,292 @@ class TestGracefulShutdown:
         assert stats["closed"], stats
         assert stats["received"] == 5
         assert stats["completed"] == 5
+
+
+# ----------------------------------------------------------------------
+# Wire protocols end to end
+# ----------------------------------------------------------------------
+
+
+def _exchange(host, port, requests, protocol):
+    """One connection, sequential request/response, decoded dicts."""
+
+    async def _go():
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=wire.WIRE_LIMIT
+        )
+        out = []
+        try:
+            for request in requests:
+                if protocol == "binary":
+                    writer.write(wire.encode_request(request))
+                else:
+                    writer.write(json.dumps(request).encode() + b"\n")
+                await writer.drain()
+                message = await wire.read_message(reader)
+                assert message is not None, "connection died"
+                assert message is not wire.OVERSIZED
+                if isinstance(message, wire.Frame):
+                    out.append(wire.decode_response(message))
+                else:
+                    out.append(json.loads(message))
+        finally:
+            writer.close()
+        return out
+
+    return wire.run(_go())
+
+
+class TestProtocolEquivalence:
+    def test_json_and_binary_responses_identical_all_families(self):
+        """The binary protocol is a transport, not a dialect: decoded
+        responses equal the JSON ones for every family and op kind."""
+        with ServerThread(QueryEngine(), batch_window=0.001) as server:
+            for family, spec in ALL_TEN:
+                net = make_network(**spec)
+                pairs = list(uniform_pairs(net.k, 6, seed=3))
+                requests = [
+                    {"id": 1, "op": "distance", "network": spec,
+                     "pairs": pairs},
+                    {"id": 2, "op": "route", "network": spec,
+                     "pairs": pairs[:2]},
+                    {"id": 3, "op": "properties", "network": spec},
+                ]
+                via_json = _exchange(
+                    server.host, server.port, requests, "json"
+                )
+                via_binary = _exchange(
+                    server.host, server.port, requests, "binary"
+                )
+                assert all(r["ok"] for r in via_json), (family, via_json)
+                assert via_json == via_binary, family
+            stats = server.server.stats()
+        assert stats["closed"], stats
+        assert stats["malformed"] == 0
+
+    def test_mixed_protocols_on_one_connection(self):
+        """Sniffing is per message: JSON and frames interleave freely
+        on a single connection."""
+        spec = {"family": "MS", "l": 2, "n": 2}
+        request = {"id": 1, "op": "properties", "network": spec}
+
+        async def _go(host, port):
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=wire.WIRE_LIMIT
+            )
+            writer.write(json.dumps(request).encode() + b"\n")
+            writer.write(wire.encode_request(dict(request, id=2)))
+            writer.write(json.dumps(dict(request, id=3)).encode() + b"\n")
+            await writer.drain()
+            out = []
+            for _ in range(3):
+                message = await wire.read_message(reader)
+                out.append(
+                    wire.decode_response(message)
+                    if isinstance(message, wire.Frame)
+                    else json.loads(message)
+                )
+            writer.close()
+            return out
+
+        with ServerThread(QueryEngine(), batch_window=0.001) as server:
+            responses = wire.run(_go(server.host, server.port))
+        by_id = {r["id"]: r for r in responses}
+        assert set(by_id) == {1, 2, 3}
+        assert all(r["ok"] for r in responses)
+        # protocol of the answer follows the protocol of the question
+        assert by_id[1]["result"] == by_id[2]["result"]
+
+
+class TestOversizedRequests:
+    def test_over_64k_batch_served_on_both_protocols(self):
+        """Regression for the 64 KiB ceiling: a JSON batch far over the
+        old default stream limit is answered, not fatal, on both
+        protocols — accounting stays closed."""
+        spec = {"family": "MS", "l": 2, "n": 2}
+        pairs = list(uniform_pairs(5, 4096, seed=2))
+        request = {"id": 1, "op": "distance", "network": spec,
+                   "pairs": pairs}
+        assert len(json.dumps(request).encode()) > 64 * 1024
+        with ServerThread(QueryEngine(), batch_window=0.001) as server:
+            (via_json,) = _exchange(
+                server.host, server.port, [request], "json"
+            )
+            (via_binary,) = _exchange(
+                server.host, server.port, [request], "binary"
+            )
+            stats = server.server.stats()
+        assert via_json["ok"], via_json
+        assert len(via_json["result"]["distances"]) == len(pairs)
+        assert via_json == via_binary
+        assert stats["closed"], stats
+        assert stats["received"] == 2 and stats["malformed"] == 0
+
+    def test_line_over_wire_limit_answered_connection_survives(self):
+        """A single line beyond even the raised 16 MiB limit draws an
+        error response; the connection keeps working afterwards."""
+
+        async def _go(host, port):
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=wire.WIRE_LIMIT
+            )
+            writer.write(b"{" + b"x" * (wire.WIRE_LIMIT + 1024) + b"}\n")
+            await writer.drain()
+            first = json.loads(await wire.read_message(reader))
+            writer.write(json.dumps({"op": "stats", "id": 2}).encode()
+                         + b"\n")
+            await writer.drain()
+            second = json.loads(await wire.read_message(reader))
+            writer.close()
+            return first, second
+
+        with ServerThread(QueryEngine()) as server:
+            first, second = wire.run(_go(server.host, server.port))
+            stats = server.server.stats()
+        assert first["ok"] is False
+        assert "malformed" in first["error"]
+        assert second["ok"] and second["result"]["closed"]
+        assert stats["malformed"] == 1
+        assert stats["closed"], stats
+
+
+# ----------------------------------------------------------------------
+# Hot-query result cache
+# ----------------------------------------------------------------------
+
+
+class TestHotCache:
+    SPEC = {"family": "MS", "l": 2, "n": 2}
+
+    def _request(self, **extra):
+        request = {"op": "distance", "network": dict(self.SPEC),
+                   "pairs": list(uniform_pairs(5, 4, seed=5))}
+        request.update(extra)
+        return request
+
+    def test_hit_then_epoch_bump_invalidates(self):
+        engine = QueryEngine()
+        first = engine.execute(self._request())
+        assert first["ok"], first
+        stats = engine.cache_stats()
+        assert stats["hot_misses"] == 1 and stats["hot_hits"] == 0
+        second = engine.execute(self._request())
+        assert second == first
+        assert engine.cache_stats()["hot_hits"] == 1
+        # fault-epoch bump: same request must recompute, not hit
+        epoch = engine.bump_epoch("fault")
+        assert engine.cache_stats()["epoch"] == epoch
+        third = engine.execute(self._request())
+        assert third == first
+        stats = engine.cache_stats()
+        assert stats["hot_hits"] == 1 and stats["hot_misses"] == 2
+
+    def test_hit_restamps_request_id(self):
+        engine = QueryEngine()
+        a = engine.execute(self._request(id=7))
+        b = engine.execute(self._request(id=8))
+        assert a["id"] == 7 and b["id"] == 8
+        assert b == dict(a, id=8)
+        assert engine.cache_stats()["hot_hits"] == 1
+
+    def test_execute_many_hits_cache(self):
+        engine = QueryEngine()
+        requests = [self._request(id=i) for i in range(3)]
+        first = engine.execute_many([dict(r) for r in requests])
+        second = engine.execute_many([dict(r) for r in requests])
+        assert second == first
+        assert engine.cache_stats()["hot_hits"] >= len(requests)
+
+    def test_uncacheable_ops_bypass(self):
+        engine = QueryEngine()
+        engine.execute({"op": "stats"})
+        engine.execute({"op": "stats"})
+        stats = engine.cache_stats()
+        assert stats["hot_hits"] == 0 and stats["hot_misses"] == 0
+
+    def test_disabled_with_max_hot_zero(self):
+        engine = QueryEngine(max_hot=0)
+        first = engine.execute(self._request())
+        second = engine.execute(self._request())
+        assert second == first
+        stats = engine.cache_stats()
+        assert stats["hot"] == 0
+        assert stats["hot_hits"] == 0 and stats["hot_misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Adaptive micro-batch window
+# ----------------------------------------------------------------------
+
+
+class TestAdaptiveWindow:
+    def test_burst_shrinks_trickle_stays_at_cap(self):
+        burst = AdaptiveWindow(cap=0.01, target_batch=64)
+        for i in range(200):
+            burst.observe(i * 1e-5)  # ~100k req/s
+        trickle = AdaptiveWindow(cap=0.01, target_batch=64)
+        for i in range(20):
+            trickle.observe(i * 0.5)  # 2 req/s
+        assert burst.window() < trickle.window()
+        assert trickle.window() == 0.01
+        # burst window ~ target_batch / rate, clamped above the floor
+        assert burst.window() == pytest.approx(64 / 100_000, rel=0.3)
+        assert burst.window() >= burst.floor
+
+    def test_cold_start_uses_cap(self):
+        window = AdaptiveWindow(cap=0.004)
+        assert window.window() == 0.004
+        window.observe(0.0)  # one arrival: still no gap, still the cap
+        assert window.window() == 0.004
+
+    def test_floor_clamps_extreme_rates(self):
+        window = AdaptiveWindow(cap=0.01, target_batch=1, floor=1e-4)
+        for i in range(100):
+            window.observe(i * 1e-6)
+        assert window.window() == window.floor
+
+
+# ----------------------------------------------------------------------
+# Wide alphabets (k >= 10)
+# ----------------------------------------------------------------------
+
+
+class TestWideAlphabetParsing:
+    """MS(10,1)-sized specs have k = 11: digit-string labels are
+    ambiguous, so the vectorised ASCII fast path must stand down and
+    the comma form must round-trip."""
+
+    def test_parse_symbols_comma_form_k11(self):
+        base = list(range(1, 12))
+        rotated = base[1:] + base[:1]
+        nodes = [",".join(map(str, base)), ",".join(map(str, rotated))]
+        symbols = parse_symbols(nodes, 11)
+        assert symbols.shape == (2, 11)
+        assert symbols[0].tolist() == base
+        assert symbols[1].tolist() == rotated
+
+    def test_parse_symbols_digit_string_rejected_k11(self):
+        # 11 chars, k = 11: the single-digit fast path would misread
+        # "10" as two symbols — must reject cleanly via parse_node
+        with pytest.raises(QueryError, match="bad node"):
+            parse_symbols(["12345678910"], 11)
+
+    def test_node_str_emits_comma_form_past_nine(self):
+        net = make_network(family="MS", l=10, n=1)
+        assert net.k == 11
+        label = node_str(list(range(1, 12)))
+        assert "," in label
+        assert parse_node(label, 11).symbols == tuple(range(1, 12))
+
+    def test_engine_rejects_wide_spec_cleanly(self):
+        # the request is refused with an error response (here at the
+        # materialisability guard, before any node even parses) — never
+        # a crash or a silently misread label
+        engine = QueryEngine()
+        response = engine.execute({
+            "op": "distance",
+            "network": {"family": "MS", "l": 10, "n": 1},
+            "pairs": [["12345678910", "12345678910"]],
+        })
+        assert response["ok"] is False
+        assert "not materialisable" in response["error"]

@@ -1,0 +1,235 @@
+"""Tests for the wire codec (:mod:`repro.serve.wire`).
+
+Three belts: frame codec round-trips (request/response dicts survive
+encode -> parse -> decode bit-exactly), framing errors (bad magic,
+version, length lies — each rejected without desyncing), and stream
+reading (protocol sniffing, blank-line keep-alives, and the
+oversized-JSON-line recovery that keeps a connection alive past a
+64 KiB ``LimitOverrunError``).
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import wire
+
+
+def _reader(data: bytes, limit: int = 2 ** 16) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader(limit=limit)
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read_all(data: bytes, limit: int = 2 ** 16):
+    """Every message in ``data`` via read_message, through EOF."""
+    async def _go():
+        reader = _reader(data, limit=limit)
+        out = []
+        while True:
+            message = await wire.read_message(reader)
+            if message is None:
+                return out
+            out.append(message)
+    return asyncio.run(_go())
+
+
+NET = {"family": "MS", "l": 2, "n": 2}
+
+
+class TestFrameCodec:
+    def test_distance_request_roundtrips_as_columns(self):
+        request = {
+            "id": 7, "op": "distance", "network": dict(NET),
+            "pairs": [["12345", "54321"], ["21345", "12354"]],
+        }
+        raw = wire.encode_request(request)
+        frame = wire.parse_frame(raw)
+        assert frame.opcode == wire.OP_DISTANCE
+        assert frame.flags & wire.FLAG_COLUMNS
+        assert frame.has_id and frame.request_id == 7
+        decoded = wire.decode_request(frame)
+        assert decoded["id"] == 7
+        assert decoded["op"] == "distance"
+        assert decoded["network"] == NET
+        s, t = decoded["symbols"]
+        assert s.shape == t.shape == (2, 5)
+        assert wire.columns_to_pairs(s, t) == request["pairs"]
+
+    def test_generic_request_roundtrips_verbatim(self):
+        request = {
+            "id": 3, "op": "route", "network": dict(NET),
+            "pairs": [["12345", "54321"]], "algorithm": "algorithmic",
+        }
+        decoded = wire.decode_request(
+            wire.parse_frame(wire.encode_request(request))
+        )
+        assert decoded == request
+
+    def test_extra_keys_force_json_path(self):
+        # trace context (or any unexpected key) must survive — the
+        # column header would silently drop it
+        request = {
+            "op": "distance", "network": dict(NET),
+            "pairs": [["12345", "54321"]],
+            "trace": {"trace_id": "abc"},
+        }
+        frame = wire.parse_frame(wire.encode_request(request))
+        assert not frame.flags & wire.FLAG_COLUMNS
+        assert wire.decode_request(frame) == request
+
+    def test_request_without_id(self):
+        frame = wire.parse_frame(wire.encode_request({"op": "stats"}))
+        assert not frame.has_id
+        assert "id" not in wire.decode_request(frame)
+
+    def test_non_u64_id_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_request({"op": "stats", "id": "abc"})
+        with pytest.raises(wire.WireError):
+            wire.encode_request({"op": "stats", "id": -1})
+        with pytest.raises(wire.WireError):
+            wire.encode_request({"op": "stats", "id": 2 ** 64})
+
+    def test_distance_response_roundtrips_as_columns(self):
+        response = {
+            "ok": True, "op": "distance", "id": 9,
+            "result": {"network": "MS(2,1)", "distances": [0, 3, 7]},
+        }
+        raw = wire.encode_response(response)
+        frame = wire.parse_frame(raw)
+        assert frame.is_response
+        assert frame.flags & wire.FLAG_OK
+        assert frame.flags & wire.FLAG_COLUMNS
+        assert wire.decode_response(frame) == response
+
+    def test_error_response_roundtrips(self):
+        response = {"ok": False, "op": "distance", "id": 2,
+                    "error": "boom"}
+        frame = wire.parse_frame(wire.encode_response(response))
+        assert not frame.flags & wire.FLAG_OK
+        assert wire.decode_response(frame) == response
+
+    def test_with_id_restamps_fixed_offset(self):
+        raw = wire.encode_request({
+            "id": 1, "op": "distance", "network": dict(NET),
+            "pairs": [["12345", "54321"]],
+        })
+        frame = wire.parse_frame(raw)
+        restamped = wire.parse_frame(frame.with_id(42))
+        assert restamped.request_id == 42
+        assert restamped.has_id
+        # everything else is untouched — byte-identical payload/header
+        assert restamped.header_bytes == frame.header_bytes
+        assert restamped.payload == frame.payload
+
+    def test_pairs_columns_inverse(self):
+        pairs = [["1234", "4321"], ["2134", "1243"]]
+        s, t = wire.pairs_to_columns(pairs, 4)
+        assert s.dtype == np.uint8
+        assert wire.columns_to_pairs(s, t) == pairs
+
+
+class TestFramingErrors:
+    def test_bad_magic(self):
+        with pytest.raises(wire.WireError):
+            wire.parse_frame(b"\x00" * wire.HEADER_LEN)
+
+    def test_bad_version(self):
+        raw = bytearray(wire.encode_request({"op": "stats"}))
+        raw[1] = 99
+        with pytest.raises(wire.WireError):
+            wire.parse_frame(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(wire.WireError):
+            wire.parse_frame(b"\xc5\x01")
+
+    def test_length_lie(self):
+        raw = wire.encode_request({"op": "stats"})
+        with pytest.raises(wire.WireError):
+            wire.parse_frame(raw + b"x")
+
+    def test_column_payload_length_mismatch(self):
+        raw = wire.encode_request({
+            "op": "distance", "network": dict(NET),
+            "pairs": [["12345", "54321"]],
+        })
+        frame = wire.parse_frame(raw)
+        frame.payload = frame.payload[:-1]
+        with pytest.raises(wire.WireError):
+            wire.decode_request(frame)
+
+    def test_frame_over_ceiling_raises(self):
+        header = wire.HEADER.pack(
+            wire.MAGIC, wire.VERSION, 0, 0, 0, 0,
+            wire.MAX_FRAME_BYTES + 1,
+        )
+
+        async def _go():
+            return await wire.read_message(_reader(header + b"x"))
+
+        with pytest.raises(wire.WireError):
+            asyncio.run(_go())
+
+
+class TestReadMessage:
+    def test_sniffs_mixed_protocols(self):
+        line = json.dumps({"op": "stats", "id": 1}).encode() + b"\n"
+        frame_raw = wire.encode_request({"op": "stats", "id": 2})
+        messages = _read_all(line + frame_raw + line)
+        assert len(messages) == 3
+        assert json.loads(messages[0]) == {"op": "stats", "id": 1}
+        assert isinstance(messages[1], wire.Frame)
+        assert messages[1].request_id == 2
+        assert json.loads(messages[2])["id"] == 1
+
+    def test_blank_lines_skipped(self):
+        data = b"\n \n" + json.dumps({"op": "stats"}).encode() + b"\n"
+        messages = _read_all(data)
+        assert len(messages) == 1
+
+    def test_eof_without_newline_still_delivers(self):
+        messages = _read_all(json.dumps({"op": "stats"}).encode())
+        assert len(messages) == 1
+        assert json.loads(messages[0]) == {"op": "stats"}
+
+    def test_oversized_line_recovered_not_fatal(self):
+        # a line far over the reader limit is consumed and reported as
+        # OVERSIZED; the *next* message on the stream still parses
+        big = b"{" + b"x" * 4096 + b"}\n"
+        good = json.dumps({"op": "stats", "id": 5}).encode() + b"\n"
+        messages = _read_all(big + good, limit=256)
+        assert messages[0] is wire.OVERSIZED
+        assert json.loads(messages[1])["id"] == 5
+
+    def test_binary_frame_ignores_reader_limit(self):
+        # readexactly is not limit-bound: a frame bigger than the
+        # stream limit still reads whole
+        pairs = [["12345", "54321"]] * 200
+        raw = wire.encode_request({
+            "op": "distance", "network": dict(NET), "pairs": pairs,
+        })
+        assert len(raw) > 256
+        (frame,) = _read_all(raw, limit=256)
+        assert isinstance(frame, wire.Frame)
+        s, t = wire.decode_request(frame)["symbols"]
+        assert s.shape == (200, 5)
+
+
+class TestEventLoopHelpers:
+    def test_new_event_loop_usable(self):
+        loop = wire.new_event_loop()
+        try:
+            assert loop.run_until_complete(asyncio.sleep(0, 17)) == 17
+        finally:
+            loop.close()
+
+    def test_run(self):
+        async def _coro():
+            return 23
+
+        assert wire.run(_coro()) == 23
