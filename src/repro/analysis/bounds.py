@@ -88,6 +88,30 @@ def balanced_sc_degree_asymptotic(n: int) -> float:
     return (2 * n - 1) / math.sqrt(log_ratio(num_nodes))
 
 
+def moore_layer_caps(degree: int, num_layers: int) -> list:
+    """Per-depth width ceilings ``[1, d, d², ...]`` — no BFS layer of a
+    degree-``d`` graph can be wider than ``d`` times the previous one,
+    so ``d^r`` caps depth ``r``.  The frontier engine's layer profiles
+    are checked against these (a violation means dedup lost states)."""
+    if degree < 1 or num_layers < 1:
+        raise ValueError("degree and num_layers must be positive")
+    caps = [1]
+    for _ in range(num_layers - 1):
+        caps.append(caps[-1] * degree)
+    return caps
+
+
+def profile_within_moore(layer_sizes, degree: int) -> bool:
+    """True iff a BFS layer profile respects the Moore layer caps:
+    ``width_0 = 1`` and ``width_{r+1} <= degree * width_r``."""
+    if not layer_sizes or layer_sizes[0] != 1:
+        return False
+    for prev, cur in zip(layer_sizes, layer_sizes[1:]):
+        if cur > degree * prev:
+            return False
+    return True
+
+
 def mnb_time_bound_allport(num_nodes: int, degree: int) -> int:
     """Corollary 2's receive bound ``ceil((N-1)/d)``."""
     return -(-(num_nodes - 1) // degree)

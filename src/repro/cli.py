@@ -606,6 +606,79 @@ def cmd_loadgen(args) -> int:
     return 0
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget like ``64M``, ``512K``, ``2G``, ``1048576``."""
+    text = text.strip()
+    scale = 1
+    suffixes = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    if text and text[-1].upper() in suffixes:
+        scale = suffixes[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise SystemExit(
+            f"error: cannot parse byte size {text!r} (use e.g. 64M)"
+        )
+    if value <= 0:
+        raise SystemExit("error: memory budget must be positive")
+    return value
+
+
+def cmd_frontier(args) -> int:
+    """Memory-bounded frontier BFS: layer profile + diameter with no
+    node table, optionally followed by sampled pair distances."""
+    from .analysis import average_distance_from_layers, sampled_distances
+    from .frontier import FrontierBFS
+
+    net = _build_network(args)
+    budget = _parse_bytes(args.memory_budget)
+    engine = FrontierBFS(
+        net,
+        memory_budget_bytes=budget,
+        spill_dir=args.spill_dir,
+        resume=args.resume,
+        cleanup=not args.keep_run_dir,
+    )
+    with get_tracer().span("cli.frontier", network=net.name,
+                           budget=budget):
+        result = engine.run()
+        payload = result.row()
+        payload["avg_distance"] = round(
+            average_distance_from_layers(result.layer_sizes), 3
+        )
+        if args.sample_pairs:
+            payload["sampled"] = sampled_distances(
+                net, pairs=args.sample_pairs, seed=args.seed,
+                method="frontier", memory_budget_bytes=budget,
+            )
+    if args.json:
+        print(json.dumps(payload, indent=1))
+        return 0
+    print(f"network       : {payload['network']}")
+    print(f"states        : {payload['num_states']}")
+    print(f"diameter      : {payload['diameter']}")
+    print(f"avg distance  : {payload['avg_distance']}")
+    print(f"layers        : {payload['layer_sizes']}")
+    print(f"batches       : {payload['batches']} "
+          f"(budget {budget} bytes, chunk {payload['chunk_rows']} rows)")
+    print(f"dedup ratio   : {payload['dedup_ratio']}")
+    if payload["spill_segments"]:
+        print(f"spill         : {payload['spill_segments']} segments, "
+              f"{payload['spilled_bytes']} bytes")
+    if payload.get("resumed_from") is not None:
+        print(f"resumed from  : layer {payload['resumed_from']}")
+    print(f"elapsed       : {payload['elapsed_seconds']} s")
+    if args.sample_pairs:
+        sampled = payload["sampled"]
+        lo, hi = sampled["ci95"]
+        print(f"sampled pairs : {sampled['pairs']} "
+              f"mean {sampled['mean']:.3f} "
+              f"ci95 [{lo:.3f}, {hi:.3f}] "
+              f"min {sampled['min']} max {sampled['max']}")
+    return 0
+
+
 def cmd_top(args) -> int:
     """Live dashboard over a running server or router's admin ops.
 
@@ -927,6 +1000,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the loadgen summary as JSON")
 
+    p = add_command(
+        "frontier",
+        help="memory-bounded frontier BFS (no node table): layer "
+             "profile, diameter, sampled pair distances",
+    )
+    _add_network_args(p)
+    p.add_argument("--memory-budget", default="64M", metavar="BYTES",
+                   help="working-set budget, with K/M/G suffix "
+                        "(default: 64M); drives batch size and spill "
+                        "threshold")
+    p.add_argument("--spill-dir", metavar="DIR",
+                   help="stream frontiers through .npy segments under "
+                        "DIR; crash-resumable via --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the last journaled layer in "
+                        "--spill-dir instead of starting over")
+    p.add_argument("--keep-run-dir", action="store_true",
+                   help="keep the spill run dir after a successful run "
+                        "(default: cleaned on success, kept on crash)")
+    p.add_argument("--sample-pairs", type=int, metavar="N",
+                   help="also sample N pair distances via bidirectional "
+                        "search (mean + 95%% CI)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="pair-sampling seed")
+    p.add_argument("--json", action="store_true",
+                   help="emit the run summary as JSON")
+
     p = add_command("top", help="live qps/latency/replica dashboard "
                                 "for a running server or cluster")
     p.add_argument("--host", default="127.0.0.1")
@@ -964,6 +1064,7 @@ COMMANDS = {
     "game": cmd_game,
     "mnb": cmd_mnb,
     "faults": cmd_faults,
+    "frontier": cmd_frontier,
     "serve": cmd_serve,
     "cluster": cmd_cluster,
     "loadgen": cmd_loadgen,

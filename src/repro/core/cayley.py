@@ -123,15 +123,22 @@ class CayleyGraph:
 
     def can_compile(self) -> bool:
         """True iff the ``k!`` node tables fit in materialisation range
-        (``k <= MAX_COMPILE_K``); see :mod:`repro.core.compiled`."""
-        return self.k <= MAX_COMPILE_K
+        (``k <= MAX_COMPILE_K`` and within ``COMPILE_BUDGET_BYTES``);
+        see :mod:`repro.core.compiled`."""
+        from . import compiled as compiled_mod
+        return (
+            self.k <= MAX_COMPILE_K
+            and compiled_mod.estimate_table_bytes(self.k, self.degree)
+            <= compiled_mod.COMPILE_BUDGET_BYTES
+        )
 
     def compiled(self) -> CompiledGraph:
         """The memoised array backend (built lazily on first call).
 
         All whole-graph statistics, routing tables, and spanning trees
         are served from its cached identity-rooted BFS; raises
-        ``ValueError`` for ``k > MAX_COMPILE_K`` (use the object path).
+        :class:`~repro.core.compiled.CompileBudgetError` beyond
+        materialisation range (use the frontier engine).
         """
         if self._compiled is None:
             self._compiled = CompiledGraph(self)

@@ -47,6 +47,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: (``9! = 362880`` nodes: ~0.7 MB per int16 table, ~1.5 MB per int32).
 MAX_COMPILE_K = 9
 
+#: hard ceiling on the *estimated* byte footprint of one instance's
+#: compiled tables (labels + moves + inverse moves + BFS products).
+#: Checked before any allocation happens so a mis-sized request fails
+#: with :class:`CompileBudgetError` instead of freezing the host in a
+#: multi-GB allocation.  Deliberately generous for every ``k`` within
+#: ``MAX_COMPILE_K`` (the largest k=9 instance is ~35 MB all in) while
+#: refusing k=10 (~350 MB) on the byte estimate alone.
+COMPILE_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+class CompileBudgetError(ValueError):
+    """Compiled tables for this instance would exceed the budget.
+
+    Subclasses ``ValueError`` so existing ``can_compile()``-style
+    guards keep working; the message points at the frontier engine
+    (:mod:`repro.frontier`), which explores the same graph under a
+    fixed memory bound without materialising the node set.
+    """
+
+
+def estimate_table_bytes(k: int, degree: int) -> int:
+    """Estimated bytes of a fully materialised :class:`CompiledGraph`.
+
+    Per node: ``k`` label bytes, ``4 * degree`` move-table bytes plus
+    the same again for inverse moves, and 12 bytes of BFS products
+    (distances int16 + first_hop int16 + parent int32 + parent_gen
+    int16 ≈ 10, order int32 rounds it to 14 with layer offsets
+    amortised to ~0).
+    """
+    return factorial(k) * (k + 8 * max(1, degree) + 14)
+
 
 # ----------------------------------------------------------------------
 # Vectorised Lehmer ranking
@@ -162,11 +193,15 @@ class CompiledGraph:
     """
 
     def __init__(self, graph: "CayleyGraph"):
-        if graph.k > MAX_COMPILE_K:
-            raise ValueError(
-                f"{graph.name}: k = {graph.k} > {MAX_COMPILE_K}; "
-                f"{graph.num_nodes} nodes cannot be materialised — "
-                "use the object-based Permutation path instead"
+        estimate = estimate_table_bytes(graph.k, graph.degree)
+        if graph.k > MAX_COMPILE_K or estimate > COMPILE_BUDGET_BYTES:
+            raise CompileBudgetError(
+                f"{graph.name}: compiling k = {graph.k} "
+                f"({graph.num_nodes} nodes) would materialise "
+                f"~{estimate} bytes of tables (budget "
+                f"{COMPILE_BUDGET_BYTES}) — use the frontier engine "
+                "(repro.frontier.FrontierBFS / `repro frontier`) for "
+                "memory-bounded exploration instead"
             )
         self.graph = graph
         self.k = graph.k

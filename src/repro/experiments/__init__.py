@@ -18,11 +18,13 @@ from .runners import (
     EmulationRow,
     FaultRow,
     Figure1Row,
+    FrontierRow,
     ServeRow,
     TaskRow,
     cluster_sweep,
     fault_sweep,
     figure1_panels,
+    frontier_sweep,
     mnb_sweep,
     properties_sweep,
     serve_sweep,
@@ -40,9 +42,11 @@ __all__ = [
     "TaskRow",
     "Figure1Row",
     "FaultRow",
+    "FrontierRow",
     "ServeRow",
     "cluster_sweep",
     "fault_sweep",
+    "frontier_sweep",
     "serve_sweep",
     "theorem4_sweep",
     "theorem5_sweep",

@@ -656,3 +656,90 @@ def cluster_sweep(
             p99_ms=result.p99_ms,
             traced=result.traced,
         )
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """One instance's memory-bounded frontier exploration."""
+
+    network: str
+    k: int
+    num_states: int
+    diameter: int
+    layer_sizes: Sequence[int]
+    batches: int
+    dedup_ratio: float
+    memory_budget_bytes: int
+    spill_segments: int
+    spilled_bytes: int
+    exact_keys: bool
+    elapsed_seconds: float
+    avg_distance: float
+    resumed_from: Optional[int] = None
+
+    @property
+    def explored_all(self) -> bool:
+        """The search reached every state the family generates — for
+        the ten (generating) families, all ``k!`` of them."""
+        return self.num_states == sum(self.layer_sizes)
+
+
+def frontier_sweep(
+    instances: Sequence = (("MS", 2, 2), ("MS", 2, 3), ("MIS", 2, 2)),
+    k_for_is: int = 4,
+    memory_budget_bytes: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    resume: bool = False,
+) -> Iterator[FrontierRow]:
+    """Layer profiles + diameters past the compiled-table wall, one
+    row per instance, each computed by the memory-bounded frontier
+    engine (:mod:`repro.frontier`) under a fixed byte budget.
+
+    ``spill_dir`` streams each instance's frontiers through a per-run
+    subdirectory (``<spill_dir>/<network>``); with ``resume`` a crashed
+    sweep picks every instance up from its last journaled layer.
+    """
+    from ..analysis import average_distance_from_layers
+    from ..frontier import DEFAULT_MEMORY_BUDGET, FrontierBFS
+
+    budget = (
+        DEFAULT_MEMORY_BUDGET if memory_budget_bytes is None
+        else memory_budget_bytes
+    )
+    for family, l, n in instances:
+        with get_tracer().span(
+            "sweep.frontier", family=family, l=l, n=n, budget=budget,
+        ) as sp:
+            net = (make_network("IS", k=k_for_is) if family == "IS"
+                   else make_network(family, l=l, n=n))
+            run_dir = None
+            if spill_dir is not None:
+                import os
+
+                run_dir = os.path.join(
+                    spill_dir, net.name.replace("(", "_")
+                    .replace(")", "").replace(",", "_")
+                )
+            result = FrontierBFS(
+                net,
+                memory_budget_bytes=budget,
+                spill_dir=run_dir,
+                resume=resume and run_dir is not None,
+            ).run()
+            sp.set(diameter=result.diameter, states=result.num_states)
+        yield FrontierRow(
+            network=result.network,
+            k=result.k,
+            num_states=result.num_states,
+            diameter=result.diameter,
+            layer_sizes=tuple(result.layer_sizes),
+            batches=result.batches,
+            dedup_ratio=result.dedup_ratio,
+            memory_budget_bytes=result.memory_budget_bytes,
+            spill_segments=result.spill_segments,
+            spilled_bytes=result.spilled_bytes,
+            exact_keys=result.exact_keys,
+            elapsed_seconds=result.elapsed_seconds,
+            avg_distance=average_distance_from_layers(result.layer_sizes),
+            resumed_from=result.resumed_from,
+        )

@@ -199,9 +199,15 @@ class TestDifferentialBfs:
 
 class TestCompiledApi:
     def test_refuses_large_k(self):
+        from repro.core.compiled import CompileBudgetError
+
         big = make_network("MS", l=5, n=2)  # k = 11
         assert not big.can_compile()
-        with pytest.raises(ValueError, match="cannot be materialised"):
+        with pytest.raises(CompileBudgetError, match="frontier"):
+            CompiledGraph(big)
+        # CompileBudgetError subclasses ValueError, so pre-existing
+        # guards that catch ValueError still work
+        with pytest.raises(ValueError):
             CompiledGraph(big)
 
     def test_node_id_round_trip(self, net):
