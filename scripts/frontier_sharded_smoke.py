@@ -1,0 +1,127 @@
+"""CI sharded-frontier smoke: a 3-worker owner-computes exploration of
+MS(6,1) under an artificially tiny per-worker budget must match the
+compiled BFS layer profile exactly with closed exchange accounting;
+killing one worker mid-run must surface :class:`ShardWorkerDied`
+promptly (never a hang); and neither path may leave spill segments —
+in the run dir or in the memory-backed slab directory — behind.
+
+Run with ``PYTHONPATH=src python scripts/frontier_sharded_smoke.py``;
+exits non-zero with a message on the first violated assertion.
+"""
+
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.frontier import ShardedFrontierBFS, ShardWorkerDied
+from repro.frontier.sharded import slab_segment_names
+from repro.networks import make_network
+
+#: k = 7, 5040 states: each sharded BFS takes a second or two, wide
+#: enough (peak layer ~1800) that every layer genuinely exchanges.
+NETWORK = ("MS", {"l": 6, "n": 1})
+
+WORKERS = 3
+
+#: total budget; each worker gets a third — tiny enough to spill.
+TINY_BUDGET = WORKERS * 16 * 1024
+
+#: fail the whole smoke if any single phase wedges this long.
+HANG_BUDGET_SECONDS = 120
+
+
+def check(condition, message):
+    if not condition:
+        print(f"sharded frontier smoke FAILED: {message}",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    family, kwargs = NETWORK
+    net = make_network(family, **kwargs)
+    compiled = net.compiled()
+    starts = compiled.layer_starts
+    expected = [int(starts[i + 1] - starts[i])
+                for i in range(compiled.num_layers())]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spill_root = Path(tmp)
+        run_dir = spill_root / "run"
+
+        # 1. tiny-budget profile equality with compiled + closed books
+        result = ShardedFrontierBFS(
+            net, workers=WORKERS, memory_budget_bytes=TINY_BUDGET,
+            spill_dir=run_dir, slab_threshold=4096,
+        ).run()
+        check(result.layer_sizes == expected,
+              f"profile mismatch: {result.layer_sizes} != {expected}")
+        check(result.workers == WORKERS, "worker count not reported")
+        ex = result.exchange
+        check(ex["closed"], "exchange books did not close")
+        check(ex["sent_rows"] == ex["received_rows"],
+              f"sent {ex['sent_rows']} != received {ex['received_rows']}")
+        check(ex["received_rows"] == ex["deduped_in"] + ex["discarded"],
+              "received != deduped-in + discarded")
+        check(ex["deduped_in"] == result.num_states - 1,
+              "every non-identity state must be deduped-in once")
+        check(ex["shipped_bytes"] > 0, "nothing crossed the exchange")
+        check(result.spill_segments > 0, "tiny budget did not spill")
+        check(not run_dir.exists(),
+              f"run dir {run_dir} survived a successful run")
+        check(slab_segment_names(str(os.getpid())) == [],
+              "slab segments leaked after a successful run")
+
+        # 2. one worker SIGKILLed mid-run: fail fast, don't hang
+        engine = ShardedFrontierBFS(
+            net, workers=WORKERS, memory_budget_bytes=TINY_BUDGET,
+            spill_dir=run_dir, slab_threshold=4096,
+        )
+
+        def kill_one(depth, _size):
+            if depth == 2:
+                os.kill(engine.worker_pids[1], signal.SIGKILL)
+
+        engine.on_layer = kill_one
+        started = time.monotonic()
+        try:
+            engine.run()
+            check(False, "killed worker did not fail the run")
+        except ShardWorkerDied as exc:
+            check("shard worker 1" in str(exc),
+                  f"diagnostic names the wrong shard: {exc}")
+        elapsed = time.monotonic() - started
+        check(elapsed < HANG_BUDGET_SECONDS,
+              f"worker death took {elapsed:.0f}s to surface")
+        check(slab_segment_names(str(os.getpid())) == [],
+              "slab segments leaked after a killed worker")
+
+        # 3. surviving shards journaled cleanly; resume completes
+        check((run_dir / "shard-0" / "journal.json").exists(),
+              "surviving shard lost its journal")
+        resumed = ShardedFrontierBFS(
+            net, workers=WORKERS, memory_budget_bytes=TINY_BUDGET,
+            spill_dir=run_dir, resume=True,
+        ).run()
+        check(resumed.resumed_from is not None, "resume did not resume")
+        check(resumed.layer_sizes == expected,
+              "resumed profile mismatch")
+        check(not run_dir.exists(),
+              "run dir survived a successful resumed run")
+        check(list(spill_root.iterdir()) == [],
+              f"spill root not empty: {list(spill_root.iterdir())}")
+
+    print(f"sharded frontier smoke OK: {net.name} x{WORKERS} workers, "
+          f"profile {result.layer_sizes} under {TINY_BUDGET} bytes, "
+          f"{ex['shipped_bytes']} bytes exchanged "
+          f"({ex['pipe_chunks']} pipe / {ex['slab_chunks']} slab), "
+          f"worker death surfaced in {elapsed:.1f}s, resume from layer "
+          f"{resumed.resumed_from} clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

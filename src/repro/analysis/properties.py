@@ -17,6 +17,7 @@ def network_profile(
     exact: bool = True,
     method: str = "auto",
     memory_budget_bytes: Optional[int] = None,
+    workers: int = 2,
 ) -> Dict[str, object]:
     """A property row: name, k, nodes, degree, directedness, and (when
     ``exact``) BFS diameter and average distance.
@@ -26,10 +27,14 @@ def network_profile(
     (compiled arrays within materialisation range, memoised object
     layers otherwise); ``"frontier"`` runs the memory-bounded frontier
     engine (:mod:`repro.frontier`) instead — the only route past the
-    ``k!`` table wall; ``"auto"`` picks compiled when the instance can
-    compile and frontier beyond.  Either way a profile row costs a
-    single search no matter how many statistics it reports."""
-    if method not in ("auto", "compiled", "frontier"):
+    ``k!`` table wall; ``"sharded"`` runs the same exploration
+    owner-computes-parallel across ``workers`` processes
+    (:class:`~repro.frontier.sharded.ShardedFrontierBFS`) — identical
+    profile, one dedup shard per worker; ``"auto"`` picks compiled
+    when the instance can compile and frontier beyond.  Either way a
+    profile row costs a single search no matter how many statistics it
+    reports."""
+    if method not in ("auto", "compiled", "frontier", "sharded"):
         raise ValueError(f"unknown method {method!r}")
     row: Dict[str, object] = {
         "name": network.name,
@@ -40,21 +45,30 @@ def network_profile(
     }
     if not exact:
         return row
-    use_frontier = method == "frontier" or (
+    use_frontier = method in ("frontier", "sharded") or (
         method == "auto" and not network.can_compile()
     )
     if use_frontier:
-        from ..frontier import frontier_profile
-
         kwargs = {}
         if memory_budget_bytes is not None:
             kwargs["memory_budget_bytes"] = memory_budget_bytes
-        result = frontier_profile(network, **kwargs)
+        if method == "sharded":
+            from ..frontier import sharded_frontier_profile
+
+            result = sharded_frontier_profile(
+                network, workers=workers, **kwargs
+            )
+        else:
+            from ..frontier import frontier_profile
+
+            result = frontier_profile(network, **kwargs)
         row["diameter"] = result.diameter
         row["avg_distance"] = round(
             average_distance_from_layers(result.layer_sizes), 3
         )
-        row["method"] = "frontier"
+        row["method"] = method if method == "sharded" else "frontier"
+        if method == "sharded":
+            row["workers"] = result.workers
     else:
         row["diameter"] = network.diameter()
         row["avg_distance"] = round(network.average_distance(), 3)

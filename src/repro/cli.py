@@ -629,24 +629,41 @@ def cmd_frontier(args) -> int:
     """Memory-bounded frontier BFS: layer profile + diameter with no
     node table, optionally followed by sampled pair distances."""
     from .analysis import average_distance_from_layers, sampled_distances
-    from .frontier import FrontierBFS
+    from .frontier import FrontierBFS, ShardedFrontierBFS
 
     net = _build_network(args)
     budget = _parse_bytes(args.memory_budget)
-    engine = FrontierBFS(
-        net,
-        memory_budget_bytes=budget,
-        spill_dir=args.spill_dir,
-        resume=args.resume,
-        cleanup=not args.keep_run_dir,
-    )
+    if args.workers > 1:
+        engine = ShardedFrontierBFS(
+            net,
+            workers=args.workers,
+            memory_budget_bytes=budget,
+            spill_dir=args.spill_dir,
+            resume=args.resume,
+            key_seed=args.key_seed,
+            cleanup=not args.keep_run_dir,
+        )
+    else:
+        engine = FrontierBFS(
+            net,
+            memory_budget_bytes=budget,
+            spill_dir=args.spill_dir,
+            resume=args.resume,
+            key_seed=args.key_seed,
+            cleanup=not args.keep_run_dir,
+        )
     with get_tracer().span("cli.frontier", network=net.name,
-                           budget=budget):
+                           budget=budget, workers=args.workers):
         result = engine.run()
         payload = result.row()
         payload["avg_distance"] = round(
             average_distance_from_layers(result.layer_sizes), 3
         )
+        payload["spill"] = {
+            "segments": result.spill_segments,
+            "bytes": result.spilled_bytes,
+            "resumed_layer": result.resumed_from,
+        }
         if args.sample_pairs:
             payload["sampled"] = sampled_distances(
                 net, pairs=args.sample_pairs, seed=args.seed,
@@ -663,6 +680,12 @@ def cmd_frontier(args) -> int:
     print(f"batches       : {payload['batches']} "
           f"(budget {budget} bytes, chunk {payload['chunk_rows']} rows)")
     print(f"dedup ratio   : {payload['dedup_ratio']}")
+    if payload["workers"] > 1:
+        ex = payload.get("exchange") or {}
+        print(f"workers       : {payload['workers']} "
+              f"(exchanged {ex.get('shipped_bytes', 0)} bytes, "
+              f"{ex.get('pipe_chunks', 0)} pipe / "
+              f"{ex.get('slab_chunks', 0)} slab chunks)")
     if payload["spill_segments"]:
         print(f"spill         : {payload['spill_segments']} segments, "
               f"{payload['spilled_bytes']} bytes")
@@ -767,6 +790,23 @@ def cmd_top(args) -> int:
                     f"  serve.table_attach{{{labels}}} = "
                     f"{row.get('value', 0):g}"
                 )
+            # sharded-frontier exploration (owner-computes BFS): the
+            # per-shard rows / exchange counters and worker gauge
+            for kind in ("gauges", "counters"):
+                for name, rows in sorted(
+                    metrics.get(kind, {}).items()
+                ):
+                    if not name.startswith("frontier.shard."):
+                        continue
+                    for row in rows:
+                        labels = ",".join(
+                            f"{k}={v}" for k, v in
+                            sorted(row.get("labels", {}).items())
+                        )
+                        lines.append(
+                            f"  {name}{{{labels}}} = "
+                            f"{row.get('value', 0):g}"
+                        )
             hist_rows = [
                 (name, row)
                 for name, rows in metrics.get("histograms", {}).items()
@@ -1009,10 +1049,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory-budget", default="64M", metavar="BYTES",
                    help="working-set budget, with K/M/G suffix "
                         "(default: 64M); drives batch size and spill "
-                        "threshold")
+                        "threshold (split across workers when sharded)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard the exploration across N worker "
+                        "processes (owner-computes: each worker dedups "
+                        "its own slice of the key space; profiles are "
+                        "identical to --workers 1)")
+    p.add_argument("--key-seed", type=int, default=0, metavar="SEED",
+                   help="seed for the hashed state-key path (k > 20); "
+                        "sharded and single-process runs with the same "
+                        "seed dedup identically")
     p.add_argument("--spill-dir", metavar="DIR",
                    help="stream frontiers through .npy segments under "
-                        "DIR; crash-resumable via --resume")
+                        "DIR; crash-resumable via --resume (sharded "
+                        "runs journal per-worker shard-N/ subdirs and "
+                        "resume at the last layer every worker "
+                        "journaled)")
     p.add_argument("--resume", action="store_true",
                    help="continue from the last journaled layer in "
                         "--spill-dir instead of starting over")
@@ -1025,7 +1077,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="pair-sampling seed")
     p.add_argument("--json", action="store_true",
-                   help="emit the run summary as JSON")
+                   help="emit the run summary as JSON; includes a "
+                        "\"spill\" object {segments: int, bytes: int, "
+                        "resumed_layer: int|null} and, for sharded "
+                        "runs, an \"exchange\" object with closed "
+                        "all-to-all accounting (sent_rows == "
+                        "received_rows == deduped_in + discarded)")
 
     p = add_command("top", help="live qps/latency/replica dashboard "
                                 "for a running server or cluster")

@@ -676,6 +676,7 @@ class FrontierRow:
     elapsed_seconds: float
     avg_distance: float
     resumed_from: Optional[int] = None
+    workers: int = 1
 
     @property
     def explored_all(self) -> bool:
@@ -690,6 +691,7 @@ def frontier_sweep(
     memory_budget_bytes: Optional[int] = None,
     spill_dir: Optional[str] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Iterator[FrontierRow]:
     """Layer profiles + diameters past the compiled-table wall, one
     row per instance, each computed by the memory-bounded frontier
@@ -698,9 +700,17 @@ def frontier_sweep(
     ``spill_dir`` streams each instance's frontiers through a per-run
     subdirectory (``<spill_dir>/<network>``); with ``resume`` a crashed
     sweep picks every instance up from its last journaled layer.
+    ``workers > 1`` runs each instance through the sharded engine
+    (:class:`~repro.frontier.sharded.ShardedFrontierBFS`) — same
+    profiles, owner-computes-parallel, the byte budget split across
+    the worker processes.
     """
     from ..analysis import average_distance_from_layers
-    from ..frontier import DEFAULT_MEMORY_BUDGET, FrontierBFS
+    from ..frontier import (
+        DEFAULT_MEMORY_BUDGET,
+        FrontierBFS,
+        ShardedFrontierBFS,
+    )
 
     budget = (
         DEFAULT_MEMORY_BUDGET if memory_budget_bytes is None
@@ -709,6 +719,7 @@ def frontier_sweep(
     for family, l, n in instances:
         with get_tracer().span(
             "sweep.frontier", family=family, l=l, n=n, budget=budget,
+            workers=workers,
         ) as sp:
             net = (make_network("IS", k=k_for_is) if family == "IS"
                    else make_network(family, l=l, n=n))
@@ -720,12 +731,21 @@ def frontier_sweep(
                     spill_dir, net.name.replace("(", "_")
                     .replace(")", "").replace(",", "_")
                 )
-            result = FrontierBFS(
-                net,
-                memory_budget_bytes=budget,
-                spill_dir=run_dir,
-                resume=resume and run_dir is not None,
-            ).run()
+            if workers > 1:
+                result = ShardedFrontierBFS(
+                    net,
+                    workers=workers,
+                    memory_budget_bytes=budget,
+                    spill_dir=run_dir,
+                    resume=resume and run_dir is not None,
+                ).run()
+            else:
+                result = FrontierBFS(
+                    net,
+                    memory_budget_bytes=budget,
+                    spill_dir=run_dir,
+                    resume=resume and run_dir is not None,
+                ).run()
             sp.set(diameter=result.diameter, states=result.num_states)
         yield FrontierRow(
             network=result.network,
@@ -742,4 +762,5 @@ def frontier_sweep(
             elapsed_seconds=result.elapsed_seconds,
             avg_distance=average_distance_from_layers(result.layer_sizes),
             resumed_from=result.resumed_from,
+            workers=result.workers,
         )

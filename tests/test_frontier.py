@@ -378,6 +378,77 @@ class TestCapacityGuard:
         assert row["diameter"] == result.diameter
 
 
+class TestDirectedRing:
+    """Visited-ring correctness at the ring boundary.
+
+    Directed families keep a ring of *all* visited layers' keys.  The
+    sharpest boundary case is a pure directed cycle: the single
+    generator σ (one cyclic rotation) revisits the identity exactly at
+    ``depth == ring length`` — only the depth-0 entry of the full ring
+    rejects that wrap-around, so an engine that dropped or windowed old
+    layers would emit a spurious extra layer (or never terminate)."""
+
+    @staticmethod
+    def _cycle_graph(k: int):
+        from repro.core.cayley import CayleyGraph
+        from repro.core.generators import Generator, GeneratorSet
+
+        sigma = Permutation.from_cycles(k, [tuple(range(1, k + 1))])
+        gen = Generator(
+            name="R", perm=sigma, kind="rotation", index=(1,),
+            is_nucleus=False,
+        )
+        return CayleyGraph(GeneratorSet([gen]), name=f"Cycle({k})")
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_single_engine_wraps_exactly_at_boundary(self, k):
+        graph = self._cycle_graph(k)
+        assert not graph.is_undirectable()
+        result = frontier_profile(graph, memory_budget_bytes=1 << 16)
+        # k singleton layers, then the wrap to identity is rejected by
+        # the oldest ring entry: diameter k-1, no layer k
+        assert result.layer_sizes == [1] * k
+        assert result.diameter == k - 1
+        assert result.num_states == k
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_sharded_engine_wraps_exactly_at_boundary(self, k):
+        from repro.frontier import sharded_frontier_profile
+
+        graph = self._cycle_graph(k)
+        result = sharded_frontier_profile(
+            graph, workers=3, memory_budget_bytes=3 << 16,
+        )
+        assert result.layer_sizes == [1] * k
+        assert result.num_states == k
+
+    @pytest.mark.parametrize("k", [4, 6])
+    def test_boundary_depth_with_spill(self, k, tmp_path):
+        # the ring rebuild after spill/restore must include layer 0
+        graph = self._cycle_graph(k)
+        result = FrontierBFS(
+            graph, memory_budget_bytes=1 << 16,
+            spill_dir=tmp_path / "run",
+        ).run()
+        assert result.layer_sizes == [1] * k
+
+    @pytest.mark.parametrize("family", ["MR", "RR"])
+    def test_directed_families_agree_across_engines(self, family):
+        from repro.frontier import sharded_frontier_profile
+
+        net = make_network(family, l=2, n=2)
+        assert not net.is_undirectable()
+        ref = compiled_profile(net.compiled())
+        single = frontier_profile(net, memory_budget_bytes=1 << 18)
+        sharded = sharded_frontier_profile(
+            net, workers=2, memory_budget_bytes=2 << 18,
+        )
+        # the last expansion runs with the ring at full length — both
+        # engines must close the profile exactly where compiled does
+        assert single.layer_sizes == ref
+        assert sharded.layer_sizes == ref
+
+
 class TestSweep:
     def test_frontier_sweep_rows(self, tmp_path):
         from repro.experiments import frontier_sweep
